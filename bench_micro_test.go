@@ -1,0 +1,137 @@
+package magg
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/gen"
+	"repro/internal/hfta"
+	"repro/internal/lfta"
+	"repro/internal/query"
+	"repro/internal/stream"
+)
+
+// Additional micro-benchmarks: HFTA merge, trace encoding/decoding,
+// query parsing, and sequential-vs-parallel sharding.
+
+func BenchmarkHFTAMerge(b *testing.B) {
+	agg, err := hfta.New([]attr.Set{attr.MustParseSet("AB")}, lfta.CountStar)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	evs := make([]lfta.Eviction, 1024)
+	for i := range evs {
+		evs[i] = lfta.Eviction{
+			Rel:   attr.MustParseSet("AB"),
+			Key:   []uint32{rng.Uint32() % 500, rng.Uint32() % 500},
+			Aggs:  []int64{int64(rng.Intn(100))},
+			Epoch: uint32(i % 4),
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg.Consume(evs[i%len(evs)])
+	}
+}
+
+func BenchmarkTraceEncode(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	schema := stream.MustSchema(4)
+	u, err := gen.UniformUniverse(rng, schema, 500, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs := gen.Uniform(rng, u, 10000, 60)
+	b.SetBytes(int64(len(recs) * 20))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := stream.WriteTrace(&buf, schema, recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTraceDecode(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	schema := stream.MustSchema(4)
+	u, err := gen.UniformUniverse(rng, schema, 500, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs := gen.Uniform(rng, u, 10000, 60)
+	var buf bytes.Buffer
+	if err := stream.WriteTrace(&buf, schema, recs); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := stream.ReadTrace(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryParse(b *testing.B) {
+	const sql = "select A, B, count(*) as cnt, avg(D) as len from R where C >= 1024 group by A, B, time/300 having cnt > 100"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := query.Parse(sql); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShardedSequential / BenchmarkShardedParallel measure the
+// multi-LFTA deployment over a fixed batch; compare ns/op to see the
+// parallel speedup on multicore hosts.
+func BenchmarkShardedSequential(b *testing.B) { benchSharded(b, false) }
+func BenchmarkShardedParallel(b *testing.B)   { benchSharded(b, true) }
+
+func benchSharded(b *testing.B, parallel bool) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(4))
+	schema := stream.MustSchema(4)
+	u, err := gen.UniformUniverse(rng, schema, 2000, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs := gen.Uniform(rng, u, 200000, 50)
+	queries := []Relation{MustRelation("AB"), MustRelation("BC"), MustRelation("CD")}
+	groups, err := EstimateGroups(recs[:20000], queries)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := Plan(queries, groups, 20000, DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(recs)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg, err := NewAggregator(queries, CountStar)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := NewShardedLFTA(plan.Config, plan.Alloc, CountStar, 5, agg.ConcurrentSink(), 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if parallel {
+			_, err = s.RunParallel(NewSliceSource(recs), 10)
+		} else {
+			_, err = s.Run(NewSliceSource(recs), 10)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+// Command maggbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	maggbench [-run id[,id...]] [-quick] [-seed n] [-list]
+//
+// Without -run it executes every experiment in paper order. Experiment
+// ids are fig5..fig15 and table1..table3. -quick shrinks datasets and
+// sweeps for a fast smoke run; the default sizes match the paper's setup
+// (860k-record trace, 1M-record synthetic dataset).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		quick = flag.Bool("quick", false, "reduced dataset sizes and sweeps")
+		seed  = flag.Int64("seed", 42, "seed for the synthetic datasets")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	ids := experiments.IDs()
+	if *run != "" {
+		ids = strings.Split(*run, ",")
+	}
+	ctx := experiments.NewContext(*quick)
+	ctx.Seed = *seed
+
+	if err := runExperiments(os.Stdout, ids, ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "maggbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// runExperiments executes the listed experiments, printing each table;
+// it returns the first error after attempting every experiment.
+func runExperiments(w io.Writer, ids []string, ctx *experiments.Context) error {
+	var firstErr error
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		tab, err := experiments.Run(id, ctx)
+		if err == nil {
+			err = tab.Fprint(w)
+		}
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %v", id, err)
+			}
+			continue
+		}
+		fmt.Fprintf(w, "(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	return firstErr
+}

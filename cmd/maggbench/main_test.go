@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestRunExperiments(t *testing.T) {
+	ctx := experiments.NewContext(true)
+	var buf bytes.Buffer
+	if err := runExperiments(&buf, []string{"fig6", "table1"}, ctx); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fig6", "table1", "completed in"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q", want)
+		}
+	}
+}
+
+func TestRunExperimentsUnknownID(t *testing.T) {
+	ctx := experiments.NewContext(true)
+	var buf bytes.Buffer
+	err := runExperiments(&buf, []string{"fig6", "nope"}, ctx)
+	if err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	// The known experiment before the failure still ran.
+	if !strings.Contains(buf.String(), "fig6") {
+		t.Error("fig6 did not run before the error")
+	}
+}
+
+func TestRunExperimentsHandlesWhitespace(t *testing.T) {
+	ctx := experiments.NewContext(true)
+	var buf bytes.Buffer
+	if err := runExperiments(&buf, []string{" fig6 ", "\ttable1"}, ctx); err != nil {
+		t.Fatal(err)
+	}
+}

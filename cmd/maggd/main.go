@@ -1,0 +1,180 @@
+// Command maggd runs the two-level multiple-aggregation engine over a
+// trace: it plans an LFTA configuration for the queries, streams the
+// records through it, and prints per-epoch query answers.
+//
+// Usage:
+//
+//	maggd -trace trace.magt -query "select A, B, count(*) as cnt from R group by A, B, time/10" \
+//	      -query "select B, C, count(*) as cnt from R group by B, C, time/10" -m 40000
+//
+//	maggd -trace trace.magt -queryfile queries.gsql -m 40000 -top 5 -adaptive
+//
+// A query file holds one GSQL query per line ('#' comments allowed). The
+// queries must differ only in their grouping attributes.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/attr"
+	"repro/internal/core"
+	"repro/internal/hfta"
+	"repro/internal/query"
+	"repro/internal/stream"
+)
+
+type queryFlags []string
+
+func (q *queryFlags) String() string { return strings.Join(*q, "; ") }
+func (q *queryFlags) Set(s string) error {
+	*q = append(*q, s)
+	return nil
+}
+
+func main() {
+	var (
+		queries   queryFlags
+		trace     = flag.String("trace", "", "binary trace file (required)")
+		queryFile = flag.String("queryfile", "", "file with one GSQL query per line")
+		m         = flag.Int("m", 40000, "LFTA memory budget in 4-byte units")
+		sample    = flag.Int("sample", 50000, "records sampled to estimate group counts")
+		top       = flag.Int("top", 10, "rows printed per query per epoch (0 = all)")
+		adaptive  = flag.Bool("adaptive", false, "re-plan between epochs as statistics drift")
+		quiet     = flag.Bool("quiet", false, "suppress per-epoch rows; print only the summary")
+		slack     = flag.Uint("slack", 0, "reorder out-of-order records within this many time units")
+	)
+	flag.Var(&queries, "query", "GSQL query (repeatable)")
+	flag.Parse()
+
+	if *trace == "" {
+		fmt.Fprintln(os.Stderr, "maggd: -trace is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *queryFile != "" {
+		qs, err := readQueryFile(*queryFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "maggd: %v\n", err)
+			os.Exit(1)
+		}
+		queries = append(queries, qs...)
+	}
+	if len(queries) == 0 {
+		fmt.Fprintln(os.Stderr, "maggd: no queries (use -query or -queryfile)")
+		os.Exit(2)
+	}
+
+	if err := run(*trace, queries, *m, *sample, *top, *adaptive, *quiet, uint32(*slack)); err != nil {
+		fmt.Fprintf(os.Stderr, "maggd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func readQueryFile(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out = append(out, line)
+	}
+	return out, sc.Err()
+}
+
+func run(trace string, sqls []string, m, sampleN, top int, adaptive, quiet bool, slack uint32) error {
+	_, recs, err := stream.ReadTraceFile(trace)
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("trace %s is empty", trace)
+	}
+	if sampleN > len(recs) {
+		sampleN = len(recs)
+	}
+
+	// The sample drives the initial group-count estimates.
+	var rels []attr.Set
+	for _, sql := range sqls {
+		// Parse leniently here just to collect the grouping relations;
+		// engine construction re-validates the full set.
+		spec, err := parseGroupBy(sql)
+		if err != nil {
+			return err
+		}
+		rels = append(rels, spec)
+	}
+	groups, err := core.EstimateGroups(recs[:sampleN], rels)
+	if err != nil {
+		return err
+	}
+
+	opts := core.Options{M: m}
+	if adaptive {
+		opts.Adapt = core.AdaptOptions{Enabled: true}
+	}
+	// Stream results out as epochs close (daemon behaviour: memory stays
+	// bounded regardless of stream length).
+	opts.OnResults = func(rel attr.Set, epoch uint32, rows []hfta.Row) {
+		if quiet {
+			return
+		}
+		fmt.Printf("-- query %v, epoch %d: %d groups\n", rel, epoch, len(rows))
+		limit := len(rows)
+		if top > 0 && top < limit {
+			limit = top
+		}
+		for _, r := range rows[:limit] {
+			fmt.Printf("   %v -> %v\n", r.Key, r.Aggs)
+		}
+		if limit < len(rows) {
+			fmt.Printf("   ... %d more\n", len(rows)-limit)
+		}
+	}
+	eng, err := core.New(sqls, groups, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("configuration: %s (modeled cost %.4f/record)\n\n", eng.Plan().Config, eng.Plan().Cost)
+
+	var src stream.Source = stream.NewSliceSource(recs)
+	var ordered *stream.OrderedSource
+	if slack > 0 {
+		ordered = stream.NewOrderedSource(src, slack)
+		src = ordered
+	}
+	if err := eng.Run(src); err != nil {
+		return err
+	}
+
+	st := eng.Stats()
+	fmt.Printf("\nrecords:   %d\n", st.Ops.Records)
+	fmt.Printf("probes:    %d (c1 operations)\n", st.Ops.Probes)
+	fmt.Printf("transfers: %d (c2 operations)\n", st.Ops.Transfers)
+	fmt.Printf("actual cost/record: %.4f (c2/c1 = 50)\n", st.Ops.PerRecordCost(1, 50))
+	fmt.Printf("epochs: %d, adaptive re-plans: %d\n", st.Epochs, st.Replans)
+	if ordered != nil {
+		fmt.Printf("late records dropped by the reorder window: %d\n", ordered.Late())
+	}
+	return nil
+}
+
+// parseGroupBy extracts just the grouping relation from a GSQL query.
+func parseGroupBy(sql string) (attr.Set, error) {
+	spec, err := query.Parse(sql)
+	if err != nil {
+		return 0, err
+	}
+	return spec.GroupBy, nil
+}

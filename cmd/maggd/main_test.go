@@ -1,0 +1,76 @@
+package main
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/stream"
+)
+
+func writeTestTrace(t *testing.T) string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	schema := stream.MustSchema(4)
+	u, err := gen.UniformUniverse(rng, schema, 300, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := gen.Uniform(rng, u, 15000, 30)
+	path := filepath.Join(t.TempDir(), "t.magt")
+	if err := stream.WriteTraceFile(path, schema, recs); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunEngine(t *testing.T) {
+	trace := writeTestTrace(t)
+	sqls := []string{
+		"select A, B, count(*) as cnt from R group by A, B, time/10",
+		"select B, C, count(*) as cnt from R group by B, C, time/10",
+	}
+	if err := run(trace, sqls, 20000, 5000, 3, false, true, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Adaptive mode and per-epoch printing both exercise cleanly.
+	if err := run(trace, sqls, 20000, 5000, 2, true, false, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	trace := writeTestTrace(t)
+	if err := run(filepath.Join(t.TempDir(), "missing.magt"), []string{"select A, count(*) from R group by A"}, 20000, 100, 3, false, true, 0); err == nil {
+		t.Error("missing trace accepted")
+	}
+	if err := run(trace, []string{"not a query"}, 20000, 100, 3, false, true, 0); err == nil {
+		t.Error("bad query accepted")
+	}
+	if err := run(trace, []string{
+		"select A, count(*) from R group by A, time/10",
+		"select B, count(*) from R group by B, time/60", // mixed epochs
+	}, 20000, 100, 3, false, true, 0); err == nil {
+		t.Error("incompatible query set accepted")
+	}
+}
+
+func TestReadQueryFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "q.gsql")
+	content := "# comment\n\nselect A, count(*) as cnt from R group by A\nselect B, count(*) as cnt from R group by B\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	qs, err := readQueryFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 2 {
+		t.Errorf("read %d queries; want 2", len(qs))
+	}
+	if _, err := readQueryFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

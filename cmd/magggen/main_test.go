@@ -1,0 +1,56 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestGenerateKinds(t *testing.T) {
+	for _, kind := range []string{"uniform", "flows", "zipf"} {
+		schema, recs, err := generate(kind, 1, 3, 200, 5000, 10, 8, 1.5, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if schema.NumAttrs != 3 {
+			t.Errorf("%s: %d attrs", kind, schema.NumAttrs)
+		}
+		if len(recs) != 5000 {
+			t.Errorf("%s: %d records", kind, len(recs))
+		}
+		if g := gen.CountGroups(recs, schema.Universe()); g > 200 {
+			t.Errorf("%s: %d groups from a 200-group universe", kind, g)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, _, err := generate("bogus", 1, 3, 100, 100, 10, 5, 1.5, 0); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, _, err := generate("uniform", 1, 0, 100, 100, 10, 5, 1.5, 0); err == nil {
+		t.Error("zero attrs accepted")
+	}
+	if _, _, err := generate("zipf", 1, 3, 100, 100, 10, 5, 0.5, 0); err == nil {
+		t.Error("invalid zipf exponent accepted")
+	}
+	if _, _, err := generate("flows", 1, 3, 100, 100, 10, 0.5, 1.5, 0); err == nil {
+		t.Error("invalid mean flow length accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	_, a, err := generate("uniform", 7, 2, 50, 1000, 10, 5, 1.5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, b, err := generate("uniform", 7, 2, 50, 1000, 10, 5, 1.5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Attrs[0] != b[i].Attrs[0] || a[i].Time != b[i].Time {
+			t.Fatal("same seed produced different traces")
+		}
+	}
+}

@@ -1,0 +1,155 @@
+// Command maggopt plans an LFTA configuration for a query workload: which
+// phantoms to instantiate and how to split the memory budget, using the
+// paper's algorithms.
+//
+// Usage:
+//
+//	maggopt -queries AB,BC,BD,CD -trace trace.magt -m 40000
+//	maggopt -queries A,B,C,D -trace u.magt -m 40000 -algorithm gs -phi 1.0
+//	maggopt -queries AB,BC -trace t.magt -m 20000 -algorithm epes -peak 500000 -peak-method shift
+//
+// Group counts g_R are measured from the trace. The chosen configuration
+// is printed in the paper's notation together with the per-table
+// allocation, the modeled per-record cost (Equation 7) and the
+// end-of-epoch cost (Equation 8).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/attr"
+	"repro/internal/choose"
+	"repro/internal/cost"
+	"repro/internal/feedgraph"
+	"repro/internal/gen"
+	"repro/internal/spacealloc"
+	"repro/internal/stream"
+)
+
+func main() {
+	var (
+		queriesFlag = flag.String("queries", "", "comma-separated query relations, e.g. AB,BC,BD,CD (required)")
+		trace       = flag.String("trace", "", "trace file to measure group counts from (required)")
+		m           = flag.Int("m", 40000, "LFTA memory budget in 4-byte units")
+		algorithm   = flag.String("algorithm", "gcsl", "gcsl | gs | epes | none")
+		phi         = flag.Float64("phi", 1.0, "φ for the gs algorithm")
+		c2          = flag.Float64("c2", 50, "eviction/probe cost ratio c2/c1")
+		peak        = flag.Float64("peak", 0, "peak-load constraint E_p on the end-of-epoch cost (0 = none)")
+		peakMethod  = flag.String("peak-method", "shift", "shrink | shift")
+		jsonOut     = flag.Bool("json", false, "emit the plan as JSON instead of the human-readable report")
+	)
+	flag.Parse()
+	if *queriesFlag == "" || *trace == "" {
+		fmt.Fprintln(os.Stderr, "maggopt: -queries and -trace are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if err := run(*queriesFlag, *trace, *m, *algorithm, *phi, *c2, *peak, *peakMethod, *jsonOut); err != nil {
+		fmt.Fprintf(os.Stderr, "maggopt: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(queriesFlag, trace string, m int, algorithm string, phi, c2, peak float64, peakMethod string, jsonOut bool) error {
+	var queries []attr.Set
+	for _, name := range strings.Split(queriesFlag, ",") {
+		q, err := attr.ParseSet(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		queries = append(queries, q)
+	}
+	graph, err := feedgraph.New(queries)
+	if err != nil {
+		return err
+	}
+
+	_, recs, err := stream.ReadTraceFile(trace)
+	if err != nil {
+		return err
+	}
+	groups := feedgraph.GroupCounts{}
+	for _, r := range graph.Relations() {
+		groups[r] = float64(gen.CountGroups(recs, r))
+	}
+
+	p := cost.DefaultParams()
+	p.C2 = c2 * p.C1
+
+	start := time.Now()
+	var res *choose.Result
+	switch algorithm {
+	case "gcsl":
+		res, err = choose.GCSL(graph, groups, m, p)
+	case "gs":
+		res, err = choose.GS(graph, groups, m, p, phi)
+	case "epes":
+		res, err = choose.EPES(graph, groups, m, p, 0)
+	case "none":
+		res, err = choose.NoPhantom(graph, groups, m, p, spacealloc.SL)
+	default:
+		return fmt.Errorf("unknown algorithm %q", algorithm)
+	}
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	if peak > 0 {
+		var fixed cost.Alloc
+		switch peakMethod {
+		case "shrink":
+			fixed, err = spacealloc.Shrink(res.Config, groups, res.Alloc, p, peak)
+		case "shift":
+			fixed, err = spacealloc.Shift(res.Config, groups, res.Alloc, p, peak)
+		default:
+			return fmt.Errorf("unknown peak method %q", peakMethod)
+		}
+		if err != nil {
+			return err
+		}
+		res.Alloc = fixed
+		if res.Cost, err = cost.PerRecord(res.Config, groups, fixed, p); err != nil {
+			return err
+		}
+	}
+
+	if jsonOut {
+		data, err := choose.EncodePlan(res)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
+	}
+
+	fmt.Printf("trace:           %s (%d records)\n", trace, len(recs))
+	fmt.Printf("queries:         %s\n", queriesFlag)
+	fmt.Printf("candidates:      %d phantoms in the feeding graph\n", len(graph.Phantoms))
+	fmt.Printf("algorithm:       %s (planned in %v)\n", algorithm, elapsed.Round(time.Microsecond))
+	fmt.Printf("configuration:   %s\n", res.Config)
+	fmt.Printf("modeled cost:    %.4f per record (c1=%.0f, c2=%.0f)\n", res.Cost, p.C1, p.C2)
+	if eu, err := cost.EndOfEpoch(res.Config, groups, res.Alloc, p); err == nil {
+		fmt.Printf("end-of-epoch:    %.0f\n", eu)
+	}
+	fmt.Printf("allocation (M = %d units):\n", m)
+	rels := append([]attr.Set(nil), res.Config.Rels...)
+	sort.Slice(rels, func(i, j int) bool { return rels[i].String() < rels[j].String() })
+	for _, r := range rels {
+		b := res.Alloc[r]
+		units := b * feedgraph.EntrySize(r)
+		kind := "query"
+		if !res.Config.IsQuery(r) {
+			kind = "phantom"
+		}
+		fmt.Printf("  %-6s %-8s g=%-6.0f buckets=%-7d space=%d units (%.1f%%)\n",
+			r, kind, groups[r], b, units, 100*float64(units)/float64(m))
+	}
+	return nil
+}

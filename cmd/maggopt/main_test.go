@@ -1,0 +1,67 @@
+package main
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/stream"
+)
+
+func writeTestTrace(t *testing.T) string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	schema := stream.MustSchema(4)
+	u, err := gen.UniformUniverse(rng, schema, 400, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := gen.Uniform(rng, u, 20000, 30)
+	path := filepath.Join(t.TempDir(), "t.magt")
+	if err := stream.WriteTraceFile(path, schema, recs); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAlgorithms(t *testing.T) {
+	trace := writeTestTrace(t)
+	for _, alg := range []string{"gcsl", "gs", "none"} {
+		if err := run("AB,BC,CD", trace, 20000, alg, 1.0, 50, 0, "shift", false); err != nil {
+			t.Errorf("%s: %v", alg, err)
+		}
+	}
+}
+
+func TestRunWithPeakConstraint(t *testing.T) {
+	trace := writeTestTrace(t)
+	for _, method := range []string{"shrink", "shift"} {
+		if err := run("AB,BC", trace, 20000, "gcsl", 1.0, 50, 1e6, method, false); err != nil {
+			t.Errorf("%s: %v", method, err)
+		}
+	}
+	if err := run("AB,BC", trace, 20000, "gcsl", 1.0, 50, 1e6, "bogus", false); err == nil {
+		t.Error("bogus peak method accepted")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	trace := writeTestTrace(t)
+	if err := run("A1", trace, 20000, "gcsl", 1.0, 50, 0, "shift", false); err == nil {
+		t.Error("bad query relation accepted")
+	}
+	if err := run("AB,BC", filepath.Join(t.TempDir(), "missing.magt"), 20000, "gcsl", 1.0, 50, 0, "shift", false); err == nil {
+		t.Error("missing trace accepted")
+	}
+	if err := run("AB,BC", trace, 20000, "bogus", 1.0, 50, 0, "shift", false); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	trace := writeTestTrace(t)
+	if err := run("AB,BC,CD", trace, 20000, "gcsl", 1.0, 50, 0, "shift", true); err != nil {
+		t.Fatal(err)
+	}
+}

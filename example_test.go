@@ -1,0 +1,59 @@
+package magg_test
+
+import (
+	"fmt"
+
+	magg "repro"
+)
+
+func ExampleParseConfig() {
+	// The paper's configuration notation: ABCD feeds AB and the phantom
+	// BCD, which feeds the remaining queries.
+	queries := []magg.Relation{
+		magg.MustRelation("AB"), magg.MustRelation("BC"),
+		magg.MustRelation("BD"), magg.MustRelation("CD"),
+	}
+	cfg, _ := magg.ParseConfig("ABCD(AB BCD(BC BD CD))", queries)
+	fmt.Println(cfg)
+	fmt.Println("phantoms:", cfg.Phantoms())
+	// Output:
+	// ABCD(AB BCD(BC BD CD))
+	// phantoms: [ABCD BCD]
+}
+
+func ExampleCollisionRate() {
+	// The probability that a probe of a 1000-bucket table holding 1000
+	// groups evicts the resident entry — about 1/e.
+	fmt.Printf("%.2f\n", magg.CollisionRate(1000, 1000))
+	// Output: 0.37
+}
+
+func ExampleParseQuery() {
+	spec, _ := magg.ParseQuery("select A, count(*) as cnt from R group by A, time/300 having cnt > 100")
+	fmt.Println("relation:", spec.GroupBy)
+	fmt.Println("epoch:", spec.EpochLen)
+	fmt.Println("passes having with 150:", spec.MatchHaving([]int64{150}))
+	// Output:
+	// relation: A
+	// epoch: 300
+	// passes having with 150: true
+}
+
+func ExamplePerRecordCost() {
+	// Equation 7 for the no-phantom configuration of three queries with
+	// 1000 groups each, 500 buckets each: 3 probes plus 3 leaf-eviction
+	// terms of x·c2.
+	queries := []magg.Relation{
+		magg.MustRelation("A"), magg.MustRelation("B"), magg.MustRelation("C"),
+	}
+	cfg, _ := magg.ParseConfig("A B C", queries)
+	groups := magg.GroupCounts{}
+	alloc := magg.Alloc{}
+	for _, q := range queries {
+		groups[q] = 1000
+		alloc[q] = 500
+	}
+	cost, _ := magg.PerRecordCost(cfg, groups, alloc, magg.DefaultParams())
+	fmt.Printf("%.0f weighted operations per record\n", cost)
+	// Output: 88 weighted operations per record
+}

@@ -1,0 +1,104 @@
+// Line rate: why the optimization matters. An LFTA with bounded
+// processing capacity (weighted operations per second) drops whatever it
+// cannot afford — the paper's Section 3.3 motivation. This example runs
+// the same queries through the GCSL plan and the no-phantom plan at
+// several capacities and reports drop rates, then shows the multi-LFTA
+// deployment (one shard per core, as Gigascope runs one LFTA per
+// interface) absorbing the same load in parallel.
+//
+//	go run ./examples/line-rate
+package main
+
+import (
+	"fmt"
+	"log"
+
+	magg "repro"
+)
+
+func main() {
+	schema := magg.MustSchema(4)
+	universe, err := magg.NewNestedUniverse(3, schema, []int{552, 1846, 2117, 2837}, 1500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	records := magg.GenerateUniform(4, universe, 500000, 50) // 10k records/second
+
+	queries := []magg.Relation{
+		magg.MustRelation("A"), magg.MustRelation("B"),
+		magg.MustRelation("C"), magg.MustRelation("D"),
+	}
+	groups, err := magg.EstimateGroups(records[:50000], queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := magg.DefaultParams()
+	const m = 40000
+
+	gcsl, err := magg.Plan(queries, groups, m, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	graph, err := magg.NewFeedingGraph(queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	noPhCfg, err := magg.ParseConfig("A B C D", queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	noPhAlloc, err := magg.Allocate(magg.AllocSL, noPhCfg, groups, m, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_ = graph
+
+	fmt.Printf("GCSL plan:      %s (modeled %.2f ops/record)\n", gcsl.Config, gcsl.Cost)
+	noPhCost, _ := magg.PerRecordCost(noPhCfg, groups, noPhAlloc, p)
+	fmt.Printf("no-phantom:     %s (modeled %.2f ops/record)\n\n", noPhCfg, noPhCost)
+
+	rate := float64(len(records)) / 50 // records per stream second
+
+	fmt.Println("drop rates under bounded LFTA capacity:")
+	fmt.Println("capacity(xrate)   GCSL      no-phantom")
+	for _, mult := range []float64{4, 8, 16, 32} {
+		budget := rate * mult
+		row := fmt.Sprintf("%-17v", mult)
+		for _, plan := range []struct {
+			cfg   *magg.Config
+			alloc magg.Alloc
+		}{{gcsl.Config, gcsl.Alloc}, {noPhCfg, noPhAlloc}} {
+			rt, err := magg.NewLFTA(plan.cfg, plan.alloc, magg.CountStar, 11, nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			paced, err := magg.NewPacedLFTA(rt, p.C1, p.C2, budget)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := paced.Run(magg.NewSliceSource(records), 0); err != nil {
+				log.Fatal(err)
+			}
+			row += fmt.Sprintf("%-10.2f", paced.DropRate()*100)
+		}
+		fmt.Println(row + "  (%)")
+	}
+
+	// Multi-LFTA deployment: 4 shards processing in parallel, exact
+	// results at the shared HFTA.
+	agg, err := magg.NewAggregator(queries, magg.CountStar)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sharded, err := magg.NewShardedLFTA(gcsl.Config, gcsl.Alloc, magg.CountStar, 11, agg.ConcurrentSink(), 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ops, err := sharded.RunParallel(magg.NewSliceSource(records), 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	want := magg.Reference(records, queries, magg.CountStar, 10)
+	fmt.Printf("\n4-shard parallel run: %d records, %.2f ops/record, results exact: %v\n",
+		ops.Records, ops.PerRecordCost(p.C1, p.C2), magg.RowsEqual(agg.AllRows(), want))
+}

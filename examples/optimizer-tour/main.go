@@ -1,0 +1,121 @@
+// Optimizer tour: a walk through the paper's machinery without running a
+// stream — the feeding graph, the collision-rate model, the cost of
+// hand-picked configurations, the space-allocation schemes, and the
+// phantom-choosing algorithms, side by side.
+//
+//	go run ./examples/optimizer-tour
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	magg "repro"
+)
+
+func main() {
+	// The paper's running example: queries {AB, BC, BD, CD} over the
+	// real-trace surrogate.
+	universe, trace, err := magg.PaperTrace(7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	queries := []magg.Relation{
+		magg.MustRelation("AB"), magg.MustRelation("BC"),
+		magg.MustRelation("BD"), magg.MustRelation("CD"),
+	}
+	graph, err := magg.NewFeedingGraph(queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("-- feeding graph (Figure 4) --")
+	fmt.Printf("queries:            %v\n", graph.Queries)
+	fmt.Printf("candidate phantoms: %v\n\n", graph.Phantoms)
+
+	// Group counts measured on the trace.
+	groups, err := magg.EstimateGroups(trace.Records, graph.Relations())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("-- measured group counts --")
+	for _, r := range graph.Relations() {
+		fmt.Printf("g(%v) = %.0f\n", r, groups[r])
+	}
+	fmt.Println()
+
+	fmt.Println("-- collision-rate model (Section 4) --")
+	for _, ratio := range []float64{0.5, 1, 2, 5} {
+		fmt.Printf("g/b = %-4v -> x = %.3f\n", ratio, magg.CollisionRate(ratio*1000, 1000))
+	}
+	fmt.Println()
+
+	// Cost of the three hand-drawn configurations of Figure 3.
+	p := magg.DefaultParams()
+	const m = 40000
+	fmt.Println("-- modeled cost of the Figure 3 configurations (SL allocation, M = 40000) --")
+	for _, notation := range []string{
+		"ABC(AB BC) BD CD",
+		"AB BCD(BC BD CD)",
+		"ABCD(AB BCD(BC BD CD))",
+		"AB BC BD CD", // no phantoms
+	} {
+		cfg, err := magg.ParseConfig(notation, queries)
+		if err != nil {
+			log.Fatal(err)
+		}
+		alloc, err := magg.Allocate(magg.AllocSL, cfg, groups, m, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c, err := magg.PerRecordCost(cfg, groups, alloc, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eu, err := magg.EndOfEpochCost(cfg, groups, alloc, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-26s e_m = %7.4f   E_u = %8.0f\n", notation, c, eu)
+	}
+	fmt.Println()
+
+	// Allocation schemes compared on one configuration.
+	fmt.Println("-- space allocation schemes on ABCD(AB BCD(BC BD CD)) (Section 5) --")
+	cfg, err := magg.ParseConfig("ABCD(AB BCD(BC BD CD))", queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range []magg.AllocScheme{magg.AllocSL, magg.AllocSR, magg.AllocPL, magg.AllocPR, magg.AllocES} {
+		alloc, err := magg.Allocate(s, cfg, groups, m, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c, err := magg.PerRecordCost(cfg, groups, alloc, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-3s e_m = %.4f\n", s, c)
+	}
+	fmt.Println()
+
+	// Phantom choosing: GCSL vs the exhaustive optimum.
+	fmt.Println("-- phantom choosing (Section 6.3) --")
+	start := time.Now()
+	plan, err := magg.Plan(queries, groups, m, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gcslTime := time.Since(start)
+	start = time.Now()
+	opt, err := magg.PlanOptimal(queries, groups, m, p, 50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	epesTime := time.Since(start)
+	fmt.Printf("GCSL: %-30s cost %.4f  (planned in %v)\n", plan.Config, plan.Cost, gcslTime.Round(time.Microsecond))
+	fmt.Printf("EPES: %-30s cost %.4f  (planned in %v)\n", opt.Config, opt.Cost, epesTime.Round(time.Millisecond))
+	fmt.Printf("GCSL is within %.1f%% of the exhaustive optimum\n", (plan.Cost/opt.Cost-1)*100)
+	_ = universe
+}

@@ -1,0 +1,37 @@
+package attr_test
+
+import (
+	"fmt"
+
+	"repro/internal/attr"
+)
+
+func ExampleParseSet() {
+	rel, _ := attr.ParseSet("dba") // order-insensitive
+	fmt.Println(rel)
+	// Output: ABD
+}
+
+func ExampleSet_Union() {
+	ab := attr.MustParseSet("AB")
+	bc := attr.MustParseSet("BC")
+	// The union of two queries is the minimal phantom able to feed both.
+	fmt.Println(ab.Union(bc))
+	// Output: ABC
+}
+
+func ExampleSet_CanFeed() {
+	abc := attr.MustParseSet("ABC")
+	fmt.Println(abc.CanFeed(attr.MustParseSet("AB")))
+	fmt.Println(abc.CanFeed(attr.MustParseSet("CD")))
+	// Output:
+	// true
+	// false
+}
+
+func ExampleSet_Project() {
+	rel := attr.MustParseSet("AC")
+	tuple := []uint32{10, 20, 30, 40} // A, B, C, D
+	fmt.Println(rel.Project(tuple, nil))
+	// Output: [10 30]
+}

@@ -1,0 +1,343 @@
+// Package choose implements the paper's phantom-choosing algorithms
+// (Sections 3.4 and 6.3): which candidate phantoms of the feeding graph to
+// instantiate in the LFTA.
+//
+//   - GS ("greedy by increasing space", Section 3.4.1): every instantiated
+//     relation receives φ·g buckets; phantoms are added greedily by benefit
+//     per unit of space until space or benefit runs out, and leftover space
+//     is spread proportionally to group counts. φ must be tuned; the paper
+//     shows a knee in its cost curve (Figure 11).
+//   - GC ("greedy by increasing collision rates", Section 3.4.2): the whole
+//     budget M is always allocated to the current configuration by a
+//     space-allocation scheme; adding a phantom raises everyone's collision
+//     rate, and phantoms are added while the modeled benefit stays
+//     positive. GC with the SL scheme is the paper's GCSL; with PL, GCPL.
+//   - EPES (Section 6.3): exhaustive search over phantom subsets with
+//     exhaustive (ES) space allocation for each — the optimum the greedy
+//     algorithms are compared against.
+package choose
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/attr"
+	"repro/internal/cost"
+	"repro/internal/feedgraph"
+	"repro/internal/spacealloc"
+)
+
+// Step records one state of the phantom-choosing process, feeding
+// Figure 12's cost-vs-phantoms trace.
+type Step struct {
+	Added   attr.Set // phantom added at this step (0 for the initial state)
+	Cost    float64  // modeled per-record cost after the step
+	Benefit float64  // cost improvement over the previous step
+}
+
+// Result is a chosen configuration with its allocation and modeled cost.
+type Result struct {
+	Config *feedgraph.Config
+	Alloc  cost.Alloc
+	Cost   float64
+	Trace  []Step
+}
+
+// NoPhantom instantiates only the queries, allocating M by the scheme; the
+// baseline the paper compares against in Figures 13(b) and 14(b).
+func NoPhantom(g *feedgraph.Graph, groups feedgraph.GroupCounts, m int, p cost.Params, scheme spacealloc.Scheme) (*Result, error) {
+	cfg, err := feedgraph.NewConfig(g.Queries, nil)
+	if err != nil {
+		return nil, err
+	}
+	alloc, err := spacealloc.Allocate(scheme, cfg, groups, m, p)
+	if err != nil {
+		return nil, err
+	}
+	c, err := cost.PerRecord(cfg, groups, alloc, p)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Config: cfg, Alloc: alloc, Cost: c, Trace: []Step{{Cost: c}}}, nil
+}
+
+// GC is the paper's greedy-by-increasing-collision-rates algorithm:
+// starting from the query-only configuration with the full budget
+// allocated by the scheme, it repeatedly adds the candidate phantom with
+// the largest positive modeled benefit, reallocating the full budget each
+// time, and stops when no phantom helps.
+func GC(g *feedgraph.Graph, groups feedgraph.GroupCounts, m int, p cost.Params, scheme spacealloc.Scheme) (*Result, error) {
+	cur, err := NoPhantom(g, groups, m, p, scheme)
+	if err != nil {
+		return nil, err
+	}
+	chosen := []attr.Set{}
+	for {
+		type cand struct {
+			rel   attr.Set
+			cfg   *feedgraph.Config
+			alloc cost.Alloc
+			cost  float64
+		}
+		var best *cand
+		for _, ph := range g.Phantoms {
+			if cur.Config.Has(ph) {
+				continue
+			}
+			cfg, err := feedgraph.NewConfig(g.Queries, append(append([]attr.Set(nil), chosen...), ph))
+			if err != nil {
+				return nil, err
+			}
+			alloc, err := spacealloc.Allocate(scheme, cfg, groups, m, p)
+			if err != nil {
+				continue // budget cannot accommodate this phantom
+			}
+			c, err := cost.PerRecord(cfg, groups, alloc, p)
+			if err != nil {
+				return nil, err
+			}
+			if best == nil || c < best.cost {
+				best = &cand{rel: ph, cfg: cfg, alloc: alloc, cost: c}
+			}
+		}
+		if best == nil || best.cost >= cur.Cost {
+			break
+		}
+		chosen = append(chosen, best.rel)
+		cur.Trace = append(cur.Trace, Step{Added: best.rel, Cost: best.cost, Benefit: cur.Cost - best.cost})
+		cur.Config, cur.Alloc, cur.Cost = best.cfg, best.alloc, best.cost
+	}
+	// Later additions can re-parent the tree so that an earlier phantom
+	// ends up feeding a single relation; such phantoms are never
+	// beneficial (Section 2.6), so drop them and reallocate.
+	if pruned := prune(g.Queries, chosen); len(pruned) != len(chosen) {
+		cfg, err := feedgraph.NewConfig(g.Queries, pruned)
+		if err != nil {
+			return nil, err
+		}
+		alloc, err := spacealloc.Allocate(scheme, cfg, groups, m, p)
+		if err != nil {
+			return nil, err
+		}
+		c, err := cost.PerRecord(cfg, groups, alloc, p)
+		if err != nil {
+			return nil, err
+		}
+		cur.Config, cur.Alloc, cur.Cost = cfg, alloc, c
+		cur.Trace = append(cur.Trace, Step{Cost: c, Benefit: cur.Trace[len(cur.Trace)-1].Cost - c})
+	}
+	return cur, nil
+}
+
+// prune removes phantoms that feed fewer than two relations in the
+// configuration induced by (queries, chosen), repeating until none remain.
+func prune(queries, chosen []attr.Set) []attr.Set {
+	cur := append([]attr.Set(nil), chosen...)
+	for {
+		cfg, err := feedgraph.NewConfig(queries, cur)
+		if err != nil {
+			return cur
+		}
+		useless := cfg.UselessPhantoms()
+		if len(useless) == 0 {
+			return cur
+		}
+		drop := make(map[attr.Set]bool, len(useless))
+		for _, u := range useless {
+			drop[u] = true
+		}
+		var next []attr.Set
+		for _, c := range cur {
+			if !drop[c] {
+				next = append(next, c)
+			}
+		}
+		cur = next
+	}
+}
+
+// GCSL runs GC with the SL space-allocation scheme, the paper's headline
+// algorithm.
+func GCSL(g *feedgraph.Graph, groups feedgraph.GroupCounts, m int, p cost.Params) (*Result, error) {
+	return GC(g, groups, m, p, spacealloc.SL)
+}
+
+// GS is the paper's greedy-by-increasing-space algorithm, adapted from the
+// view-materialization greedy. Every instantiated relation is sized at
+// φ·g buckets; candidates are ranked by benefit per unit of space; after
+// the greedy loop the remaining budget is spread over the instantiated
+// relations proportionally to their group counts.
+func GS(g *feedgraph.Graph, groups feedgraph.GroupCounts, m int, p cost.Params, phi float64) (*Result, error) {
+	if phi <= 0 {
+		return nil, fmt.Errorf("choose: phi must be positive, got %v", phi)
+	}
+	buckets := func(r attr.Set) (int, error) {
+		gr, err := groups.Get(r)
+		if err != nil {
+			return 0, err
+		}
+		b := int(math.Ceil(phi * gr))
+		if b < 1 {
+			b = 1
+		}
+		return b, nil
+	}
+	space := func(r attr.Set, b int) int { return b * feedgraph.EntrySize(r) }
+
+	// Queries first.
+	alloc := cost.Alloc{}
+	used := 0
+	for _, q := range g.Queries {
+		b, err := buckets(q)
+		if err != nil {
+			return nil, err
+		}
+		alloc[q] = b
+		used += space(q, b)
+	}
+	if used > m {
+		// The paper assumes the queries fit at φ·g; when they do not,
+		// scale them down proportionally so the algorithm remains total.
+		scale := float64(m) / float64(used)
+		used = 0
+		for _, q := range g.Queries {
+			nb := int(float64(alloc[q]) * scale)
+			if nb < 1 {
+				nb = 1
+			}
+			alloc[q] = nb
+			used += space(q, nb)
+		}
+	}
+	cfg, err := feedgraph.NewConfig(g.Queries, nil)
+	if err != nil {
+		return nil, err
+	}
+	curCost, err := cost.PerRecord(cfg, groups, alloc, p)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Config: cfg, Alloc: alloc, Cost: curCost, Trace: []Step{{Cost: curCost}}}
+	var chosen []attr.Set
+	for {
+		type cand struct {
+			rel          attr.Set
+			cfg          *feedgraph.Config
+			alloc        cost.Alloc
+			cost         float64
+			perUnitSpace float64
+		}
+		var best *cand
+		for _, ph := range g.Phantoms {
+			if res.Config.Has(ph) {
+				continue
+			}
+			b, err := buckets(ph)
+			if err != nil {
+				return nil, err
+			}
+			s := space(ph, b)
+			if used+s > m {
+				continue
+			}
+			cfg2, err := feedgraph.NewConfig(g.Queries, append(append([]attr.Set(nil), chosen...), ph))
+			if err != nil {
+				return nil, err
+			}
+			alloc2 := res.Alloc.Clone()
+			alloc2[ph] = b
+			c, err := cost.PerRecord(cfg2, groups, alloc2, p)
+			if err != nil {
+				return nil, err
+			}
+			benefit := res.Cost - c
+			if benefit <= 0 {
+				continue
+			}
+			pus := benefit / float64(s)
+			if best == nil || pus > best.perUnitSpace {
+				best = &cand{rel: ph, cfg: cfg2, alloc: alloc2, cost: c, perUnitSpace: pus}
+			}
+		}
+		if best == nil {
+			break
+		}
+		chosen = append(chosen, best.rel)
+		used += space(best.rel, best.alloc[best.rel])
+		res.Trace = append(res.Trace, Step{Added: best.rel, Cost: best.cost, Benefit: res.Cost - best.cost})
+		res.Config, res.Alloc, res.Cost = best.cfg, best.alloc, best.cost
+	}
+
+	// Drop phantoms that later additions demoted to feeding a single
+	// relation (never beneficial, Section 2.6); their space rejoins the
+	// leftover pool.
+	if pruned := prune(g.Queries, chosen); len(pruned) != len(chosen) {
+		cfg2, err := feedgraph.NewConfig(g.Queries, pruned)
+		if err != nil {
+			return nil, err
+		}
+		alloc2 := cost.Alloc{}
+		used = 0
+		for _, r := range cfg2.Rels {
+			alloc2[r] = res.Alloc[r]
+			used += space(r, alloc2[r])
+		}
+		c, err := cost.PerRecord(cfg2, groups, alloc2, p)
+		if err != nil {
+			return nil, err
+		}
+		res.Config, res.Alloc, res.Cost = cfg2, alloc2, c
+	}
+
+	// Distribute the leftover space proportionally to group counts.
+	if left := m - used; left > 0 {
+		totalG := 0.0
+		for _, r := range res.Config.Rels {
+			totalG += groups[r]
+		}
+		alloc2 := res.Alloc.Clone()
+		for _, r := range res.Config.Rels {
+			share := groups[r] / totalG * float64(left)
+			alloc2[r] += int(share) / feedgraph.EntrySize(r)
+		}
+		c, err := cost.PerRecord(res.Config, groups, alloc2, p)
+		if err != nil {
+			return nil, err
+		}
+		res.Alloc, res.Cost = alloc2, c
+	}
+	return res, nil
+}
+
+// EPES exhaustively searches configurations (all subsets of candidate
+// phantoms) with ES space allocation at the given granularity, returning
+// the configuration with minimum modeled cost. Exponential in the number
+// of candidate phantoms; it is the paper's optimum reference, not a
+// production algorithm.
+func EPES(g *feedgraph.Graph, groups feedgraph.GroupCounts, m int, p cost.Params, steps int) (*Result, error) {
+	if steps <= 0 {
+		steps = spacealloc.DefaultGranularity
+	}
+	var best *Result
+	err := g.EnumerateConfigs(func(cfg *feedgraph.Config) bool {
+		alloc, err := spacealloc.Exhaustive(cfg, groups, m, p, steps)
+		if err != nil {
+			return true // this configuration does not fit; skip
+		}
+		c, err := cost.PerRecord(cfg, groups, alloc, p)
+		if err != nil {
+			return true
+		}
+		if best == nil || c < best.Cost {
+			best = &Result{Config: cfg, Alloc: alloc, Cost: c}
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if best == nil {
+		return nil, fmt.Errorf("choose: no feasible configuration for budget %d", m)
+	}
+	return best, nil
+}

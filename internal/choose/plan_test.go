@@ -1,0 +1,75 @@
+package choose
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cost"
+)
+
+func TestPlanRoundTrip(t *testing.T) {
+	g, gc := pairWorkload(t)
+	res, err := GCSL(g, gc, 40000, cost.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodePlan(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"configuration", "allocation", "modeled_cost"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("encoded plan lacks %q", want)
+		}
+	}
+	back, err := DecodePlan(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Config.String() != res.Config.String() {
+		t.Errorf("configuration changed: %q -> %q", res.Config, back.Config)
+	}
+	if len(back.Alloc) != len(res.Alloc) {
+		t.Errorf("allocation size changed: %d -> %d", len(res.Alloc), len(back.Alloc))
+	}
+	for rel, b := range res.Alloc {
+		if back.Alloc[rel] != b {
+			t.Errorf("allocation for %v changed: %d -> %d", rel, b, back.Alloc[rel])
+		}
+	}
+	if back.Cost != res.Cost {
+		t.Errorf("cost changed: %v -> %v", res.Cost, back.Cost)
+	}
+	// Query classification survives.
+	for _, q := range res.Config.Queries {
+		if !back.Config.IsQuery(q) {
+			t.Errorf("%v lost its query flag", q)
+		}
+	}
+}
+
+func TestEncodePlanNil(t *testing.T) {
+	if _, err := EncodePlan(nil); err == nil {
+		t.Error("nil plan accepted")
+	}
+	if _, err := EncodePlan(&Result{}); err == nil {
+		t.Error("plan without config accepted")
+	}
+}
+
+func TestDecodePlanErrors(t *testing.T) {
+	for name, data := range map[string]string{
+		"garbage":            "{not json",
+		"no queries":         `{"configuration":"A","queries":[],"allocation":{"A":5}}`,
+		"bad query":          `{"configuration":"A","queries":["A1"],"allocation":{"A":5}}`,
+		"bad notation":       `{"configuration":"A(","queries":["A"],"allocation":{"A":5}}`,
+		"missing allocation": `{"configuration":"AB(A B)","queries":["A","B"],"allocation":{"A":5,"B":5}}`,
+		"zero buckets":       `{"configuration":"A","queries":["A"],"allocation":{"A":0}}`,
+		"extra allocation":   `{"configuration":"A","queries":["A"],"allocation":{"A":5,"ZZ":5}}`,
+		"bad alloc relation": `{"configuration":"A","queries":["A"],"allocation":{"A!":5}}`,
+	} {
+		if _, err := DecodePlan([]byte(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package collision_test
+
+import (
+	"fmt"
+
+	"repro/internal/collision"
+)
+
+func ExamplePrecise() {
+	// At g = b the precise model gives ≈ 1/e, which is why the paper
+	// suggests φ = 1 "corresponds to a collision rate of about 0.37".
+	fmt.Printf("%.3f\n", collision.Precise(1000, 1000))
+	fmt.Printf("%.3f\n", collision.Rough(1000, 1000))
+	// Output:
+	// 0.368
+	// 0.000
+}
+
+func ExampleClustered() {
+	// Equation 15: flows of average length 10 divide the rate by 10.
+	x := collision.Precise(2000, 1000)
+	fmt.Printf("%.3f -> %.4f\n", x, collision.Clustered(x, 10))
+	// Output: 0.568 -> 0.0568
+}
+
+func ExampleLinearLow() {
+	// Equation 16's published linear law for the low-rate region.
+	fmt.Printf("%.4f\n", collision.LinearLow(0.5))
+	// Output: 0.2037
+}

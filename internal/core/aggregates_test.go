@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/hfta"
+	"repro/internal/lfta"
+	"repro/internal/stream"
+)
+
+// TestEngineAllAggregates runs count/sum/min/max/avg through the full
+// pipeline and validates against a direct computation, including the avg
+// division via OutputRow.
+func TestEngineAllAggregates(t *testing.T) {
+	recs, _ := testWorkload(t, 20000)
+	sqls := []string{
+		"select A, count(*) as cnt, sum(B) as total, min(B) as lo, max(B) as hi, avg(B) as mean from R group by A, time/10",
+		"select C, count(*) as cnt, sum(B) as total, min(B) as lo, max(B) as hi, avg(B) as mean from R group by C, time/10",
+	}
+	qs := []attr.Set{attr.MustParseSet("A"), attr.MustParseSet("C")}
+	groups, err := EstimateGroups(recs, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(sqls, groups, Options{M: 10000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(stream.NewSliceSource(recs)); err != nil {
+		t.Fatal(err)
+	}
+	// Reference with the same physical slots the engine planned (avg is
+	// the sum slot at index 4; count at 0 doubles as its denominator).
+	specs := e.specs
+	aggs := specs[0].AggSpecs()
+	want := hfta.Reference(recs, qs, aggs, 10)
+	if !hfta.Equal(e.AllResults(), want) {
+		t.Fatal("results differ from reference")
+	}
+	// Check the derived average on a few rows.
+	relA := attr.MustParseSet("A")
+	spec := e.specByRel[relA]
+	rows, err := e.Results(relA, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows[:min(5, len(rows))] {
+		out := spec.OutputRow(r.Aggs)
+		cols := spec.OutputColumns()
+		if len(out) != len(cols) || len(cols) != 5 {
+			t.Fatalf("output shape %d vs columns %v", len(out), cols)
+		}
+		cnt, total, lo, hi, mean := out[0], out[1], out[2], out[3], out[4]
+		if cnt <= 0 || lo > hi {
+			t.Errorf("row %v: implausible aggregates %v", r.Key, out)
+		}
+		if math.Abs(mean-total/cnt) > 1e-9 {
+			t.Errorf("row %v: avg %v != sum/count %v", r.Key, mean, total/cnt)
+		}
+		if mean < lo-1e-9 || mean > hi+1e-9 {
+			t.Errorf("row %v: avg %v outside [min %v, max %v]", r.Key, mean, lo, hi)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestEngineWithOrderedSource: a slightly out-of-order stream, fixed by
+// the reorder window, still yields exact results over the reordered
+// records.
+func TestEngineWithOrderedSource(t *testing.T) {
+	recs, _ := testWorkload(t, 20000)
+	// Shuffle timestamps slightly: swap adjacent pairs.
+	perturbed := append([]stream.Record(nil), recs...)
+	for i := 0; i+1 < len(perturbed); i += 2 {
+		perturbed[i], perturbed[i+1] = perturbed[i+1], perturbed[i]
+	}
+	qs := []attr.Set{attr.MustParseSet("AB"), attr.MustParseSet("CD")}
+	sqls := []string{
+		"select A, B, count(*) as cnt from R group by A, B, time/10",
+		"select C, D, count(*) as cnt from R group by C, D, time/10",
+	}
+	groups, err := EstimateGroups(recs, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(sqls, groups, Options{M: 8000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ordered := stream.NewOrderedSource(stream.NewSliceSource(perturbed), 3)
+	if err := e.Run(ordered); err != nil {
+		t.Fatal(err)
+	}
+	if ordered.Late() != 0 {
+		t.Fatalf("%d records dropped despite sufficient slack", ordered.Late())
+	}
+	want := hfta.Reference(recs, qs, lfta.CountStar, 10)
+	if !hfta.Equal(e.AllResults(), want) {
+		t.Error("results over reordered stream differ from reference")
+	}
+}

@@ -1,0 +1,591 @@
+// Package core is the paper's system put together: a two-level
+// multiple-aggregation engine that plans an LFTA configuration (which
+// phantoms to instantiate, how to split the memory budget) for a set of
+// group-by queries, executes the stream through it, merges exact answers
+// at the HFTA, and optionally re-plans adaptively as the stream's group
+// counts and clusteredness drift.
+//
+// The planning default is the paper's best algorithm, GCSL (greedy by
+// increasing collision rates with supernode-linear space allocation),
+// under the peak-load constraint of Section 3.3 when one is configured.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/attr"
+	"repro/internal/choose"
+	"repro/internal/cost"
+	"repro/internal/feedgraph"
+	"repro/internal/gen"
+	"repro/internal/hfta"
+	"repro/internal/lfta"
+	"repro/internal/query"
+	"repro/internal/sketch"
+	"repro/internal/spacealloc"
+	"repro/internal/stream"
+)
+
+// Planner chooses a configuration and allocation for a query workload.
+type Planner func(g *feedgraph.Graph, groups feedgraph.GroupCounts, m int, p cost.Params) (*choose.Result, error)
+
+// GCSLPlanner is the paper's recommended planner.
+func GCSLPlanner(g *feedgraph.Graph, groups feedgraph.GroupCounts, m int, p cost.Params) (*choose.Result, error) {
+	return choose.GCSL(g, groups, m, p)
+}
+
+// GSPlanner returns a Planner running GS with the given φ.
+func GSPlanner(phi float64) Planner {
+	return func(g *feedgraph.Graph, groups feedgraph.GroupCounts, m int, p cost.Params) (*choose.Result, error) {
+		return choose.GS(g, groups, m, p, phi)
+	}
+}
+
+// NoPhantomPlanner instantiates only the queries (SL allocation).
+func NoPhantomPlanner(g *feedgraph.Graph, groups feedgraph.GroupCounts, m int, p cost.Params) (*choose.Result, error) {
+	return choose.NoPhantom(g, groups, m, p, spacealloc.SL)
+}
+
+// PeakMethod selects the repair applied when the end-of-epoch cost
+// exceeds the peak-load constraint.
+type PeakMethod string
+
+// Peak-load repair methods (Section 6.3.4).
+const (
+	PeakShrink PeakMethod = "shrink"
+	PeakShift  PeakMethod = "shift"
+)
+
+// AdaptOptions control adaptive re-planning (the paper's Section 8
+// direction: configuration choice is fast enough to re-run online).
+type AdaptOptions struct {
+	Enabled        bool
+	EveryEpochs    int     // re-plan cadence in epochs (default 1)
+	MinImprovement float64 // fractional modeled-cost gain required to switch (default 0.05)
+
+	// TrackPhantoms maintains a HyperLogLog distinct counter per
+	// candidate phantom, so re-planning uses measured group counts for
+	// relations that have no hash table (instead of scaling stale
+	// estimates by the queries' drift). Costs one hash per candidate per
+	// record plus 4 KB per candidate at the default precision.
+	TrackPhantoms   bool
+	SketchPrecision uint8 // 0 = sketch.DefaultPrecision
+}
+
+// ResultHandler receives each query's finalized rows (HAVING applied)
+// when an epoch closes. When a handler is installed the engine releases
+// the epoch's HFTA state immediately afterwards, so memory stays bounded
+// regardless of stream length; without one, results accumulate for later
+// retrieval via Results/AllResults.
+type ResultHandler func(rel attr.Set, epoch uint32, rows []hfta.Row)
+
+// Options configure an Engine.
+type Options struct {
+	M       int          // LFTA memory budget in 4-byte units
+	Params  cost.Params  // zero value = cost.DefaultParams()
+	Planner Planner      // nil = GCSLPlanner
+	Seed    uint64       // hash seeds for the LFTA tables
+	PeakEu  float64      // peak-load constraint E_p on E_u; 0 = none
+	PeakFix PeakMethod   // repair method when PeakEu is set
+	Adapt   AdaptOptions // adaptive re-planning
+
+	// OnResults streams finalized epochs out of the engine and bounds
+	// its memory; see ResultHandler.
+	OnResults ResultHandler
+}
+
+// Stats summarize an engine's execution.
+type Stats struct {
+	Ops         lfta.Ops
+	ModeledCost float64 // per-record modeled cost of the active plan
+	Replans     int     // adaptive re-plans adopted
+	Epochs      int     // epochs completed
+}
+
+// Engine is the assembled two-level system.
+type Engine struct {
+	specs    []*query.Spec
+	queries  []attr.Set
+	epochLen uint32
+	aggs     []lfta.AggSpec
+
+	graph  *feedgraph.Graph
+	groups feedgraph.GroupCounts
+	opts   Options
+
+	plan  *choose.Result
+	rt    *lfta.Runtime
+	agg   *hfta.Aggregator
+	clock *stream.Clock
+
+	totalOps lfta.Ops // ops accumulated across re-plans
+	stats    Stats
+
+	specByRel map[attr.Set]*query.Spec
+
+	// Online group-count sketches for candidate phantoms (adaptive mode
+	// with TrackPhantoms), reset every epoch.
+	sketches  map[attr.Set]*sketch.HLL
+	sketchBuf []uint32
+}
+
+// New builds an engine from GSQL query texts (see package query for the
+// dialect). The queries must differ only in grouping attributes. groups
+// supplies g_R for every relation of the feeding graph — use
+// EstimateGroups to measure it from a stream sample.
+func New(sqls []string, groups feedgraph.GroupCounts, opts Options) (*Engine, error) {
+	specs, err := query.ParseSet(sqls)
+	if err != nil {
+		return nil, err
+	}
+	return NewFromSpecs(specs, groups, opts)
+}
+
+// NewFromSample builds an engine whose group-count estimates are measured
+// from a warm-up sample of the stream — the usual deployment flow.
+func NewFromSample(sqls []string, sample []stream.Record, opts Options) (*Engine, error) {
+	specs, err := query.ParseSet(sqls)
+	if err != nil {
+		return nil, err
+	}
+	queries := make([]attr.Set, len(specs))
+	for i, s := range specs {
+		queries[i] = s.GroupBy
+	}
+	groups, err := EstimateGroups(sample, queries)
+	if err != nil {
+		return nil, err
+	}
+	return NewFromSpecs(specs, groups, opts)
+}
+
+// NewFromSpecs builds an engine from parsed queries.
+func NewFromSpecs(specs []*query.Spec, groups feedgraph.GroupCounts, opts Options) (*Engine, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("core: no queries")
+	}
+	if opts.M <= 0 {
+		return nil, fmt.Errorf("core: memory budget M must be positive, got %d", opts.M)
+	}
+	if opts.Params.C1 == 0 && opts.Params.C2 == 0 {
+		opts.Params = cost.DefaultParams()
+	}
+	if err := opts.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Planner == nil {
+		opts.Planner = GCSLPlanner
+	}
+	if opts.PeakEu > 0 && opts.PeakFix == "" {
+		opts.PeakFix = PeakShift
+	}
+	if opts.Adapt.Enabled {
+		if opts.Adapt.EveryEpochs <= 0 {
+			opts.Adapt.EveryEpochs = 1
+		}
+		if opts.Adapt.MinImprovement <= 0 {
+			opts.Adapt.MinImprovement = 0.05
+		}
+	}
+
+	e := &Engine{
+		specs:     specs,
+		epochLen:  specs[0].EpochLen,
+		aggs:      specs[0].AggSpecs(),
+		groups:    groups,
+		opts:      opts,
+		specByRel: make(map[attr.Set]*query.Spec, len(specs)),
+	}
+	for _, s := range specs {
+		e.queries = append(e.queries, s.GroupBy)
+		if prev, dup := e.specByRel[s.GroupBy]; dup {
+			return nil, fmt.Errorf("core: queries %q and %q share grouping %v", prev, s, s.GroupBy)
+		}
+		e.specByRel[s.GroupBy] = s
+	}
+	g, err := feedgraph.New(e.queries)
+	if err != nil {
+		return nil, err
+	}
+	e.graph = g
+	for _, r := range g.Relations() {
+		if _, err := groups.Get(r); err != nil {
+			return nil, fmt.Errorf("core: %v (run EstimateGroups over a sample first)", err)
+		}
+	}
+	if err := e.replan(); err != nil {
+		return nil, err
+	}
+	if opts.Adapt.Enabled && opts.Adapt.TrackPhantoms {
+		prec := opts.Adapt.SketchPrecision
+		if prec == 0 {
+			prec = sketch.DefaultPrecision
+		}
+		e.sketches = make(map[attr.Set]*sketch.HLL, len(g.Phantoms))
+		for _, ph := range g.Phantoms {
+			h, err := sketch.New(prec)
+			if err != nil {
+				return nil, err
+			}
+			e.sketches[ph] = h
+		}
+	}
+	e.clock = stream.NewClock(e.epochLen)
+	return e, nil
+}
+
+// planCandidate runs the planner for the current group counts and applies
+// the peak-load repair, without touching the running state.
+func (e *Engine) planCandidate() (*choose.Result, error) {
+	res, err := e.opts.Planner(e.graph, e.groups, e.opts.M, e.opts.Params)
+	if err != nil {
+		return nil, err
+	}
+	if e.opts.PeakEu > 0 {
+		var fixed cost.Alloc
+		switch e.opts.PeakFix {
+		case PeakShift:
+			fixed, err = spacealloc.Shift(res.Config, e.groups, res.Alloc, e.opts.Params, e.opts.PeakEu)
+		case PeakShrink:
+			fixed, err = spacealloc.Shrink(res.Config, e.groups, res.Alloc, e.opts.Params, e.opts.PeakEu)
+		default:
+			return nil, fmt.Errorf("core: unknown peak-load method %q", e.opts.PeakFix)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: peak-load repair: %v", err)
+		}
+		res.Alloc = fixed
+		if res.Cost, err = cost.PerRecord(res.Config, e.groups, fixed, e.opts.Params); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// adopt swaps in a fresh runtime executing the plan. Must only run at
+// epoch boundaries (tables empty). HFTA state survives the swap.
+func (e *Engine) adopt(res *choose.Result) error {
+	if e.agg == nil {
+		agg, err := hfta.New(e.queries, e.aggs)
+		if err != nil {
+			return err
+		}
+		e.agg = agg
+	}
+	rt, err := lfta.New(res.Config, res.Alloc, e.aggs, e.opts.Seed, e.agg.Sink())
+	if err != nil {
+		return err
+	}
+	if e.rt != nil {
+		ops := e.rt.Ops()
+		e.totalOps.Probes += ops.Probes
+		e.totalOps.Transfers += ops.Transfers
+		e.totalOps.Records += ops.Records
+	}
+	e.plan, e.rt = res, rt
+	e.stats.ModeledCost = res.Cost
+	return nil
+}
+
+// replan plans and adopts unconditionally (initial setup).
+func (e *Engine) replan() error {
+	res, err := e.planCandidate()
+	if err != nil {
+		return err
+	}
+	return e.adopt(res)
+}
+
+// Plan exposes the active configuration, allocation and modeled cost.
+func (e *Engine) Plan() *choose.Result { return e.plan }
+
+// Graph exposes the feeding graph of the workload.
+func (e *Engine) Graph() *feedgraph.Graph { return e.graph }
+
+// Groups returns the group-count table the engine currently plans with.
+func (e *Engine) Groups() feedgraph.GroupCounts { return e.groups }
+
+// Process feeds one record. Epoch boundaries (per the queries' time
+// bucket) trigger the end-of-epoch flush and, if enabled, adaptive
+// re-planning.
+func (e *Engine) Process(rec stream.Record) error {
+	if !e.specs[0].MatchWhere(rec.Attrs) {
+		return nil // filtered out before any hash-table work (the F of FTA)
+	}
+	epoch, rolled := e.clock.Advance(rec.Time)
+	if rolled {
+		if err := e.endEpoch(); err != nil {
+			return err
+		}
+	}
+	e.rt.Process(rec, epoch)
+	for rel, h := range e.sketches {
+		e.sketchBuf = rel.Project(rec.Attrs, e.sketchBuf)
+		h.AddKey(e.sketchBuf)
+	}
+	return nil
+}
+
+// endEpoch flushes the LFTA, emits finalized results, and runs the
+// adaptive step.
+func (e *Engine) endEpoch() error {
+	prevEpoch := e.rt.Epoch()
+	e.rt.FlushEpoch()
+	e.stats.Epochs++
+	e.emitEpoch(prevEpoch)
+	if !e.opts.Adapt.Enabled || e.stats.Epochs%e.opts.Adapt.EveryEpochs != 0 {
+		return nil
+	}
+	if e.opts.OnResults == nil {
+		// With a result handler the estimates were refreshed inside
+		// emitEpoch, before the epoch state was dropped.
+		e.refreshGroupEstimates(prevEpoch)
+	}
+	// Re-evaluate the current plan under the refreshed estimates so the
+	// comparison is apples to apples.
+	curCost, err := cost.PerRecord(e.plan.Config, e.groups, e.plan.Alloc, e.opts.Params)
+	if err != nil {
+		curCost = e.plan.Cost
+	}
+	candidate, err := e.planCandidate()
+	if err != nil {
+		return err
+	}
+	if candidate.Cost > curCost*(1-e.opts.Adapt.MinImprovement) {
+		e.stats.ModeledCost = curCost
+		return nil // not enough improvement: keep the current runtime
+	}
+	if err := e.adopt(candidate); err != nil {
+		return err
+	}
+	e.stats.Replans++
+	return nil
+}
+
+// refreshGroupEstimates folds the epoch's measured group counts (from the
+// HFTA) and flow lengths (from the LFTA tables) into the planning inputs.
+// Queries are measured exactly; phantom estimates scale by the mean drift
+// of the queries they cover.
+func (e *Engine) refreshGroupEstimates(epoch uint32) {
+	drift := 0.0
+	n := 0
+	for _, q := range e.queries {
+		measured := float64(e.agg.GroupCount(q, epoch))
+		if measured <= 0 {
+			continue
+		}
+		if old := e.groups[q]; old > 0 {
+			drift += measured / old
+			n++
+		}
+		e.groups[q] = measured
+	}
+	switch {
+	case e.sketches != nil:
+		// Measured phantom counts from the per-epoch sketches.
+		for ph, h := range e.sketches {
+			if est := h.Estimate(); est >= 1 {
+				e.groups[ph] = est
+			}
+			h.Reset()
+		}
+		_ = clampMonotone(e.groups, e.graph)
+	case n > 0:
+		// No sketches: scale phantom estimates by the queries' mean drift.
+		meanDrift := drift / float64(n)
+		for _, ph := range e.graph.Phantoms {
+			if old := e.groups[ph]; old > 0 {
+				e.groups[ph] = old * meanDrift
+			}
+		}
+		_ = clampMonotone(e.groups, e.graph)
+	}
+	// Flow lengths measured per raw relation feed the rate model. The
+	// table counters are reset afterwards so the next measurement covers
+	// one epoch, not the whole history.
+	stats := e.rt.TableStats()
+	flow := make(map[attr.Set]float64, len(stats))
+	for rel, st := range stats {
+		flow[rel] = st.AvgFlowLength()
+	}
+	e.rt.ResetTableStats()
+	e.opts.Params.FlowLen = func(rel attr.Set) float64 {
+		if l, ok := flow[rel]; ok {
+			return l
+		}
+		return 1
+	}
+}
+
+// clampMonotone repairs g_R ≤ g_S for R ⊆ S after drift scaling.
+func clampMonotone(groups feedgraph.GroupCounts, g *feedgraph.Graph) error {
+	rels := g.Relations()
+	// Process wider relations last so they absorb the max of their subsets.
+	attr.SortSets(rels)
+	for i := len(rels) - 1; i >= 0; i-- {
+		s := rels[i]
+		for _, r := range rels {
+			if r.ProperSubsetOf(s) && groups[r] > groups[s] {
+				groups[s] = groups[r]
+			}
+		}
+	}
+	return groups.CheckMonotone()
+}
+
+// emitEpoch delivers one closed epoch to the result handler and drops its
+// state. Adaptive group-count refreshes read the epoch's counts before
+// this runs (refreshGroupEstimates is called from endEpoch after emit
+// only when no handler is installed — with a handler, the counts are
+// captured here first).
+func (e *Engine) emitEpoch(epoch uint32) {
+	if e.opts.OnResults == nil {
+		return
+	}
+	if e.opts.Adapt.Enabled {
+		// Capture measured group counts before the state is dropped.
+		e.refreshGroupEstimates(epoch)
+	}
+	for _, q := range e.queries {
+		rows, err := e.Results(q, epoch)
+		if err != nil {
+			continue
+		}
+		e.opts.OnResults(q, epoch, rows)
+	}
+	e.agg.Drop(epoch)
+}
+
+// Finish flushes the final epoch. Call once after the last record.
+func (e *Engine) Finish() error {
+	if e.clock.Started() {
+		epoch := e.rt.Epoch()
+		e.rt.FlushEpoch()
+		e.stats.Epochs++
+		e.emitEpoch(epoch)
+	}
+	return nil
+}
+
+// Run processes an entire source and finishes.
+func (e *Engine) Run(src stream.Source) error {
+	for {
+		rec, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := e.Process(rec); err != nil {
+			return err
+		}
+	}
+	if err := src.Err(); err != nil {
+		return err
+	}
+	return e.Finish()
+}
+
+// Results returns the finalized rows of one query for an epoch, with the
+// query's HAVING clause applied.
+func (e *Engine) Results(rel attr.Set, epoch uint32) ([]hfta.Row, error) {
+	spec, ok := e.specByRel[rel]
+	if !ok {
+		return nil, fmt.Errorf("core: %v is not a registered query", rel)
+	}
+	rows := e.agg.Rows(rel, epoch)
+	out := rows[:0:0]
+	for _, r := range rows {
+		if spec.MatchHaving(r.Aggs) {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// AllResults returns every finalized row across queries and epochs with
+// HAVING applied.
+func (e *Engine) AllResults() []hfta.Row {
+	var out []hfta.Row
+	for _, r := range e.agg.AllRows() {
+		if spec := e.specByRel[r.Rel]; spec == nil || spec.MatchHaving(r.Aggs) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Epochs lists the epochs with results for a query.
+func (e *Engine) Epochs(rel attr.Set) []uint32 { return e.agg.Epochs(rel) }
+
+// Ops returns cumulative LFTA operation counts, across re-plans.
+func (e *Engine) Ops() lfta.Ops {
+	ops := e.rt.Ops()
+	return lfta.Ops{
+		Probes:    e.totalOps.Probes + ops.Probes,
+		Transfers: e.totalOps.Transfers + ops.Transfers,
+		Records:   e.totalOps.Records + ops.Records,
+	}
+}
+
+// Stats returns execution statistics.
+func (e *Engine) Stats() Stats {
+	s := e.stats
+	s.Ops = e.Ops()
+	return s
+}
+
+// TableDiagnostic compares one LFTA table's modeled and measured
+// behaviour — the operator's view of how well the planner's assumptions
+// hold on the live stream.
+type TableDiagnostic struct {
+	Rel          attr.Set
+	IsQuery      bool
+	IsRaw        bool
+	Buckets      int
+	Groups       float64 // planner's g_R
+	ModeledRate  float64 // collision rate the plan assumed
+	MeasuredRate float64 // observed since the last stats reset
+	FlowLength   float64 // observed records per bucket occupancy
+	Probes       uint64
+}
+
+// Diagnostics reports modeled-vs-measured statistics for every
+// instantiated table of the active plan. In adaptive mode the measured
+// window is the current epoch (stats reset at each refresh).
+func (e *Engine) Diagnostics() ([]TableDiagnostic, error) {
+	rates, err := cost.Rates(e.plan.Config, e.groups, e.plan.Alloc, e.opts.Params)
+	if err != nil {
+		return nil, err
+	}
+	stats := e.rt.TableStats()
+	var out []TableDiagnostic
+	for _, r := range e.plan.Config.Rels {
+		st := stats[r]
+		out = append(out, TableDiagnostic{
+			Rel:          r,
+			IsQuery:      e.plan.Config.IsQuery(r),
+			IsRaw:        e.plan.Config.IsRaw(r),
+			Buckets:      e.plan.Alloc[r],
+			Groups:       e.groups[r],
+			ModeledRate:  rates[r],
+			MeasuredRate: st.CollisionRate(),
+			FlowLength:   st.AvgFlowLength(),
+			Probes:       st.Probes,
+		})
+	}
+	return out, nil
+}
+
+// EstimateGroups measures g_R for every relation of the queries' feeding
+// graph from a sample of records — how experiments (and deployments with
+// a warm-up window) obtain the planner's inputs.
+func EstimateGroups(sample []stream.Record, queries []attr.Set) (feedgraph.GroupCounts, error) {
+	g, err := feedgraph.New(queries)
+	if err != nil {
+		return nil, err
+	}
+	out := feedgraph.GroupCounts{}
+	for _, r := range g.Relations() {
+		out[r] = float64(gen.CountGroups(sample, r))
+	}
+	return out, nil
+}

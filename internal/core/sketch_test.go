@@ -1,0 +1,137 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/feedgraph"
+	"repro/internal/gen"
+	"repro/internal/hfta"
+	"repro/internal/lfta"
+	"repro/internal/stream"
+)
+
+// TestAdaptiveSketchTracking: with phantom tracking enabled, the adaptive
+// engine's group-count table converges to the stream's true per-epoch
+// cardinalities for candidate phantoms — even when the initial estimates
+// are wildly wrong — and results stay exact.
+func TestAdaptiveSketchTracking(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	schema := stream.MustSchema(4)
+	u, err := gen.UniformUniverse(rng, schema, 2500, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := gen.Uniform(rng, u, 60000, 60)
+	qs := []attr.Set{
+		attr.MustParseSet("AB"), attr.MustParseSet("BC"),
+		attr.MustParseSet("BD"), attr.MustParseSet("CD"),
+	}
+	// Deliberately wrong seed estimates: everything tiny.
+	groups, err := EstimateGroups(recs[:500], qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(pairSQL, groups, Options{
+		M:    30000,
+		Seed: 3,
+		Adapt: AdaptOptions{
+			Enabled:       true,
+			EveryEpochs:   1,
+			TrackPhantoms: true,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(stream.NewSliceSource(recs)); err != nil {
+		t.Fatal(err)
+	}
+	// Exactness unaffected by tracking.
+	want := hfta.Reference(recs, qs, lfta.CountStar, 10)
+	if !hfta.Equal(e.AllResults(), want) {
+		t.Fatal("results differ from reference with sketch tracking")
+	}
+	// The ABCD phantom estimate should now be near its true per-epoch
+	// cardinality (records per epoch = 10000, universe 2500 → nearly all
+	// groups appear each epoch).
+	abcd := attr.MustParseSet("ABCD")
+	trueG := float64(gen.CountGroups(recs[:10000], abcd))
+	got := e.Groups()[abcd]
+	if math.Abs(got-trueG)/trueG > 0.15 {
+		t.Errorf("tracked g(ABCD) = %.0f; true per-epoch ≈ %.0f", got, trueG)
+	}
+	// Monotonicity maintained after sketch updates.
+	if err := e.Groups().CheckMonotone(); err != nil {
+		t.Errorf("group table not monotone: %v", err)
+	}
+}
+
+// TestSketchTrackingImprovesPlansUnderDrift: start from estimates for a
+// low-cardinality phase; after the universe explodes, the sketch-tracked
+// engine should re-plan at least as effectively as the drift-scaling one
+// (both must re-plan, and modeled costs must not diverge badly).
+func TestSketchTrackingImprovesPlansUnderDrift(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	schema := stream.MustSchema(4)
+	small, err := gen.UniformUniverse(rng, schema, 100, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewTuples := make([][]uint32, 3000)
+	for i := range skewTuples {
+		skewTuples[i] = []uint32{rng.Uint32(), rng.Uint32(), uint32(i % 2), uint32(i % 3)}
+	}
+	big, err := gen.NewUniverse(schema, skewTuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := append([]stream.Record(nil), gen.Uniform(rng, small, 20000, 50)...)
+	for i, r := range gen.Uniform(rng, big, 20000, 50) {
+		recs = append(recs, stream.Record{Attrs: r.Attrs, Time: 50 + uint32(i*50/20000)})
+	}
+	qs := []attr.Set{
+		attr.MustParseSet("AB"), attr.MustParseSet("BC"),
+		attr.MustParseSet("BD"), attr.MustParseSet("CD"),
+	}
+	groups, err := EstimateGroups(recs[:20000], qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(track bool) *Engine {
+		// Each run gets its own copy: the adaptive engine mutates the
+		// group table in place.
+		gcopy := feedgraph.GroupCounts{}
+		for r, g := range groups {
+			gcopy[r] = g
+		}
+		e, err := New(pairSQL, gcopy, Options{
+			M:    40000,
+			Seed: 5,
+			Adapt: AdaptOptions{
+				Enabled:        true,
+				EveryEpochs:    1,
+				MinImprovement: 0.02,
+				TrackPhantoms:  track,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Run(stream.NewSliceSource(recs)); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	tracked := run(true)
+	if tracked.Stats().Replans == 0 {
+		t.Error("sketch-tracked engine never re-planned under drift")
+	}
+	// Tracked estimates for ABCD reflect phase 2 (~2000+ per epoch), not
+	// phase 1 (100).
+	if g := tracked.Groups()[attr.MustParseSet("ABCD")]; g < 1000 {
+		t.Errorf("tracked g(ABCD) = %.0f; expected phase-2 scale", g)
+	}
+}

@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/attr"
+	"repro/internal/cost"
+	"repro/internal/feedgraph"
+	"repro/internal/spacealloc"
+)
+
+// fig9Configs and fig10Configs are the four representative configurations
+// of Figures 9 and 10, in the paper's notation.
+var fig9Configs = []string{"(ABC(AC(A C) B))", "AB(A B) CD(C D)"}
+var fig10Configs = []string{"(ABCD(ABC(A BC(B C)) D))", "(ABCD(AB BCD(BC BD CD)))"}
+
+// allocSchemes are the heuristics compared against ES.
+var allocSchemes = []spacealloc.Scheme{spacealloc.SL, spacealloc.SR, spacealloc.PL, spacealloc.PR}
+
+// allocErrorRow computes each heuristic's relative model-cost error
+// against ES for one configuration and budget.
+func allocErrorRows(ctx *Context, notations []string, id, title string) (*Table, error) {
+	u, _, err := ctx.paperData()
+	if err != nil {
+		return nil, err
+	}
+	p := defaultParams()
+	t := &Table{
+		ID:      id,
+		Title:   title,
+		Columns: []string{"config", "M", "SL", "SR", "PL", "PR"},
+	}
+	esSteps := spacealloc.DefaultGranularity
+	if ctx.Quick {
+		esSteps = 50
+	}
+	for _, notation := range notations {
+		cfg, err := feedgraph.ParseConfig(notation, nil)
+		if err != nil {
+			return nil, err
+		}
+		groups := groupsFor(u, cfg.Rels)
+		for _, m := range ctx.mSweep() {
+			es, err := spacealloc.Exhaustive(cfg, groups, m, p, esSteps)
+			if err != nil {
+				return nil, fmt.Errorf("%s M=%d: %v", notation, m, err)
+			}
+			cES, err := cost.PerRecord(cfg, groups, es, p)
+			if err != nil {
+				return nil, err
+			}
+			row := []string{notation, fmt.Sprint(m)}
+			for _, s := range allocSchemes {
+				alloc, err := spacealloc.Allocate(s, cfg, groups, m, p)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s: %v", notation, s, err)
+				}
+				c, err := cost.PerRecord(cfg, groups, alloc, p)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, fmtPct(relErr(c, cES)))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}
+
+func relErr(c, opt float64) float64 {
+	if opt <= 0 {
+		return 0
+	}
+	e := c/opt - 1
+	if e < 0 {
+		e = 0 // heuristic beat the discretized ES: report zero error
+	}
+	return e
+}
+
+// Fig9 reproduces Figure 9: heuristic allocation error vs ES on the two
+// shallow configurations.
+func Fig9(ctx *Context) (*Table, error) {
+	return allocErrorRows(ctx, fig9Configs, "fig9",
+		"Space allocation error vs ES, configurations of Figure 9")
+}
+
+// Fig10 reproduces Figure 10: the two deeper configurations.
+func Fig10(ctx *Context) (*Table, error) {
+	return allocErrorRows(ctx, fig10Configs, "fig10",
+		"Space allocation error vs ES, configurations of Figure 10")
+}
+
+// configSweep enumerates every configuration of the real-data query set
+// {AB, BC, BD, CD} that instantiates at least one phantom (the
+// "unsolvable" cases the heuristics are for).
+func configSweep(u interface {
+	GroupCount(attr.Set) int
+}) ([]*feedgraph.Config, feedgraph.GroupCounts, error) {
+	queries := []attr.Set{
+		attr.MustParseSet("AB"), attr.MustParseSet("BC"),
+		attr.MustParseSet("BD"), attr.MustParseSet("CD"),
+	}
+	g, err := feedgraph.New(queries)
+	if err != nil {
+		return nil, nil, err
+	}
+	groups := feedgraph.GroupCounts{}
+	for _, r := range g.Relations() {
+		groups[r] = float64(u.GroupCount(r))
+	}
+	var configs []*feedgraph.Config
+	err = g.EnumerateConfigs(func(c *feedgraph.Config) bool {
+		if len(c.Phantoms()) > 0 {
+			configs = append(configs, c)
+		}
+		return true
+	})
+	return configs, groups, err
+}
+
+// Table2 reproduces Table 2: the average relative error of SL, SR, PL and
+// PR against ES over all phantom configurations of the real query set, per
+// memory budget.
+func Table2(ctx *Context) (*Table, error) {
+	u, _, err := ctx.paperData()
+	if err != nil {
+		return nil, err
+	}
+	configs, groups, err := configSweep(u)
+	if err != nil {
+		return nil, err
+	}
+	p := defaultParams()
+	esSteps := spacealloc.DefaultGranularity
+	if ctx.Quick {
+		esSteps = 50
+	}
+	t := &Table{
+		ID:      "table2",
+		Title:   "Average allocation error vs ES over all phantom configurations",
+		Columns: []string{"M", "SL", "SR", "PL", "PR"},
+	}
+	for _, m := range ctx.mSweep() {
+		sums := make(map[spacealloc.Scheme]float64, len(allocSchemes))
+		n := 0
+		for _, cfg := range configs {
+			es, err := spacealloc.Exhaustive(cfg, groups, m, p, esSteps)
+			if err != nil {
+				continue
+			}
+			cES, err := cost.PerRecord(cfg, groups, es, p)
+			if err != nil {
+				return nil, err
+			}
+			ok := true
+			errs := make(map[spacealloc.Scheme]float64, len(allocSchemes))
+			for _, s := range allocSchemes {
+				alloc, err := spacealloc.Allocate(s, cfg, groups, m, p)
+				if err != nil {
+					ok = false
+					break
+				}
+				c, err := cost.PerRecord(cfg, groups, alloc, p)
+				if err != nil {
+					return nil, err
+				}
+				errs[s] = relErr(c, cES)
+			}
+			if !ok {
+				continue
+			}
+			for s, e := range errs {
+				sums[s] += e
+			}
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		row := []string{fmt.Sprint(m)}
+		for _, s := range allocSchemes {
+			row = append(row, fmtPct(sums[s]/float64(n)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d phantom configurations of queries {AB,BC,BD,CD}; paper Table 2 reports SL 2-6%%, SR 5-9%%, PL 14-23%%, PR 10-23%%", len(configs)))
+	return t, nil
+}
+
+// Table3 reproduces Table 3: how often SL is the best heuristic and, when
+// it is not, how far it lags the best one.
+func Table3(ctx *Context) (*Table, error) {
+	u, _, err := ctx.paperData()
+	if err != nil {
+		return nil, err
+	}
+	configs, groups, err := configSweep(u)
+	if err != nil {
+		return nil, err
+	}
+	p := defaultParams()
+	t := &Table{
+		ID:      "table3",
+		Title:   "Statistics on SL across all phantom configurations",
+		Columns: []string{"M", "SL best", "gap to best when not"},
+	}
+	for _, m := range ctx.mSweep() {
+		best, total := 0, 0
+		gapSum, gapN := 0.0, 0
+		for _, cfg := range configs {
+			costs := make(map[spacealloc.Scheme]float64, len(allocSchemes))
+			ok := true
+			for _, s := range allocSchemes {
+				alloc, err := spacealloc.Allocate(s, cfg, groups, m, p)
+				if err != nil {
+					ok = false
+					break
+				}
+				c, err := cost.PerRecord(cfg, groups, alloc, p)
+				if err != nil {
+					return nil, err
+				}
+				costs[s] = c
+			}
+			if !ok {
+				continue
+			}
+			total++
+			minCost := costs[spacealloc.SL]
+			for _, c := range costs {
+				if c < minCost {
+					minCost = c
+				}
+			}
+			if costs[spacealloc.SL] <= minCost*(1+1e-9) {
+				best++
+			} else {
+				gapSum += costs[spacealloc.SL]/minCost - 1
+				gapN++
+			}
+		}
+		if total == 0 {
+			continue
+		}
+		gap := 0.0
+		if gapN > 0 {
+			gap = gapSum / float64(gapN)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(m),
+			fmtPct(float64(best) / float64(total)),
+			fmtPct(gap),
+		})
+	}
+	t.Notes = append(t.Notes, "paper Table 3: SL best in 44-100% of configurations; gap ≤2.2% otherwise")
+	return t, nil
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/attr"
+	"repro/internal/choose"
+	"repro/internal/cost"
+	"repro/internal/feedgraph"
+	"repro/internal/spacealloc"
+)
+
+// Fig15 reproduces Figure 15: the peak-load constraint experiment. For
+// the real trace and queries {AB, BC, BD, CD} at M = 40,000, the GCSL
+// allocation's end-of-epoch cost E_u is computed; then for each E_p set to
+// a percentage of E_u, space is re-allocated with the shrink and shift
+// methods and the stream is replayed to measure the resulting actual
+// per-record cost, normalized by the unconstrained allocation's.
+func Fig15(ctx *Context) (*Table, error) {
+	u, ft, err := ctx.paperData()
+	if err != nil {
+		return nil, err
+	}
+	graph, err := feedgraph.New(pairQueries())
+	if err != nil {
+		return nil, err
+	}
+	groups := allGraphGroups(u, graph)
+	p := defaultParams()
+	la := ft.AvgFlowLength()
+	p.FlowLen = func(attr.Set) float64 { return la }
+	const m = 40000
+
+	base, err := choose.GCSL(graph, groups, m, p)
+	if err != nil {
+		return nil, err
+	}
+	eu, err := cost.EndOfEpoch(base.Config, groups, base.Alloc, p)
+	if err != nil {
+		return nil, err
+	}
+	baseActual, err := runActual(base.Config, base.Alloc, ft.Records, p, 201)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:      "fig15",
+		Title:   "Peak-load constraint: shrink vs shift (M=40000)",
+		Columns: []string{"E_p (% of E_u)", "shrink", "shift"},
+	}
+	pcts := []int{82, 84, 86, 88, 90, 92, 94, 96, 98}
+	if ctx.Quick {
+		pcts = []int{82, 90, 98}
+	}
+	for _, pct := range pcts {
+		ep := eu * float64(pct) / 100
+		row := []string{fmt.Sprint(pct)}
+		for _, method := range []string{"shrink", "shift"} {
+			var alloc cost.Alloc
+			var err error
+			switch method {
+			case "shrink":
+				alloc, err = spacealloc.Shrink(base.Config, groups, base.Alloc, p, ep)
+			default:
+				alloc, err = spacealloc.Shift(base.Config, groups, base.Alloc, p, ep)
+			}
+			if err != nil {
+				row = append(row, "infeasible")
+				continue
+			}
+			actual, err := runActual(base.Config, alloc, ft.Records, p, 202)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmtF(actual/baseActual))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("unconstrained E_u = %.0f, actual per-record cost %.3f, config %q", eu, baseActual, base.Config),
+		"paper: shift wins when E_p is close to E_u; shrink wins when E_p is much smaller")
+	return t, nil
+}

@@ -1,0 +1,37 @@
+package feedgraph_test
+
+import (
+	"fmt"
+
+	"repro/internal/attr"
+	"repro/internal/feedgraph"
+)
+
+func ExampleNew() {
+	// Figure 4 of the paper: queries {AB, BC, BD, CD} induce four
+	// candidate phantoms.
+	g, _ := feedgraph.New([]attr.Set{
+		attr.MustParseSet("AB"), attr.MustParseSet("BC"),
+		attr.MustParseSet("BD"), attr.MustParseSet("CD"),
+	})
+	fmt.Println(g.Phantoms)
+	// Output: [ABCD ABC ABD BCD]
+}
+
+func ExampleParseConfig() {
+	// Figure 3(c): ABCD feeds AB and BCD; BCD feeds BC, BD and CD.
+	cfg, _ := feedgraph.ParseConfig("(ABCD(AB BCD(BC BD CD)))", nil)
+	fmt.Println(cfg)
+	fmt.Println("raw relations:", cfg.Raws())
+	fmt.Println("depth:", cfg.Depth())
+	// Output:
+	// ABCD(AB BCD(BC BD CD))
+	// raw relations: [ABCD]
+	// depth: 3
+}
+
+func ExampleConfig_Ancestors() {
+	cfg, _ := feedgraph.ParseConfig("ABCD(AB BCD(BC BD CD))", nil)
+	fmt.Println(cfg.Ancestors(attr.MustParseSet("BC")))
+	// Output: [BCD ABCD]
+}

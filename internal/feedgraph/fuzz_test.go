@@ -1,0 +1,39 @@
+package feedgraph
+
+import (
+	"testing"
+)
+
+// FuzzParseConfig: the configuration-notation parser must never panic,
+// and accepted inputs must round trip through String.
+func FuzzParseConfig(f *testing.F) {
+	for _, seed := range []string{
+		"ABCD(AB BCD(BC BD CD))",
+		"(ABC(AC(A C) B))",
+		"AB(A B) CD(C D)",
+		"A B C",
+		"((((",
+		"AB(CD)",
+		"AB(A",
+		"A)",
+		"",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, notation string) {
+		cfg, err := ParseConfig(notation, nil)
+		if err != nil {
+			return
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("accepted invalid configuration %q: %v", notation, err)
+		}
+		again, err := ParseConfig(cfg.String(), nil)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected own rendering %q: %v", notation, cfg.String(), err)
+		}
+		if again.String() != cfg.String() {
+			t.Fatalf("unstable rendering: %q -> %q -> %q", notation, cfg.String(), again.String())
+		}
+	})
+}

@@ -1,0 +1,382 @@
+// Package hashtab implements the LFTA hash tables of the paper's
+// two-level DSMS architecture.
+//
+// An LFTA table is a fixed array of b buckets with exactly one resident
+// group per bucket. Probing a record's group either (i) starts a new group
+// in an empty bucket, (ii) increments the aggregates of the resident group
+// when it matches, or (iii) *collides*: the resident entry is evicted (to
+// the HFTA, or to the tables the relation feeds) and replaced by the new
+// group with fresh aggregates. This evict-on-collision behaviour — rather
+// than chaining or probing sequences — is what makes the collision rate the
+// central performance quantity of the paper, and the table keeps exact
+// operation counts so experiments can compute the "actual cost"
+// c1·probes + c2·evictions.
+//
+// Space accounting follows the paper's convention: the unit of space is
+// 4 bytes, each attribute value and each aggregate counter occupies one
+// unit, so a bucket of a relation with arity a and k aggregates occupies
+// h = a + k units.
+package hashtab
+
+import (
+	"fmt"
+
+	"repro/internal/attr"
+)
+
+// AggOp is the combine operation of one aggregate slot.
+type AggOp uint8
+
+// Supported aggregate operations. Count is Sum over a delta of 1.
+const (
+	Sum AggOp = iota
+	Min
+	Max
+)
+
+// String returns the operation name.
+func (op AggOp) String() string {
+	switch op {
+	case Sum:
+		return "sum"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	default:
+		return fmt.Sprintf("AggOp(%d)", uint8(op))
+	}
+}
+
+// Combine merges a new value into an accumulator under the operation.
+func (op AggOp) Combine(acc, v int64) int64 {
+	switch op {
+	case Sum:
+		return acc + v
+	case Min:
+		if v < acc {
+			return v
+		}
+		return acc
+	case Max:
+		if v > acc {
+			return v
+		}
+		return acc
+	default:
+		return acc
+	}
+}
+
+// Identity returns the neutral starting accumulator for the operation.
+func (op AggOp) Identity() int64 {
+	switch op {
+	case Min:
+		return int64(1)<<62 - 1
+	case Max:
+		return -(int64(1)<<62 - 1)
+	default:
+		return 0
+	}
+}
+
+// Entry is one evicted or scanned table entry: the group key (projected
+// attribute values of the table's relation, in attribute order) and its
+// accumulated aggregates. Updates counts how many records were folded into
+// the entry while it was resident, which the engine uses to measure
+// average flow length (Section 4.3 of the paper).
+type Entry struct {
+	Key     []uint32
+	Aggs    []int64
+	Updates uint32
+}
+
+// Stats are cumulative operation counts for one table.
+type Stats struct {
+	Probes     uint64 // every Probe call (cost c1 each)
+	Hits       uint64 // probe matched resident group
+	Inserts    uint64 // probe filled an empty bucket
+	Collisions uint64 // probe evicted a resident group (cost c2 if leaf)
+	Flushes    uint64 // entries emitted by Flush/Scan-and-clear
+
+	// Flow-length bookkeeping: total updates accumulated by entries that
+	// have been evicted or flushed, and how many such entries there were.
+	// Their ratio estimates the average flow length l_a.
+	EvictedUpdates uint64
+	EvictedEntries uint64
+}
+
+// CollisionRate returns the fraction of probes that collided, the
+// empirical x of the paper's model.
+func (s Stats) CollisionRate() float64 {
+	if s.Probes == 0 {
+		return 0
+	}
+	return float64(s.Collisions) / float64(s.Probes)
+}
+
+// AvgFlowLength estimates the average number of records per resident
+// group occupancy (the paper's l_a) from eviction bookkeeping.
+func (s Stats) AvgFlowLength() float64 {
+	if s.EvictedEntries == 0 {
+		return 1
+	}
+	return float64(s.EvictedUpdates) / float64(s.EvictedEntries)
+}
+
+// Table is a single LFTA hash table.
+type Table struct {
+	rel   attr.Set
+	arity int
+	ops   []AggOp
+	b     int
+	seed  uint64
+
+	occupied []bool
+	keys     []uint32 // b × arity, flat
+	aggs     []int64  // b × len(ops), flat
+	updates  []uint32 // records folded into each resident entry
+
+	live  int
+	stats Stats
+}
+
+// New creates a table for relation rel with b buckets and one aggregate
+// slot per op. The seed perturbs the hash function so different tables
+// (and different runs) use independent hash functions, as the paper's
+// random-hash assumption requires.
+func New(rel attr.Set, b int, ops []AggOp, seed uint64) (*Table, error) {
+	if rel.IsEmpty() {
+		return nil, fmt.Errorf("hashtab: empty relation")
+	}
+	if b <= 0 {
+		return nil, fmt.Errorf("hashtab: table for %v needs at least 1 bucket, got %d", rel, b)
+	}
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("hashtab: table for %v needs at least one aggregate", rel)
+	}
+	arity := rel.Size()
+	return &Table{
+		rel:      rel,
+		arity:    arity,
+		ops:      append([]AggOp(nil), ops...),
+		b:        b,
+		seed:     seed,
+		occupied: make([]bool, b),
+		keys:     make([]uint32, b*arity),
+		aggs:     make([]int64, b*len(ops)),
+		updates:  make([]uint32, b),
+	}, nil
+}
+
+// MustNew is New that panics on error, for tests and examples.
+func MustNew(rel attr.Set, b int, ops []AggOp, seed uint64) *Table {
+	t, err := New(rel, b, ops, seed)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// NewCounter creates a count(*) table: a single Sum aggregate.
+func NewCounter(rel attr.Set, b int, seed uint64) (*Table, error) {
+	return New(rel, b, []AggOp{Sum}, seed)
+}
+
+// Rel returns the relation the table aggregates.
+func (t *Table) Rel() attr.Set { return t.rel }
+
+// Buckets returns the number of buckets b.
+func (t *Table) Buckets() int { return t.b }
+
+// Arity returns the group-key width.
+func (t *Table) Arity() int { return t.arity }
+
+// NumAggs returns the number of aggregate slots.
+func (t *Table) NumAggs() int { return len(t.ops) }
+
+// EntrySize returns h, the bucket size in 4-byte units (arity + #aggs).
+func (t *Table) EntrySize() int { return t.arity + len(t.ops) }
+
+// SpaceUnits returns the table's total size in 4-byte units, b·h.
+func (t *Table) SpaceUnits() int { return t.b * t.EntrySize() }
+
+// Len returns the number of occupied buckets.
+func (t *Table) Len() int { return t.live }
+
+// Stats returns a copy of the cumulative operation counters.
+func (t *Table) Stats() Stats { return t.stats }
+
+// ResetStats zeroes the operation counters without touching contents.
+func (t *Table) ResetStats() { t.stats = Stats{} }
+
+// hash mixes the key with the table seed. It is a 64-bit FNV-1a variant
+// over the 4-byte words of the key; good avalanche behaviour approximates
+// the paper's "random hash" assumption well (validated in package tests
+// against the binomial occupancy model).
+func (t *Table) hash(key []uint32) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64) ^ t.seed
+	for _, w := range key {
+		h ^= uint64(w & 0xff)
+		h *= prime64
+		h ^= uint64((w >> 8) & 0xff)
+		h *= prime64
+		h ^= uint64((w >> 16) & 0xff)
+		h *= prime64
+		h ^= uint64(w >> 24)
+		h *= prime64
+	}
+	// Final mix so that low bits depend on all input bits before the
+	// modulo reduction.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+// Bucket returns the bucket index the key hashes to.
+func (t *Table) Bucket(key []uint32) int {
+	return int(t.hash(key) % uint64(t.b))
+}
+
+// Probe folds one observation of the group identified by key into the
+// table, applying deltas (one per aggregate slot) under the table's ops.
+// If the bucket holds a different group, that entry is evicted: Probe
+// returns it with collided = true, and the bucket is re-initialized to the
+// probing group. The returned Entry aliases freshly allocated slices and
+// is safe to retain.
+//
+// key must have length Arity(); deltas must have length NumAggs(). For a
+// count(*) table pass deltas = {1}.
+func (t *Table) Probe(key []uint32, deltas []int64) (evicted Entry, collided bool) {
+	if len(key) != t.arity {
+		panic(fmt.Sprintf("hashtab: key arity %d for table %v (arity %d)", len(key), t.rel, t.arity))
+	}
+	if len(deltas) != len(t.ops) {
+		panic(fmt.Sprintf("hashtab: %d deltas for table %v (%d aggs)", len(deltas), t.rel, len(t.ops)))
+	}
+	t.stats.Probes++
+	i := t.Bucket(key)
+	ks := t.keys[i*t.arity : (i+1)*t.arity]
+	as := t.aggs[i*len(t.ops) : (i+1)*len(t.ops)]
+
+	if !t.occupied[i] {
+		t.install(i, ks, as, key, deltas)
+		t.stats.Inserts++
+		return Entry{}, false
+	}
+	if equalKeys(ks, key) {
+		for j, op := range t.ops {
+			as[j] = op.Combine(as[j], deltas[j])
+		}
+		t.updates[i]++
+		t.stats.Hits++
+		return Entry{}, false
+	}
+	// Collision: evict the resident group.
+	evicted = Entry{
+		Key:     append([]uint32(nil), ks...),
+		Aggs:    append([]int64(nil), as...),
+		Updates: t.updates[i],
+	}
+	t.stats.Collisions++
+	t.stats.EvictedUpdates += uint64(t.updates[i])
+	t.stats.EvictedEntries++
+	t.install(i, ks, as, key, deltas)
+	return evicted, true
+}
+
+func (t *Table) install(i int, ks []uint32, as []int64, key []uint32, deltas []int64) {
+	copy(ks, key)
+	for j, op := range t.ops {
+		as[j] = op.Combine(op.Identity(), deltas[j])
+	}
+	if !t.occupied[i] {
+		t.occupied[i] = true
+		t.live++
+	}
+	t.updates[i] = 1
+}
+
+func equalKeys(a, b []uint32) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Get looks up the resident entry for key without modifying the table. It
+// returns ok = false if the bucket is empty or holds a different group.
+func (t *Table) Get(key []uint32) (Entry, bool) {
+	if len(key) != t.arity {
+		return Entry{}, false
+	}
+	i := t.Bucket(key)
+	if !t.occupied[i] {
+		return Entry{}, false
+	}
+	ks := t.keys[i*t.arity : (i+1)*t.arity]
+	if !equalKeys(ks, key) {
+		return Entry{}, false
+	}
+	return Entry{
+		Key:     append([]uint32(nil), ks...),
+		Aggs:    append([]int64(nil), t.aggs[i*len(t.ops):(i+1)*len(t.ops)]...),
+		Updates: t.updates[i],
+	}, true
+}
+
+// Scan calls fn for every resident entry, in bucket order, without
+// modifying the table. The Entry passed to fn aliases internal storage and
+// must not be retained across calls.
+func (t *Table) Scan(fn func(Entry)) {
+	for i := 0; i < t.b; i++ {
+		if !t.occupied[i] {
+			continue
+		}
+		fn(Entry{
+			Key:     t.keys[i*t.arity : (i+1)*t.arity],
+			Aggs:    t.aggs[i*len(t.ops) : (i+1)*len(t.ops)],
+			Updates: t.updates[i],
+		})
+	}
+}
+
+// Flush emits every resident entry through fn and clears the table; the
+// end-of-epoch operation of the paper. Entries passed to fn are fresh
+// copies, safe to retain. The number of flushed entries is returned.
+func (t *Table) Flush(fn func(Entry)) int {
+	n := 0
+	for i := 0; i < t.b; i++ {
+		if !t.occupied[i] {
+			continue
+		}
+		e := Entry{
+			Key:     append([]uint32(nil), t.keys[i*t.arity:(i+1)*t.arity]...),
+			Aggs:    append([]int64(nil), t.aggs[i*len(t.ops):(i+1)*len(t.ops)]...),
+			Updates: t.updates[i],
+		}
+		t.occupied[i] = false
+		t.stats.Flushes++
+		t.stats.EvictedUpdates += uint64(e.Updates)
+		t.stats.EvictedEntries++
+		n++
+		fn(e)
+	}
+	t.live = 0
+	return n
+}
+
+// Clear empties the table without emitting entries or touching stats.
+func (t *Table) Clear() {
+	for i := range t.occupied {
+		t.occupied[i] = false
+	}
+	t.live = 0
+}

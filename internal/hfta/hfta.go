@@ -1,0 +1,258 @@
+// Package hfta implements the high-level query node: it merges the
+// partial aggregates evicted from the LFTA into exact per-epoch query
+// answers, and provides a reference (oracle) aggregator used to verify
+// that the phantom-sharing LFTA loses no information.
+//
+// Within an epoch the HFTA may see several partials for the same group
+// (one per eviction plus the end-of-epoch flush); they combine under the
+// aggregate operations. The HFTA runs in host memory, so a plain map is
+// the honest model — its cost is not the bottleneck the paper optimizes.
+package hfta
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/attr"
+	"repro/internal/lfta"
+	"repro/internal/stream"
+)
+
+// Row is one finalized query answer: the group of a query relation in an
+// epoch with its aggregate values.
+type Row struct {
+	Rel   attr.Set
+	Epoch uint32
+	Key   []uint32
+	Aggs  []int64
+}
+
+// Aggregator accumulates evictions per (query, epoch, group).
+type Aggregator struct {
+	queries map[attr.Set]bool
+	aggs    []lfta.AggSpec
+	// state[rel][epoch][key] = aggregate values
+	state map[attr.Set]map[uint32]map[string][]int64
+}
+
+// New builds an aggregator for the given query relations and aggregates.
+func New(queries []attr.Set, aggs []lfta.AggSpec) (*Aggregator, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("hfta: need at least one query")
+	}
+	if len(aggs) == 0 {
+		return nil, fmt.Errorf("hfta: need at least one aggregate")
+	}
+	a := &Aggregator{
+		queries: make(map[attr.Set]bool, len(queries)),
+		aggs:    append([]lfta.AggSpec(nil), aggs...),
+		state:   make(map[attr.Set]map[uint32]map[string][]int64),
+	}
+	for _, q := range queries {
+		if q.IsEmpty() {
+			return nil, fmt.Errorf("hfta: empty query relation")
+		}
+		a.queries[q] = true
+		a.state[q] = make(map[uint32]map[string][]int64)
+	}
+	return a, nil
+}
+
+// Sink returns the aggregator as an lfta.Sink.
+func (a *Aggregator) Sink() lfta.Sink { return a.Consume }
+
+// ConcurrentSink returns a mutex-guarded sink for use with parallel LFTA
+// shards (lfta.Sharded.RunParallel). The HFTA runs on the host, off the
+// critical path, so a single lock is the honest model.
+func (a *Aggregator) ConcurrentSink() lfta.Sink {
+	var mu sync.Mutex
+	return func(ev lfta.Eviction) {
+		mu.Lock()
+		defer mu.Unlock()
+		a.Consume(ev)
+	}
+}
+
+// Consume folds one eviction into the per-epoch state. Evictions for
+// relations that are not user queries are ignored (phantoms never reach
+// the HFTA in a correct runtime, but defense costs nothing).
+func (a *Aggregator) Consume(ev lfta.Eviction) {
+	epochs, ok := a.state[ev.Rel]
+	if !ok {
+		return
+	}
+	groups := epochs[ev.Epoch]
+	if groups == nil {
+		groups = make(map[string][]int64)
+		epochs[ev.Epoch] = groups
+	}
+	k := keyString(ev.Key)
+	acc, ok := groups[k]
+	if !ok {
+		acc = make([]int64, len(a.aggs))
+		for i, spec := range a.aggs {
+			acc[i] = spec.Op.Identity()
+		}
+		groups[k] = acc
+	}
+	for i, spec := range a.aggs {
+		acc[i] = spec.Op.Combine(acc[i], ev.Aggs[i])
+	}
+}
+
+func keyString(vals []uint32) string {
+	buf := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(buf[i*4:], v)
+	}
+	return string(buf)
+}
+
+func keyValues(s string) []uint32 {
+	out := make([]uint32, len(s)/4)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32([]byte(s[i*4 : i*4+4]))
+	}
+	return out
+}
+
+// Rows finalizes and returns the answers for one query and epoch, sorted
+// by group key. The state for that (query, epoch) remains available until
+// Drop is called.
+func (a *Aggregator) Rows(rel attr.Set, epoch uint32) []Row {
+	groups := a.state[rel][epoch]
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Row, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, Row{
+			Rel:   rel,
+			Epoch: epoch,
+			Key:   keyValues(k),
+			Aggs:  append([]int64(nil), groups[k]...),
+		})
+	}
+	return out
+}
+
+// AllRows returns every finalized row across queries and epochs, sorted
+// by (relation, epoch, key).
+func (a *Aggregator) AllRows() []Row {
+	var rels []attr.Set
+	for r := range a.state {
+		rels = append(rels, r)
+	}
+	attr.SortSets(rels)
+	var out []Row
+	for _, r := range rels {
+		var epochs []uint32
+		for e := range a.state[r] {
+			epochs = append(epochs, e)
+		}
+		sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
+		for _, e := range epochs {
+			out = append(out, a.Rows(r, e)...)
+		}
+	}
+	return out
+}
+
+// Epochs returns the epochs with state for a query, ascending.
+func (a *Aggregator) Epochs(rel attr.Set) []uint32 {
+	var out []uint32
+	for e := range a.state[rel] {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Drop releases the state of one epoch across all queries.
+func (a *Aggregator) Drop(epoch uint32) {
+	for _, epochs := range a.state {
+		delete(epochs, epoch)
+	}
+}
+
+// GroupCount returns the number of distinct groups a query produced in an
+// epoch — the measured g_R signal the adaptive engine feeds back into the
+// optimizer.
+func (a *Aggregator) GroupCount(rel attr.Set, epoch uint32) int {
+	return len(a.state[rel][epoch])
+}
+
+// Reference computes exact query answers directly from the records (no
+// LFTA, no hash tables): the oracle against which the two-level pipeline
+// is verified. epochLen 0 means a single unbounded epoch.
+func Reference(recs []stream.Record, queries []attr.Set, aggs []lfta.AggSpec, epochLen uint32) []Row {
+	agg, err := New(queries, aggs)
+	if err != nil {
+		return nil
+	}
+	e := stream.Epoch{Length: epochLen}
+	deltas := make([]int64, len(aggs))
+	for i := range recs {
+		rec := &recs[i]
+		for j, spec := range aggs {
+			if spec.Input < 0 {
+				deltas[j] = 1
+			} else {
+				deltas[j] = int64(rec.Attrs[spec.Input])
+			}
+		}
+		for _, q := range queries {
+			agg.Consume(lfta.Eviction{
+				Rel:   q,
+				Key:   q.Project(rec.Attrs, nil),
+				Aggs:  deltas,
+				Epoch: e.Of(rec.Time),
+			})
+		}
+	}
+	return agg.AllRows()
+}
+
+// Equal reports whether two row sets are identical (same order, groups,
+// and aggregate values); rows from AllRows and Reference compare directly.
+func Equal(a, b []Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Rel != b[i].Rel || a[i].Epoch != b[i].Epoch {
+			return false
+		}
+		if len(a[i].Key) != len(b[i].Key) || len(a[i].Aggs) != len(b[i].Aggs) {
+			return false
+		}
+		for j := range a[i].Key {
+			if a[i].Key[j] != b[i].Key[j] {
+				return false
+			}
+		}
+		for j := range a[i].Aggs {
+			if a[i].Aggs[j] != b[i].Aggs[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// HavingCountAtLeast filters rows to those whose aggregate at index aggIdx
+// reaches min — the paper's introductory "report ... provided this number
+// of packets is more than 100" query shape.
+func HavingCountAtLeast(rows []Row, aggIdx int, min int64) []Row {
+	out := rows[:0:0]
+	for _, r := range rows {
+		if aggIdx < len(r.Aggs) && r.Aggs[aggIdx] >= min {
+			out = append(out, r)
+		}
+	}
+	return out
+}

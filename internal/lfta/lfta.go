@@ -1,0 +1,271 @@
+// Package lfta executes a configuration at the low-level query node: the
+// simulator equivalent of Gigascope's NIC-resident LFTA.
+//
+// A Runtime owns one hash table per instantiated relation. Each arriving
+// record probes the raw tables; a collision evicts the resident entry,
+// which cascades into the tables of the relations the collider feeds (and,
+// if the relation is a user query, transfers to the HFTA). At the end of
+// an epoch the tables flush top-down the same way. The runtime counts
+// every probe (a c1 operation) and every transfer to the HFTA (a c2
+// operation), which is exactly the "actual cost" metric of the paper's
+// measured experiments (Figures 13-15).
+package lfta
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/attr"
+	"repro/internal/cost"
+	"repro/internal/feedgraph"
+	"repro/internal/hashtab"
+	"repro/internal/stream"
+)
+
+// AggSpec describes one aggregate computed by every table: the combine
+// operation and the record attribute supplying the value (Input < 0 means
+// the constant 1, i.e. count(*)).
+type AggSpec struct {
+	Op    hashtab.AggOp
+	Input int
+}
+
+// CountStar is the aggregate list of the paper's queries.
+var CountStar = []AggSpec{{Op: hashtab.Sum, Input: -1}}
+
+// Eviction is an entry transferred to the HFTA: the relation it belongs
+// to, its group key (projected values, attribute order), aggregates, and
+// the epoch it was accumulated in.
+type Eviction struct {
+	Rel   attr.Set
+	Key   []uint32
+	Aggs  []int64
+	Epoch uint32
+}
+
+// Sink receives evictions; typically an HFTA aggregator.
+type Sink func(Eviction)
+
+// Ops are the cumulative operation counts of a runtime.
+type Ops struct {
+	Probes    uint64 // c1 operations: every hash-table probe/update
+	Transfers uint64 // c2 operations: entries transferred to the HFTA
+	Records   uint64 // records processed
+}
+
+// ActualCost returns probes·c1 + transfers·c2, the measured cost metric.
+func (o Ops) ActualCost(c1, c2 float64) float64 {
+	return float64(o.Probes)*c1 + float64(o.Transfers)*c2
+}
+
+// PerRecordCost normalizes the actual cost by the number of records.
+func (o Ops) PerRecordCost(c1, c2 float64) float64 {
+	if o.Records == 0 {
+		return 0
+	}
+	return o.ActualCost(c1, c2) / float64(o.Records)
+}
+
+// Runtime executes one configuration.
+type Runtime struct {
+	cfg    *feedgraph.Config
+	aggs   []AggSpec
+	tables map[attr.Set]*hashtab.Table
+	order  []attr.Set // parents strictly before children
+	sink   Sink
+	epoch  uint32
+	ops    Ops
+
+	// Per-edge projection plans: for child c of parent p, the indices of
+	// c's attributes within p's projected key.
+	proj map[[2]attr.Set][]int
+
+	keyBuf   []uint32
+	deltaBuf []int64
+}
+
+// New builds a runtime for the configuration with the given bucket
+// allocation. Seed derives per-table hash seeds. The sink may be nil, in
+// which case query evictions are counted but discarded.
+func New(cfg *feedgraph.Config, alloc cost.Alloc, aggs []AggSpec, seed uint64, sink Sink) (*Runtime, error) {
+	if len(aggs) == 0 {
+		return nil, fmt.Errorf("lfta: need at least one aggregate")
+	}
+	ops := make([]hashtab.AggOp, len(aggs))
+	for i, a := range aggs {
+		ops[i] = a.Op
+	}
+	r := &Runtime{
+		cfg:    cfg,
+		aggs:   append([]AggSpec(nil), aggs...),
+		tables: make(map[attr.Set]*hashtab.Table, len(cfg.Rels)),
+		sink:   sink,
+		proj:   make(map[[2]attr.Set][]int),
+	}
+	for i, rel := range cfg.Rels {
+		b, err := alloc.Buckets(rel)
+		if err != nil {
+			return nil, err
+		}
+		t, err := hashtab.New(rel, b, ops, seed+uint64(i)*0x9e3779b97f4a7c15+1)
+		if err != nil {
+			return nil, err
+		}
+		r.tables[rel] = t
+	}
+	r.order = append([]attr.Set(nil), cfg.Rels...)
+	sort.Slice(r.order, func(i, j int) bool {
+		if a, b := r.order[i].Size(), r.order[j].Size(); a != b {
+			return a > b
+		}
+		return r.order[i] < r.order[j]
+	})
+	for _, rel := range cfg.Rels {
+		for _, child := range cfg.Children(rel) {
+			r.proj[[2]attr.Set{rel, child}] = projectionPlan(rel, child)
+		}
+	}
+	return r, nil
+}
+
+// projectionPlan returns, for each attribute of child, its index within
+// parent's projected key (both in attribute order).
+func projectionPlan(parent, child attr.Set) []int {
+	pids := parent.IDs()
+	pos := make(map[attr.ID]int, len(pids))
+	for i, id := range pids {
+		pos[id] = i
+	}
+	cids := child.IDs()
+	plan := make([]int, len(cids))
+	for i, id := range cids {
+		plan[i] = pos[id]
+	}
+	return plan
+}
+
+// Config returns the configuration the runtime executes.
+func (r *Runtime) Config() *feedgraph.Config { return r.cfg }
+
+// Ops returns the cumulative operation counters.
+func (r *Runtime) Ops() Ops { return r.ops }
+
+// Epoch returns the epoch currently accumulating.
+func (r *Runtime) Epoch() uint32 { return r.epoch }
+
+// TableStats exposes each table's hashtab counters, keyed by relation;
+// used for measured collision rates and flow-length estimation.
+func (r *Runtime) TableStats() map[attr.Set]hashtab.Stats {
+	out := make(map[attr.Set]hashtab.Stats, len(r.tables))
+	for rel, t := range r.tables {
+		out[rel] = t.Stats()
+	}
+	return out
+}
+
+// ResetOps zeroes the runtime and table counters (not table contents).
+func (r *Runtime) ResetOps() {
+	r.ops = Ops{}
+	r.ResetTableStats()
+}
+
+// ResetTableStats zeroes the per-table counters while preserving the
+// runtime's cumulative operation counts; the adaptive engine calls this at
+// epoch boundaries so collision-rate and flow-length measurements reflect
+// the current epoch only.
+func (r *Runtime) ResetTableStats() {
+	for _, t := range r.tables {
+		t.ResetStats()
+	}
+}
+
+// Process feeds one record into the raw tables. epoch tags any evictions
+// it causes; the engine must call FlushEpoch before the first record of a
+// new epoch.
+func (r *Runtime) Process(rec stream.Record, epoch uint32) {
+	r.epoch = epoch
+	r.ops.Records++
+	if cap(r.deltaBuf) < len(r.aggs) {
+		r.deltaBuf = make([]int64, len(r.aggs))
+	}
+	deltas := r.deltaBuf[:len(r.aggs)]
+	for i, a := range r.aggs {
+		if a.Input < 0 {
+			deltas[i] = 1
+		} else {
+			deltas[i] = int64(rec.Attrs[a.Input])
+		}
+	}
+	for _, rel := range r.cfg.Raws() {
+		r.keyBuf = rel.Project(rec.Attrs, r.keyBuf)
+		r.feed(rel, r.keyBuf, deltas)
+	}
+}
+
+// feed probes rel's table with (key, deltas) and cascades any eviction.
+func (r *Runtime) feed(rel attr.Set, key []uint32, deltas []int64) {
+	r.ops.Probes++
+	victim, collided := r.tables[rel].Probe(key, deltas)
+	if !collided {
+		return
+	}
+	r.emit(rel, victim)
+}
+
+// emit routes an evicted entry of rel: into each child table, and to the
+// HFTA when rel is a user query.
+func (r *Runtime) emit(rel attr.Set, e hashtab.Entry) {
+	for _, child := range r.cfg.Children(rel) {
+		plan := r.proj[[2]attr.Set{rel, child}]
+		key := make([]uint32, len(plan))
+		for i, idx := range plan {
+			key[i] = e.Key[idx]
+		}
+		r.feed(child, key, e.Aggs)
+	}
+	if r.cfg.IsQuery(rel) {
+		r.ops.Transfers++
+		if r.sink != nil {
+			r.sink(Eviction{Rel: rel, Key: e.Key, Aggs: e.Aggs, Epoch: r.epoch})
+		}
+	}
+}
+
+// FlushEpoch performs the end-of-epoch update: tables are scanned from the
+// raw level down, each entry propagating into the tables it feeds (and to
+// the HFTA for queries); collision victims during the flush cascade
+// further down immediately. Afterwards every table is empty.
+func (r *Runtime) FlushEpoch() {
+	for _, rel := range r.order {
+		t := r.tables[rel]
+		rel := rel
+		t.Flush(func(e hashtab.Entry) {
+			r.emit(rel, e)
+		})
+	}
+}
+
+// Run processes an entire record stream with the given epoch length
+// (0 = one unbounded epoch), flushing at every epoch boundary and once at
+// the end. It returns the operation counters.
+func (r *Runtime) Run(src stream.Source, epochLen uint32) (Ops, error) {
+	clock := stream.NewClock(epochLen)
+	for {
+		rec, ok := src.Next()
+		if !ok {
+			break
+		}
+		epoch, rolled := clock.Advance(rec.Time)
+		if rolled {
+			r.FlushEpoch()
+		}
+		r.Process(rec, epoch)
+	}
+	if err := src.Err(); err != nil {
+		return r.ops, err
+	}
+	if clock.Started() {
+		r.FlushEpoch()
+	}
+	return r.ops, nil
+}

@@ -1,0 +1,136 @@
+package lfta
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/cost"
+	"repro/internal/feedgraph"
+	"repro/internal/stream"
+)
+
+func pacedRuntime(t *testing.T, buckets int) *Runtime {
+	t.Helper()
+	cfg, err := feedgraph.NewConfig(sets("A"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := New(cfg, cost.Alloc{attr.MustParseSet("A"): buckets}, CountStar, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func TestNewPacedValidation(t *testing.T) {
+	rt := pacedRuntime(t, 64)
+	if _, err := NewPaced(nil, 1, 50, 100); err == nil {
+		t.Error("nil runtime accepted")
+	}
+	if _, err := NewPaced(rt, 0, 50, 100); err == nil {
+		t.Error("zero c1 accepted")
+	}
+	if _, err := NewPaced(rt, 1, 50, 0); err == nil {
+		t.Error("zero budget accepted")
+	}
+}
+
+func TestPacedDropsWhenBudgetExhausted(t *testing.T) {
+	rt := pacedRuntime(t, 1024)
+	// Budget of 3 weighted units per tick; each record costs 1 probe
+	// (c1 = 1, huge table, no collisions), so exactly 3 records per tick
+	// survive.
+	p, err := NewPaced(rt, 1, 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		p.Process(stream.Record{Attrs: []uint32{uint32(i)}, Time: 0}, 0)
+	}
+	if p.Processed() != 3 || p.Dropped() != 7 {
+		t.Errorf("processed %d, dropped %d; want 3/7", p.Processed(), p.Dropped())
+	}
+	if got := p.DropRate(); got != 0.7 {
+		t.Errorf("DropRate = %v", got)
+	}
+	// A new tick replenishes the budget.
+	p.Process(stream.Record{Attrs: []uint32{99}, Time: 1}, 0)
+	if p.Processed() != 4 {
+		t.Errorf("record after tick roll dropped; processed = %d", p.Processed())
+	}
+}
+
+func TestPacedBudgetDoesNotBank(t *testing.T) {
+	rt := pacedRuntime(t, 1024)
+	p, err := NewPaced(rt, 1, 50, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tick 0 uses 1 of 5 units; tick 1 must still allow only 5 units.
+	p.Process(stream.Record{Attrs: []uint32{1}, Time: 0}, 0)
+	for i := 0; i < 10; i++ {
+		p.Process(stream.Record{Attrs: []uint32{uint32(i)}, Time: 1}, 0)
+	}
+	if p.Processed() != 1+5 {
+		t.Errorf("processed %d; want 6 (no banking)", p.Processed())
+	}
+}
+
+// TestCheaperConfigurationDropsLess is the paper's motivation end to end:
+// at equal capacity, the configuration with lower per-record cost keeps
+// more of the stream.
+func TestCheaperConfigurationDropsLess(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	const nGroups = 2000
+	mkRec := func(i int) stream.Record {
+		return stream.Record{
+			Attrs: []uint32{uint32(rng.Intn(nGroups)), uint32(rng.Intn(nGroups)), uint32(rng.Intn(nGroups))},
+			Time:  uint32(i / 2000), // 2000 records per time unit
+		}
+	}
+	recs := make([]stream.Record, 60000)
+	for i := range recs {
+		recs[i] = mkRec(i)
+	}
+	queries := sets("A", "B", "C")
+
+	runPaced := func(notation string, alloc cost.Alloc) float64 {
+		cfg, err := feedgraph.ParseConfig(notation, queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := New(cfg, alloc, CountStar, 17, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Capacity: 5000 weighted units per time unit against 2000
+		// arrivals — enough for ~2.5 probes per record, so the 3-probe
+		// no-phantom configuration plus eviction costs must drop records.
+		p, err := NewPaced(rt, 1, 50, 5000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Run(stream.NewSliceSource(recs), 0); err != nil {
+			t.Fatal(err)
+		}
+		return p.DropRate()
+	}
+
+	const m = 4000
+	noPhantom := runPaced("A B C", cost.Alloc{
+		attr.MustParseSet("A"): m / 6, attr.MustParseSet("B"): m / 6, attr.MustParseSet("C"): m / 6,
+	})
+	withPhantom := runPaced("ABC(A B C)", cost.Alloc{
+		attr.MustParseSet("ABC"): (m * 6 / 10) / 4,
+		attr.MustParseSet("A"):   (m * 13 / 100) / 2,
+		attr.MustParseSet("B"):   (m * 13 / 100) / 2,
+		attr.MustParseSet("C"):   (m * 13 / 100) / 2,
+	})
+	if withPhantom >= noPhantom {
+		t.Errorf("phantom config dropped %v, no-phantom %v; want fewer drops with phantom", withPhantom, noPhantom)
+	}
+	if noPhantom == 0 {
+		t.Error("test capacity too generous: no-phantom configuration dropped nothing")
+	}
+}

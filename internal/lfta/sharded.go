@@ -1,0 +1,171 @@
+package lfta
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cost"
+	"repro/internal/feedgraph"
+	"repro/internal/stream"
+)
+
+// Sharded runs several independent LFTA instances over one logical
+// stream — Gigascope's deployment shape, where each network interface (or
+// core) hosts its own LFTA and all of them feed the same HFTAs (Figure 1
+// of the paper). Records are partitioned by a hash of their full
+// attribute vector, so all records of a group land on the same shard and
+// per-shard partial aggregates stay disjoint until the HFTA merge; the
+// merge is exact either way, since HFTA combination is associative and
+// commutative.
+//
+// Each shard owns its own hash tables sized by the same allocation (each
+// LFTA has its own memory in the architecture). Process routes
+// sequentially; RunParallel drives one goroutine per shard, in which case
+// the sink must be safe for concurrent use (see
+// hfta.(*Aggregator).ConcurrentSink).
+type Sharded struct {
+	shards []*Runtime
+}
+
+// NewSharded builds n shards, each executing cfg with its own tables of
+// the given allocation. Shard hash seeds derive from seed so the shards
+// use independent hash functions.
+func NewSharded(cfg *feedgraph.Config, alloc cost.Alloc, aggs []AggSpec, seed uint64, sink Sink, n int) (*Sharded, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("lfta: need at least one shard, got %d", n)
+	}
+	s := &Sharded{shards: make([]*Runtime, n)}
+	for i := range s.shards {
+		rt, err := New(cfg, alloc, aggs, seed+uint64(i)*0x1000193, sink)
+		if err != nil {
+			return nil, err
+		}
+		s.shards[i] = rt
+	}
+	return s, nil
+}
+
+// NumShards returns the number of LFTA instances.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// Shard exposes one underlying runtime (for stats inspection).
+func (s *Sharded) Shard(i int) *Runtime { return s.shards[i] }
+
+// shardOf hashes the full attribute vector to a shard index.
+func (s *Sharded) shardOf(rec *stream.Record) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, v := range rec.Attrs {
+		h ^= uint64(v)
+		h *= prime64
+	}
+	return int(h % uint64(len(s.shards)))
+}
+
+// Process routes one record to its shard.
+func (s *Sharded) Process(rec stream.Record, epoch uint32) {
+	s.shards[s.shardOf(&rec)].Process(rec, epoch)
+}
+
+// FlushEpoch flushes every shard.
+func (s *Sharded) FlushEpoch() {
+	for _, rt := range s.shards {
+		rt.FlushEpoch()
+	}
+}
+
+// Ops returns the summed operation counts of all shards.
+func (s *Sharded) Ops() Ops {
+	var total Ops
+	for _, rt := range s.shards {
+		o := rt.Ops()
+		total.Probes += o.Probes
+		total.Transfers += o.Transfers
+		total.Records += o.Records
+	}
+	return total
+}
+
+// Run consumes the source sequentially, routing records to shards and
+// flushing all shards at epoch boundaries.
+func (s *Sharded) Run(src stream.Source, epochLen uint32) (Ops, error) {
+	clock := stream.NewClock(epochLen)
+	for {
+		rec, ok := src.Next()
+		if !ok {
+			break
+		}
+		epoch, rolled := clock.Advance(rec.Time)
+		if rolled {
+			s.FlushEpoch()
+		}
+		s.Process(rec, epoch)
+	}
+	if err := src.Err(); err != nil {
+		return s.Ops(), err
+	}
+	if clock.Started() {
+		s.FlushEpoch()
+	}
+	return s.Ops(), nil
+}
+
+// RunParallel consumes the source with one goroutine per shard,
+// dispatching records in batches so channel synchronization amortizes
+// over many records (per-record sends would cost more than the LFTA work
+// itself). The sink passed at construction must be concurrency-safe.
+// Each shard keeps its own epoch clock over the (time-ordered)
+// subsequence it receives, so flushes need no cross-shard barrier.
+func (s *Sharded) RunParallel(src stream.Source, epochLen uint32) (Ops, error) {
+	const batchSize = 512
+	chans := make([]chan []stream.Record, len(s.shards))
+	for i := range chans {
+		chans[i] = make(chan []stream.Record, 8)
+	}
+	var wg sync.WaitGroup
+	for i, rt := range s.shards {
+		wg.Add(1)
+		go func(rt *Runtime, in <-chan []stream.Record) {
+			defer wg.Done()
+			clock := stream.NewClock(epochLen)
+			for batch := range in {
+				for _, rec := range batch {
+					epoch, rolled := clock.Advance(rec.Time)
+					if rolled {
+						rt.FlushEpoch()
+					}
+					rt.Process(rec, epoch)
+				}
+			}
+			if clock.Started() {
+				rt.FlushEpoch()
+			}
+		}(rt, chans[i])
+	}
+	pending := make([][]stream.Record, len(s.shards))
+	var srcErr error
+	for {
+		rec, ok := src.Next()
+		if !ok {
+			srcErr = src.Err()
+			break
+		}
+		i := s.shardOf(&rec)
+		pending[i] = append(pending[i], rec)
+		if len(pending[i]) >= batchSize {
+			chans[i] <- pending[i]
+			pending[i] = make([]stream.Record, 0, batchSize)
+		}
+	}
+	for i, batch := range pending {
+		if len(batch) > 0 {
+			chans[i] <- batch
+		}
+		close(chans[i])
+	}
+	wg.Wait()
+	return s.Ops(), srcErr
+}

@@ -1,0 +1,39 @@
+package query_test
+
+import (
+	"fmt"
+
+	"repro/internal/query"
+)
+
+func ExampleParse() {
+	// The paper's Q0.
+	spec, _ := query.Parse("select A, tb, count(*) as cnt from R group by A, time/60 as tb")
+	fmt.Println("group by:", spec.GroupBy)
+	fmt.Println("epoch:", spec.EpochLen, "seconds")
+	fmt.Println(spec)
+	// Output:
+	// group by: A
+	// epoch: 60 seconds
+	// select A, tb, count(*) as cnt from R group by A, time/60 as tb
+}
+
+func ExampleSpec_OutputRow() {
+	// avg(B) is computed at the LFTA/HFTA as sum(B) plus a hidden
+	// count(*); OutputRow divides at output time.
+	spec, _ := query.Parse("select A, avg(B) as len from R group by A")
+	fmt.Println(spec.OutputColumns())
+	fmt.Println(spec.OutputRow([]int64{90, 4})) // sum = 90, count = 4
+	// Output:
+	// [len]
+	// [22.5]
+}
+
+func ExampleFilter_Match() {
+	spec, _ := query.Parse("select A, count(*) from R where B = 80 or B = 443 group by A")
+	fmt.Println(spec.MatchWhere([]uint32{0, 443}))
+	fmt.Println(spec.MatchWhere([]uint32{0, 8080}))
+	// Output:
+	// true
+	// false
+}

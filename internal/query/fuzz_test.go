@@ -1,0 +1,37 @@
+package query
+
+import (
+	"testing"
+)
+
+// FuzzParse hammers the GSQL parser: it must never panic, and anything it
+// accepts must re-render to SQL it accepts again with the same structure.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"select A, tb, count(*) as cnt from R group by A, time/60 as tb",
+		"select A, B, count(*) from R group by A, B",
+		"select C, D, avg(B) as len from R group by C, D, time/300",
+		"select A, count(*) as cnt, sum(D) as bytes from R where C >= 1024 and B != 80 or A = 1 group by A having cnt > 100",
+		"select a from r group by",
+		"select count(*) from R group by A, time/0",
+		"((((",
+		"select",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, sql string) {
+		spec, err := Parse(sql)
+		if err != nil {
+			return
+		}
+		rendered := spec.String()
+		again, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected own rendering %q: %v", sql, rendered, err)
+		}
+		if again.GroupBy != spec.GroupBy || again.EpochLen != spec.EpochLen ||
+			len(again.Aggs) != len(spec.Aggs) || !again.Where.Equal(spec.Where) {
+			t.Fatalf("round trip changed structure: %q -> %q", sql, rendered)
+		}
+	})
+}

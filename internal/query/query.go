@@ -1,0 +1,836 @@
+// Package query parses the GSQL-like aggregation query dialect the paper
+// writes its workloads in:
+//
+//	select A, tb, count(*) as cnt
+//	from R
+//	where C >= 1024
+//	group by A, time/60 as tb
+//	having cnt > 100
+//
+// The dialect covers exactly the FTA shape Gigascope pushes to the LFTA:
+// single-stream selection (WHERE on attribute/constant comparisons),
+// grouping by attributes plus an optional time/N epoch column, the
+// aggregates count(*), sum/min/max(attr), and a HAVING filter over
+// aggregate aliases. A set of parsed queries that differ only in their
+// GROUP BY is what the multiple-aggregation optimizer accepts.
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/attr"
+	"repro/internal/hashtab"
+	"repro/internal/lfta"
+)
+
+// CmpOp is a comparison operator in WHERE/HAVING predicates.
+type CmpOp string
+
+// Supported comparison operators.
+const (
+	Lt CmpOp = "<"
+	Le CmpOp = "<="
+	Gt CmpOp = ">"
+	Ge CmpOp = ">="
+	Eq CmpOp = "="
+	Ne CmpOp = "!="
+)
+
+// Eval applies the operator.
+func (op CmpOp) Eval(a, b int64) bool {
+	switch op {
+	case Lt:
+		return a < b
+	case Le:
+		return a <= b
+	case Gt:
+		return a > b
+	case Ge:
+		return a >= b
+	case Eq:
+		return a == b
+	case Ne:
+		return a != b
+	default:
+		return false
+	}
+}
+
+// Predicate is an "attr op constant" filter applied at the LFTA before
+// any hash-table work (the F of FTA).
+type Predicate struct {
+	Attr attr.ID
+	Op   CmpOp
+	Val  int64
+}
+
+// Match evaluates the predicate on a record's attribute values.
+func (p Predicate) Match(attrs []uint32) bool {
+	if int(p.Attr) >= len(attrs) {
+		return false
+	}
+	return p.Op.Eval(int64(attrs[p.Attr]), p.Val)
+}
+
+// Filter is a WHERE clause in disjunctive normal form: a record matches
+// if every predicate of at least one conjunction holds ("and" binds
+// tighter than "or", as usual). The zero value matches everything.
+type Filter struct {
+	DNF [][]Predicate
+}
+
+// Empty reports whether the filter matches everything.
+func (f Filter) Empty() bool { return len(f.DNF) == 0 }
+
+// Match evaluates the filter on a record's attribute values.
+func (f Filter) Match(attrs []uint32) bool {
+	if len(f.DNF) == 0 {
+		return true
+	}
+	for _, conj := range f.DNF {
+		ok := true
+		for _, p := range conj {
+			if !p.Match(attrs) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports structural equality; queries sharing phantoms must share
+// their filter.
+func (f Filter) Equal(g Filter) bool {
+	if len(f.DNF) != len(g.DNF) {
+		return false
+	}
+	for i := range f.DNF {
+		if len(f.DNF[i]) != len(g.DNF[i]) {
+			return false
+		}
+		for j := range f.DNF[i] {
+			if f.DNF[i][j] != g.DNF[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the filter as re-parseable SQL.
+func (f Filter) String() string {
+	var disj []string
+	for _, conj := range f.DNF {
+		var ps []string
+		for _, p := range conj {
+			ps = append(ps, fmt.Sprintf("%s %s %d", p.Attr.Name(), p.Op, p.Val))
+		}
+		disj = append(disj, strings.Join(ps, " and "))
+	}
+	return strings.Join(disj, " or ")
+}
+
+// Having is an "alias op constant" filter over a finalized aggregate.
+type Having struct {
+	AggIndex int
+	Op       CmpOp
+	Val      int64
+	IsAvg    bool // compare sum/count instead of the raw slot
+	CntIndex int  // count slot for IsAvg
+}
+
+// Agg is one aggregate column of the select list.
+//
+// An avg(X) column is rewritten at parse time into a physical sum(X) slot
+// plus a (possibly hidden) count(*) slot: the LFTA and HFTA only ever
+// combine associative aggregates, and the division happens at output time
+// (see OutputRow). AvgOf points at the count slot; Hidden marks slots the
+// rewrite added that do not appear in the select list.
+type Agg struct {
+	Spec   lfta.AggSpec
+	Alias  string // output column name (defaults to e.g. "count(*)")
+	AvgOf  int    // index of the count slot when this is an average; -1 otherwise
+	Hidden bool   // internal slot added by the avg rewrite
+}
+
+// callString renders the aggregate as re-parseable SQL, e.g.
+// "count(*) as cnt", "sum(B)" or "avg(B) as len".
+func (a Agg) callString() string {
+	var call string
+	switch {
+	case a.AvgOf >= 0:
+		call = fmt.Sprintf("avg(%s)", attr.ID(a.Spec.Input).Name())
+	case a.Spec.Input < 0:
+		call = "count(*)"
+	default:
+		call = fmt.Sprintf("%s(%s)", a.Spec.Op, attr.ID(a.Spec.Input).Name())
+	}
+	if a.Alias != "" && a.Alias != call {
+		call += " as " + a.Alias
+	}
+	return call
+}
+
+// Spec is a parsed aggregation query.
+type Spec struct {
+	Name     string   // optional label (set by the caller)
+	GroupBy  attr.Set // grouping attributes (the relation)
+	EpochLen uint32   // seconds per epoch; 0 if no time bucket
+	EpochVar string   // alias of the time bucket column, if any
+	Aggs     []Agg
+	Where    Filter   // WHERE clause in DNF (and/or)
+	HavingCl []Having // conjunction
+	Source   string   // FROM relation name
+}
+
+// AggSpecs extracts the lfta.AggSpec list.
+func (s *Spec) AggSpecs() []lfta.AggSpec {
+	out := make([]lfta.AggSpec, len(s.Aggs))
+	for i, a := range s.Aggs {
+		out[i] = a.Spec
+	}
+	return out
+}
+
+// MatchWhere reports whether a record passes the WHERE clause.
+func (s *Spec) MatchWhere(attrs []uint32) bool { return s.Where.Match(attrs) }
+
+// MatchHaving reports whether finalized aggregates pass HAVING.
+func (s *Spec) MatchHaving(aggs []int64) bool {
+	for _, h := range s.HavingCl {
+		if h.AggIndex >= len(aggs) {
+			return false
+		}
+		if h.IsAvg {
+			if h.CntIndex >= len(aggs) || aggs[h.CntIndex] == 0 {
+				return false
+			}
+			avg := float64(aggs[h.AggIndex]) / float64(aggs[h.CntIndex])
+			if !h.Op.Eval(int64(avg), h.Val) {
+				return false
+			}
+			continue
+		}
+		if !h.Op.Eval(aggs[h.AggIndex], h.Val) {
+			return false
+		}
+	}
+	return true
+}
+
+func hasAvg(aggs []Agg) bool {
+	for _, a := range aggs {
+		if a.AvgOf != -1 {
+			return true
+		}
+	}
+	return false
+}
+
+// OutputColumns returns the visible aggregate column names, in select
+// order (hidden slots added by the avg rewrite are skipped).
+func (s *Spec) OutputColumns() []string {
+	var out []string
+	for _, a := range s.Aggs {
+		if !a.Hidden {
+			out = append(out, a.Alias)
+		}
+	}
+	return out
+}
+
+// OutputRow finalizes a row's physical aggregate slots into the visible
+// output values: averages are divided out, everything else passes
+// through. The result aligns with OutputColumns.
+func (s *Spec) OutputRow(aggs []int64) []float64 {
+	var out []float64
+	for i, a := range s.Aggs {
+		if a.Hidden {
+			continue
+		}
+		if a.AvgOf >= 0 {
+			cnt := aggs[a.AvgOf]
+			if cnt == 0 {
+				out = append(out, 0)
+			} else {
+				out = append(out, float64(aggs[i])/float64(cnt))
+			}
+			continue
+		}
+		out = append(out, float64(aggs[i]))
+	}
+	return out
+}
+
+// String renders the query back in the dialect.
+func (s *Spec) String() string {
+	var b strings.Builder
+	b.WriteString("select ")
+	var cols []string
+	for _, id := range s.GroupBy.IDs() {
+		cols = append(cols, id.Name())
+	}
+	if s.EpochLen > 0 && s.EpochVar != "" {
+		cols = append(cols, s.EpochVar)
+	}
+	for _, a := range s.Aggs {
+		if !a.Hidden {
+			cols = append(cols, a.callString())
+		}
+	}
+	b.WriteString(strings.Join(cols, ", "))
+	b.WriteString(" from ")
+	src := s.Source
+	if src == "" {
+		src = "R"
+	}
+	b.WriteString(src)
+	if !s.Where.Empty() {
+		b.WriteString(" where ")
+		b.WriteString(s.Where.String())
+	}
+	b.WriteString(" group by ")
+	var gs []string
+	for _, id := range s.GroupBy.IDs() {
+		gs = append(gs, id.Name())
+	}
+	if s.EpochLen > 0 {
+		g := fmt.Sprintf("time/%d", s.EpochLen)
+		if s.EpochVar != "" {
+			g += " as " + s.EpochVar
+		}
+		gs = append(gs, g)
+	}
+	b.WriteString(strings.Join(gs, ", "))
+	if len(s.HavingCl) > 0 {
+		var hs []string
+		for _, h := range s.HavingCl {
+			alias := fmt.Sprintf("agg%d", h.AggIndex)
+			if h.AggIndex < len(s.Aggs) {
+				alias = s.Aggs[h.AggIndex].Alias
+			}
+			hs = append(hs, fmt.Sprintf("%s %s %d", alias, h.Op, h.Val))
+		}
+		b.WriteString(" having ")
+		b.WriteString(strings.Join(hs, " and "))
+	}
+	return b.String()
+}
+
+// Parse parses one query.
+func Parse(sql string) (*Spec, error) {
+	p := &parser{toks: tokenize(sql), src: sql}
+	spec, err := p.parseQuery()
+	if err != nil {
+		return nil, fmt.Errorf("query: %v in %q", err, sql)
+	}
+	return spec, nil
+}
+
+// MustParse is Parse that panics on error.
+func MustParse(sql string) *Spec {
+	s, err := Parse(sql)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ParseSet parses several queries and checks they are compatible for
+// multiple-aggregation optimization: same source, same epoch length, same
+// aggregate list, same WHERE clause — differing only in grouping
+// attributes, as the paper's problem statement requires.
+func ParseSet(sqls []string) ([]*Spec, error) {
+	if len(sqls) == 0 {
+		return nil, fmt.Errorf("query: empty query set")
+	}
+	specs := make([]*Spec, len(sqls))
+	for i, s := range sqls {
+		spec, err := Parse(s)
+		if err != nil {
+			return nil, err
+		}
+		specs[i] = spec
+	}
+	base := specs[0]
+	for _, s := range specs[1:] {
+		if s.Source != base.Source {
+			return nil, fmt.Errorf("query: queries read different sources %q and %q", base.Source, s.Source)
+		}
+		if s.EpochLen != base.EpochLen {
+			return nil, fmt.Errorf("query: mixed epoch lengths %d and %d", base.EpochLen, s.EpochLen)
+		}
+		if !sameAggs(s.Aggs, base.Aggs) {
+			return nil, fmt.Errorf("query: aggregate lists differ between queries")
+		}
+		if !s.Where.Equal(base.Where) {
+			return nil, fmt.Errorf("query: WHERE clauses differ between queries; shared phantoms need a common filter")
+		}
+	}
+	return specs, nil
+}
+
+func sameAggs(a, b []Agg) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Spec != b[i].Spec {
+			return false
+		}
+	}
+	return true
+}
+
+// --- lexer ---
+
+type token struct {
+	kind string // "ident", "num", "punct"
+	text string
+}
+
+func tokenize(s string) []token {
+	var toks []token
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case isIdentStart(c):
+			j := i
+			for j < len(s) && isIdentChar(s[j]) {
+				j++
+			}
+			toks = append(toks, token{"ident", s[i:j]})
+			i = j
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(s) && s[j] >= '0' && s[j] <= '9' {
+				j++
+			}
+			toks = append(toks, token{"num", s[i:j]})
+			i = j
+		case c == '<' || c == '>' || c == '!':
+			if i+1 < len(s) && s[i+1] == '=' {
+				toks = append(toks, token{"punct", s[i : i+2]})
+				i += 2
+			} else {
+				toks = append(toks, token{"punct", string(c)})
+				i++
+			}
+		default:
+			toks = append(toks, token{"punct", string(c)})
+			i++
+		}
+	}
+	return toks
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}
+
+// --- parser ---
+
+type parser struct {
+	toks []token
+	pos  int
+	src  string
+}
+
+func (p *parser) peek() token {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return token{}
+}
+
+func (p *parser) next() token {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	t := p.peek()
+	if t.kind == "ident" && strings.EqualFold(t.text, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return fmt.Errorf("expected %q, got %q", kw, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	t := p.peek()
+	if t.kind == "punct" && t.text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.acceptPunct(s) {
+		return fmt.Errorf("expected %q, got %q", s, p.peek().text)
+	}
+	return nil
+}
+
+// selectItem captures a select-list entry before resolution.
+type selectItem struct {
+	isAgg bool
+	op    string // count/sum/min/max
+	arg   string // "*" or attribute name
+	name  string // plain column name when !isAgg
+	alias string
+}
+
+func (p *parser) parseQuery() (*Spec, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	var items []selectItem
+	for {
+		it, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, it)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	srcTok := p.next()
+	if srcTok.kind != "ident" {
+		return nil, fmt.Errorf("expected source relation, got %q", srcTok.text)
+	}
+	spec := &Spec{Source: srcTok.text}
+
+	if p.acceptKeyword("where") {
+		filter, err := p.parseFilter()
+		if err != nil {
+			return nil, err
+		}
+		spec.Where = filter
+	}
+
+	if err := p.expectKeyword("group"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("by"); err != nil {
+		return nil, err
+	}
+	if err := p.parseGroupBy(spec); err != nil {
+		return nil, err
+	}
+
+	// Resolve select list against the group by.
+	aliasToAgg := map[string]int{}
+	const needsCount = -2 // AvgOf placeholder until the count slot is known
+	for _, it := range items {
+		if it.isAgg {
+			alias := it.alias
+			if alias == "" {
+				alias = fmt.Sprintf("%s(%s)", strings.ToLower(it.op), it.arg)
+			}
+			if it.op == "avg" {
+				// avg(X) → physical sum(X); the count slot is resolved
+				// after the whole select list is known.
+				if it.arg == "*" {
+					return nil, fmt.Errorf("avg(*) is not a valid aggregate")
+				}
+				sumSpec, err := resolveAgg("sum", it.arg)
+				if err != nil {
+					return nil, err
+				}
+				aliasToAgg[alias] = len(spec.Aggs)
+				spec.Aggs = append(spec.Aggs, Agg{Spec: sumSpec, Alias: alias, AvgOf: needsCount})
+				continue
+			}
+			aggSpec, err := resolveAgg(it.op, it.arg)
+			if err != nil {
+				return nil, err
+			}
+			aliasToAgg[alias] = len(spec.Aggs)
+			spec.Aggs = append(spec.Aggs, Agg{Spec: aggSpec, Alias: alias, AvgOf: -1})
+			continue
+		}
+		// Plain column: must be a grouping attribute or the epoch alias.
+		if spec.EpochVar != "" && it.name == spec.EpochVar {
+			continue
+		}
+		set, err := attr.ParseSet(it.name)
+		if err != nil || set.Size() != 1 {
+			return nil, fmt.Errorf("select column %q is neither an attribute nor the epoch alias", it.name)
+		}
+		if !set.SubsetOf(spec.GroupBy) {
+			return nil, fmt.Errorf("select column %q is not in the group by", it.name)
+		}
+	}
+	if len(spec.Aggs) == 0 {
+		return nil, fmt.Errorf("query has no aggregate")
+	}
+
+	// Resolve the count slot for any avg rewrites: reuse a visible
+	// count(*) if the query already has one, otherwise append a hidden
+	// one.
+	if hasAvg(spec.Aggs) {
+		cnt := -1
+		for i, a := range spec.Aggs {
+			if a.Spec.Input < 0 && a.AvgOf == -1 {
+				cnt = i
+				break
+			}
+		}
+		if cnt < 0 {
+			cnt = len(spec.Aggs)
+			spec.Aggs = append(spec.Aggs, Agg{
+				Spec:   lfta.AggSpec{Op: hashtab.Sum, Input: -1},
+				Alias:  "__cnt",
+				AvgOf:  -1,
+				Hidden: true,
+			})
+		}
+		for i := range spec.Aggs {
+			if spec.Aggs[i].AvgOf == needsCount {
+				spec.Aggs[i].AvgOf = cnt
+			}
+		}
+	}
+
+	if p.acceptKeyword("having") {
+		if err := p.parseHaving(spec, aliasToAgg); err != nil {
+			return nil, err
+		}
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("trailing input %q", p.peek().text)
+	}
+	if spec.GroupBy.IsEmpty() {
+		return nil, fmt.Errorf("group by lists no attributes")
+	}
+	return spec, nil
+}
+
+func (p *parser) parseSelectItem() (selectItem, error) {
+	t := p.next()
+	if t.kind != "ident" {
+		return selectItem{}, fmt.Errorf("expected select column, got %q", t.text)
+	}
+	lower := strings.ToLower(t.text)
+	if (lower == "count" || lower == "sum" || lower == "min" || lower == "max" || lower == "avg") && p.acceptPunct("(") {
+		var arg string
+		if p.acceptPunct("*") {
+			arg = "*"
+		} else {
+			at := p.next()
+			if at.kind != "ident" {
+				return selectItem{}, fmt.Errorf("expected aggregate argument, got %q", at.text)
+			}
+			arg = at.text
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return selectItem{}, err
+		}
+		it := selectItem{isAgg: true, op: lower, arg: arg}
+		if p.acceptKeyword("as") {
+			al := p.next()
+			if al.kind != "ident" {
+				return selectItem{}, fmt.Errorf("expected alias, got %q", al.text)
+			}
+			it.alias = al.text
+		}
+		return it, nil
+	}
+	it := selectItem{name: t.text}
+	if p.acceptKeyword("as") {
+		al := p.next()
+		if al.kind != "ident" {
+			return selectItem{}, fmt.Errorf("expected alias, got %q", al.text)
+		}
+		it.alias = al.text
+	}
+	return it, nil
+}
+
+func resolveAgg(op, arg string) (lfta.AggSpec, error) {
+	if op == "count" {
+		if arg != "*" {
+			return lfta.AggSpec{}, fmt.Errorf("only count(*) is supported, got count(%s)", arg)
+		}
+		return lfta.AggSpec{Op: hashtab.Sum, Input: -1}, nil
+	}
+	if arg == "*" {
+		return lfta.AggSpec{}, fmt.Errorf("%s(*) is not a valid aggregate", op)
+	}
+	set, err := attr.ParseSet(arg)
+	if err != nil || set.Size() != 1 {
+		return lfta.AggSpec{}, fmt.Errorf("aggregate argument %q must be a single attribute", arg)
+	}
+	input := int(set.IDs()[0])
+	switch op {
+	case "sum":
+		return lfta.AggSpec{Op: hashtab.Sum, Input: input}, nil
+	case "min":
+		return lfta.AggSpec{Op: hashtab.Min, Input: input}, nil
+	case "max":
+		return lfta.AggSpec{Op: hashtab.Max, Input: input}, nil
+	default:
+		return lfta.AggSpec{}, fmt.Errorf("unknown aggregate %q", op)
+	}
+}
+
+func (p *parser) parseGroupBy(spec *Spec) error {
+	for {
+		t := p.next()
+		if t.kind != "ident" {
+			return fmt.Errorf("expected group-by item, got %q", t.text)
+		}
+		if strings.EqualFold(t.text, "time") {
+			if err := p.expectPunct("/"); err != nil {
+				return err
+			}
+			num := p.next()
+			if num.kind != "num" {
+				return fmt.Errorf("expected epoch length after time/, got %q", num.text)
+			}
+			n, err := strconv.ParseUint(num.text, 10, 32)
+			if err != nil || n == 0 {
+				return fmt.Errorf("bad epoch length %q", num.text)
+			}
+			if spec.EpochLen != 0 {
+				return fmt.Errorf("duplicate time bucket in group by")
+			}
+			spec.EpochLen = uint32(n)
+			if p.acceptKeyword("as") {
+				al := p.next()
+				if al.kind != "ident" {
+					return fmt.Errorf("expected alias, got %q", al.text)
+				}
+				spec.EpochVar = al.text
+			}
+		} else {
+			set, err := attr.ParseSet(t.text)
+			if err != nil {
+				return fmt.Errorf("bad grouping attribute %q", t.text)
+			}
+			spec.GroupBy = spec.GroupBy.Union(set)
+		}
+		if !p.acceptPunct(",") {
+			return nil
+		}
+	}
+}
+
+// parseFilter parses the WHERE clause as DNF: conjunctions of
+// comparisons joined by "or" ("and" binds tighter).
+func (p *parser) parseFilter() (Filter, error) {
+	var f Filter
+	for {
+		conj, err := p.parsePredicates()
+		if err != nil {
+			return Filter{}, err
+		}
+		f.DNF = append(f.DNF, conj)
+		if !p.acceptKeyword("or") {
+			return f, nil
+		}
+	}
+}
+
+func (p *parser) parsePredicates() ([]Predicate, error) {
+	var out []Predicate
+	for {
+		at := p.next()
+		if at.kind != "ident" {
+			return nil, fmt.Errorf("expected attribute in predicate, got %q", at.text)
+		}
+		set, err := attr.ParseSet(at.text)
+		if err != nil || set.Size() != 1 {
+			return nil, fmt.Errorf("predicate attribute %q must be a single attribute", at.text)
+		}
+		op, err := p.parseCmpOp()
+		if err != nil {
+			return nil, err
+		}
+		num := p.next()
+		if num.kind != "num" {
+			return nil, fmt.Errorf("expected constant, got %q", num.text)
+		}
+		v, err := strconv.ParseInt(num.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad constant %q", num.text)
+		}
+		out = append(out, Predicate{Attr: set.IDs()[0], Op: op, Val: v})
+		if !p.acceptKeyword("and") {
+			return out, nil
+		}
+	}
+}
+
+func (p *parser) parseHaving(spec *Spec, aliasToAgg map[string]int) error {
+	for {
+		al := p.next()
+		if al.kind != "ident" {
+			return fmt.Errorf("expected aggregate alias in having, got %q", al.text)
+		}
+		idx, ok := aliasToAgg[al.text]
+		if !ok {
+			return fmt.Errorf("having references unknown aggregate %q", al.text)
+		}
+		op, err := p.parseCmpOp()
+		if err != nil {
+			return err
+		}
+		num := p.next()
+		if num.kind != "num" {
+			return fmt.Errorf("expected constant, got %q", num.text)
+		}
+		v, err := strconv.ParseInt(num.text, 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad constant %q", num.text)
+		}
+		h := Having{AggIndex: idx, Op: op, Val: v}
+		if a := spec.Aggs[idx]; a.AvgOf >= 0 {
+			h.IsAvg, h.CntIndex = true, a.AvgOf
+		}
+		spec.HavingCl = append(spec.HavingCl, h)
+		if !p.acceptKeyword("and") {
+			return nil
+		}
+	}
+}
+
+func (p *parser) parseCmpOp() (CmpOp, error) {
+	t := p.next()
+	if t.kind != "punct" {
+		return "", fmt.Errorf("expected comparison operator, got %q", t.text)
+	}
+	switch t.text {
+	case "<", "<=", ">", ">=", "=", "!=":
+		return CmpOp(t.text), nil
+	default:
+		return "", fmt.Errorf("unknown operator %q", t.text)
+	}
+}

@@ -1,0 +1,367 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/hashtab"
+)
+
+func TestParsePaperQ0(t *testing.T) {
+	// The paper's Q0: select A, tb, count(*) as cnt from R
+	//                 group by A, time/60 as tb
+	s, err := Parse("select A, tb, count(*) as cnt from R group by A, time/60 as tb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.GroupBy != attr.MustParseSet("A") {
+		t.Errorf("GroupBy = %v", s.GroupBy)
+	}
+	if s.EpochLen != 60 || s.EpochVar != "tb" {
+		t.Errorf("epoch = %d as %q", s.EpochLen, s.EpochVar)
+	}
+	if len(s.Aggs) != 1 || s.Aggs[0].Alias != "cnt" {
+		t.Errorf("aggs = %+v", s.Aggs)
+	}
+	if s.Aggs[0].Spec.Input != -1 || s.Aggs[0].Spec.Op != hashtab.Sum {
+		t.Errorf("count(*) spec = %+v", s.Aggs[0].Spec)
+	}
+	if s.Source != "R" {
+		t.Errorf("source = %q", s.Source)
+	}
+}
+
+func TestParsePaperQ123(t *testing.T) {
+	// Q1/Q2/Q3 of Section 2.4.
+	for _, q := range []struct{ sql, rel string }{
+		{"select A, count(*) from R group by A", "A"},
+		{"select B, count(*) from R group by B", "B"},
+		{"select C, count(*) From R group by C", "C"}, // case-insensitive keywords
+	} {
+		s, err := Parse(q.sql)
+		if err != nil {
+			t.Fatalf("%q: %v", q.sql, err)
+		}
+		if s.GroupBy != attr.MustParseSet(q.rel) {
+			t.Errorf("%q: GroupBy = %v", q.sql, s.GroupBy)
+		}
+		if s.EpochLen != 0 {
+			t.Errorf("%q: unexpected epoch %d", q.sql, s.EpochLen)
+		}
+	}
+}
+
+func TestParseMultiAttributeGroupBy(t *testing.T) {
+	s, err := Parse("select A, B, count(*) from R group by A, B, time/300")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.GroupBy != attr.MustParseSet("AB") {
+		t.Errorf("GroupBy = %v", s.GroupBy)
+	}
+	if s.EpochLen != 300 {
+		t.Errorf("EpochLen = %d", s.EpochLen)
+	}
+}
+
+func TestParseWhereHaving(t *testing.T) {
+	s, err := Parse("select A, count(*) as cnt, sum(D) as bytes from R where C >= 1024 and B != 80 group by A having cnt > 100 and bytes <= 5000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Where.DNF) != 1 || len(s.Where.DNF[0]) != 2 {
+		t.Fatalf("Where = %+v", s.Where)
+	}
+	if p0 := s.Where.DNF[0][0]; p0.Attr != 2 || p0.Op != Ge || p0.Val != 1024 {
+		t.Errorf("Where[0] = %+v", p0)
+	}
+	if !s.MatchWhere([]uint32{0, 81, 1024, 0}) {
+		t.Error("record matching both predicates rejected")
+	}
+	if s.MatchWhere([]uint32{0, 80, 1024, 0}) {
+		t.Error("B != 80 predicate did not fire")
+	}
+	if s.MatchWhere([]uint32{0, 81, 1023, 0}) {
+		t.Error("C >= 1024 predicate did not fire")
+	}
+	if len(s.HavingCl) != 2 {
+		t.Fatalf("Having = %+v", s.HavingCl)
+	}
+	if !s.MatchHaving([]int64{101, 5000}) {
+		t.Error("valid aggregates rejected by having")
+	}
+	if s.MatchHaving([]int64{100, 5000}) {
+		t.Error("cnt > 100 did not fire")
+	}
+	if s.MatchHaving([]int64{101, 5001}) {
+		t.Error("bytes <= 5000 did not fire")
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	s, err := Parse("select A, count(*), sum(B), min(C), max(D) from R group by A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Aggs) != 4 {
+		t.Fatalf("aggs = %+v", s.Aggs)
+	}
+	wantOps := []hashtab.AggOp{hashtab.Sum, hashtab.Sum, hashtab.Min, hashtab.Max}
+	wantInputs := []int{-1, 1, 2, 3}
+	for i := range wantOps {
+		if s.Aggs[i].Spec.Op != wantOps[i] || s.Aggs[i].Spec.Input != wantInputs[i] {
+			t.Errorf("agg %d = %+v", i, s.Aggs[i].Spec)
+		}
+	}
+	// Default aliases are the rendered call.
+	if s.Aggs[1].Alias != "sum(B)" {
+		t.Errorf("alias = %q", s.Aggs[1].Alias)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"select from R group by A",
+		"select A from R group by A",                             // no aggregate
+		"select count(*) from R",                                 // no group by
+		"select count(*) from R group by",                        // empty group by
+		"select count(B) from R group by A",                      // count takes *
+		"select sum(*) from R group by A",                        // sum takes an attribute
+		"select avg(*) from R group by A",                        // avg takes an attribute
+		"select median(B) from R group by A",                     // unknown aggregate
+		"select X1, count(*) from R group by X1",                 // bad attribute
+		"select A, count(*) from R group by A, time/0",           // zero epoch
+		"select A, count(*) from R group by A, time/60, time/60", // duplicate epoch
+		"select A, count(*) from R group by A having bogus > 1",  // unknown alias
+		"select A, count(*) from R where A ~ 3 group by A",       // bad operator
+		"select A, count(*) from R where A > x group by A",       // non-numeric constant
+		"select B, count(*) from R group by A",                   // selected non-grouped column
+		"select A, count(*) from R group by A trailing",          // trailing tokens
+		"select A, count(*) as c from R group by A having c > 1 x",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) succeeded; want error", sql)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, sql := range []string{
+		"select A, tb, count(*) as cnt from R group by A, time/60 as tb",
+		"select A, B, count(*) as cnt from pkts where C >= 1024 group by A, B having cnt > 100",
+		"select D, count(*) as n, sum(B) as bytes from R group by D",
+	} {
+		s1, err := Parse(sql)
+		if err != nil {
+			t.Fatalf("%q: %v", sql, err)
+		}
+		s2, err := Parse(s1.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q: %v", s1.String(), err)
+		}
+		if s2.GroupBy != s1.GroupBy || s2.EpochLen != s1.EpochLen || len(s2.Aggs) != len(s1.Aggs) ||
+			!s2.Where.Equal(s1.Where) || len(s2.HavingCl) != len(s1.HavingCl) {
+			t.Errorf("round trip changed query: %q -> %q", sql, s1.String())
+		}
+	}
+}
+
+func TestParseSetCompatibility(t *testing.T) {
+	ok := []string{
+		"select A, B, count(*) as cnt from R group by A, B, time/300",
+		"select B, C, count(*) as cnt from R group by B, C, time/300",
+		"select B, D, count(*) as cnt from R group by B, D, time/300",
+	}
+	specs, err := ParseSet(ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 3 || specs[1].GroupBy != attr.MustParseSet("BC") {
+		t.Errorf("specs = %+v", specs)
+	}
+
+	for name, bad := range map[string][]string{
+		"different sources": {
+			"select A, count(*) from R group by A",
+			"select B, count(*) from S group by B",
+		},
+		"different epochs": {
+			"select A, count(*) from R group by A, time/60",
+			"select B, count(*) from R group by B, time/300",
+		},
+		"different aggregates": {
+			"select A, count(*) from R group by A",
+			"select B, sum(C) from R group by B",
+		},
+		"different filters": {
+			"select A, count(*) from R where C > 1 group by A",
+			"select B, count(*) from R group by B",
+		},
+		"empty": {},
+	} {
+		if _, err := ParseSet(bad); err == nil {
+			t.Errorf("%s: incompatible set accepted", name)
+		}
+	}
+}
+
+func TestWhereDisjunction(t *testing.T) {
+	// "and" binds tighter than "or": (B = 80 and C < 10) or B = 443.
+	s, err := Parse("select A, count(*) from R where B = 80 and C < 10 or B = 443 group by A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Where.DNF) != 2 || len(s.Where.DNF[0]) != 2 || len(s.Where.DNF[1]) != 1 {
+		t.Fatalf("DNF shape = %+v", s.Where.DNF)
+	}
+	cases := []struct {
+		attrs []uint32
+		want  bool
+	}{
+		{[]uint32{0, 80, 5}, true},    // first conjunct
+		{[]uint32{0, 80, 10}, false},  // C < 10 fails, B != 443
+		{[]uint32{0, 443, 99}, true},  // second conjunct
+		{[]uint32{0, 8080, 5}, false}, // neither
+	}
+	for _, c := range cases {
+		if got := s.MatchWhere(c.attrs); got != c.want {
+			t.Errorf("MatchWhere(%v) = %v; want %v", c.attrs, got, c.want)
+		}
+	}
+	// Round trip.
+	s2, err := Parse(s.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", s.String(), err)
+	}
+	if !s2.Where.Equal(s.Where) {
+		t.Errorf("round trip changed filter: %q", s.String())
+	}
+	// Empty filter matches everything.
+	var empty Filter
+	if !empty.Match([]uint32{1}) {
+		t.Error("empty filter rejected a record")
+	}
+	// Filter inequality.
+	if s.Where.Equal(s2.Where) != true || s.Where.Equal(Filter{}) {
+		t.Error("Filter.Equal wrong")
+	}
+}
+
+func TestAvgRewrite(t *testing.T) {
+	// The paper's motivating query: "for every destination IP,
+	// destination port and 5 minute interval, report the average packet
+	// length". avg rewrites to sum + a hidden count.
+	s, err := Parse("select C, D, avg(B) as len from R group by C, D, time/300")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Aggs) != 2 {
+		t.Fatalf("aggs = %+v; want sum slot + hidden count", s.Aggs)
+	}
+	sum, cnt := s.Aggs[0], s.Aggs[1]
+	if sum.Spec.Op != hashtab.Sum || sum.Spec.Input != 1 || sum.AvgOf != 1 || sum.Hidden {
+		t.Errorf("sum slot = %+v", sum)
+	}
+	if cnt.Spec.Input != -1 || !cnt.Hidden {
+		t.Errorf("count slot = %+v", cnt)
+	}
+	if cols := s.OutputColumns(); len(cols) != 1 || cols[0] != "len" {
+		t.Errorf("OutputColumns = %v", cols)
+	}
+	// sum = 90, count = 4 → avg 22.5.
+	if out := s.OutputRow([]int64{90, 4}); len(out) != 1 || out[0] != 22.5 {
+		t.Errorf("OutputRow = %v", out)
+	}
+	if out := s.OutputRow([]int64{90, 0}); out[0] != 0 {
+		t.Errorf("zero-count OutputRow = %v", out)
+	}
+	// String round trip preserves the avg.
+	s2, err := Parse(s.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", s.String(), err)
+	}
+	if len(s2.Aggs) != 2 || s2.Aggs[0].AvgOf != 1 {
+		t.Errorf("round trip lost the avg rewrite: %q -> %+v", s.String(), s2.Aggs)
+	}
+}
+
+func TestAvgReusesVisibleCount(t *testing.T) {
+	s, err := Parse("select A, count(*) as cnt, avg(B) as len from R group by A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Aggs) != 2 {
+		t.Fatalf("aggs = %+v; the visible count must be reused", s.Aggs)
+	}
+	if s.Aggs[1].AvgOf != 0 {
+		t.Errorf("avg slot points at %d; want the visible count at 0", s.Aggs[1].AvgOf)
+	}
+	if out := s.OutputRow([]int64{4, 90}); len(out) != 2 || out[0] != 4 || out[1] != 22.5 {
+		t.Errorf("OutputRow = %v", out)
+	}
+}
+
+func TestAvgHaving(t *testing.T) {
+	s, err := Parse("select A, avg(B) as len from R group by A having len >= 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sum=500, count=4 → avg 125 ≥ 100 passes.
+	if !s.MatchHaving([]int64{500, 4}) {
+		t.Error("avg 125 rejected")
+	}
+	// sum=300, count=4 → avg 75 fails.
+	if s.MatchHaving([]int64{300, 4}) {
+		t.Error("avg 75 accepted")
+	}
+	// zero count never passes.
+	if s.MatchHaving([]int64{300, 0}) {
+		t.Error("zero-count group accepted")
+	}
+}
+
+func TestCmpOpEval(t *testing.T) {
+	cases := []struct {
+		op   CmpOp
+		a, b int64
+		want bool
+	}{
+		{Lt, 1, 2, true}, {Lt, 2, 2, false},
+		{Le, 2, 2, true}, {Le, 3, 2, false},
+		{Gt, 3, 2, true}, {Gt, 2, 2, false},
+		{Ge, 2, 2, true}, {Ge, 1, 2, false},
+		{Eq, 2, 2, true}, {Eq, 1, 2, false},
+		{Ne, 1, 2, true}, {Ne, 2, 2, false},
+	}
+	for _, c := range cases {
+		if got := c.op.Eval(c.a, c.b); got != c.want {
+			t.Errorf("%d %s %d = %v", c.a, c.op, c.b, got)
+		}
+	}
+	if CmpOp("??").Eval(1, 1) {
+		t.Error("unknown operator evaluated true")
+	}
+}
+
+func TestPredicateOutOfRangeAttr(t *testing.T) {
+	p := Predicate{Attr: 9, Op: Gt, Val: 0}
+	if p.Match([]uint32{1, 2}) {
+		t.Error("out-of-range attribute matched")
+	}
+}
+
+func TestKeywordsCaseInsensitive(t *testing.T) {
+	s, err := Parse("SELECT a, COUNT(*) FROM R GROUP BY a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.GroupBy != attr.MustParseSet("A") {
+		t.Errorf("GroupBy = %v", s.GroupBy)
+	}
+	if !strings.Contains(s.String(), "count(*)") {
+		t.Errorf("String = %q", s.String())
+	}
+}

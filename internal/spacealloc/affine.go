@@ -1,0 +1,121 @@
+package spacealloc
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/attr"
+	"repro/internal/collision"
+	"repro/internal/cost"
+	"repro/internal/feedgraph"
+)
+
+// Section 5.3 of the paper revisits the linear-rate simplification: with
+// the full affine law x = α + μ·g/b (Equation 16), the stationarity
+// conditions of the one-phantom case produce a quartic equation, "which
+// can be solved" but is unwieldy. TwoLevelOptimalAffine computes that
+// optimum without quartic root selection by exploiting the problem's
+// structure: for any fixed phantom size b0, the additive α shifts every
+// child rate by a constant, so the inner minimization over the children
+// is the same as in the linear case (b_i ∝ √(G_i/h_i)); the remaining
+// problem is one-dimensional in b0 and is solved by bracketed
+// golden-section search over a coarse scan's best bracket.
+
+// TwoLevelOptimalAffine solves configurations with exactly one phantom
+// feeding all queries under the affine rate x = α + μ·G/b.
+func TwoLevelOptimalAffine(cfg *feedgraph.Config, groups feedgraph.GroupCounts, m int, p cost.Params) (cost.Alloc, error) {
+	if err := checkBudget(cfg, m); err != nil {
+		return nil, err
+	}
+	raws := cfg.Raws()
+	if cfg.Depth() != 2 || len(raws) != 1 {
+		return nil, fmt.Errorf("spacealloc: TwoLevelOptimalAffine needs one phantom feeding all queries, got %q", cfg)
+	}
+	w, err := weights(cfg, groups, p)
+	if err != nil {
+		return nil, err
+	}
+	root := raws[0]
+	kids := cfg.Children(root)
+	h0 := float64(feedgraph.EntrySize(root))
+	sPrime := 0.0 // Σ √(G_i·h_i)
+	sumG := 0.0   // Σ G_i (for the α contribution)
+	hs := make([]float64, len(kids))
+	for i, k := range kids {
+		hi := float64(feedgraph.EntrySize(k))
+		hs[i] = hi
+		sPrime += math.Sqrt(w[k] * hi)
+		sumG += w[k]
+	}
+	const (
+		alpha = collision.LinearAlpha
+		mu    = collision.Mu
+	)
+	f := float64(len(kids))
+
+	minChild := 0.0
+	for _, hi := range hs {
+		minChild += hi // one bucket per child at least
+	}
+	b0Max := (float64(m) - minChild) / h0
+	if b0Max < 1 {
+		return nil, fmt.Errorf("spacealloc: budget %d too small for %q", m, cfg)
+	}
+
+	rate := func(g, b float64) float64 {
+		x := alpha + mu*g/b
+		if x > 1 {
+			return 1
+		}
+		return x
+	}
+	// e(b0): phantom rate times (probe work + children eviction work),
+	// with the children allocated optimally in the leftover space.
+	eval := func(b0 float64) float64 {
+		x0 := rate(w[root], b0)
+		left := float64(m) - h0*b0
+		beta := left / sPrime
+		sumChildRates := float64(len(kids))*alpha + mu/beta*sPrime // Σ α + μG_i/(β√(G_i/h_i))
+		// Clamp child rates at 1 individually only matters in degenerate
+		// corners; the α+μ form stays below 1 in the useful range.
+		return p.C1 + f*x0*p.C1 + x0*sumChildRates*p.C2
+	}
+
+	// Coarse scan to bracket the minimum, then golden-section refine.
+	const scanPoints = 256
+	bestB0, bestE := 1.0, math.Inf(1)
+	for i := 0; i <= scanPoints; i++ {
+		b0 := 1 + (b0Max-1)*float64(i)/scanPoints
+		if e := eval(b0); e < bestE {
+			bestB0, bestE = b0, e
+		}
+	}
+	lo := math.Max(1, bestB0-(b0Max-1)/scanPoints)
+	hi := math.Min(b0Max, bestB0+(b0Max-1)/scanPoints)
+	const phi = 0.6180339887498949
+	a, b := lo, hi
+	c := b - phi*(b-a)
+	d := a + phi*(b-a)
+	fc, fd := eval(c), eval(d)
+	for i := 0; i < 80 && b-a > 1e-6*(hi-lo)+1e-9; i++ {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - phi*(b-a)
+			fc = eval(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + phi*(b-a)
+			fd = eval(d)
+		}
+	}
+	b0 := (a + b) / 2
+
+	left := float64(m) - h0*b0
+	beta := left / sPrime
+	shares := map[attr.Set]float64{root: h0 * b0}
+	for i, k := range kids {
+		bi := beta * math.Sqrt(w[k]/hs[i])
+		shares[k] = bi * hs[i]
+	}
+	return roundAlloc(cfg, shares, m), nil
+}

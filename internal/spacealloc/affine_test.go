@@ -1,0 +1,97 @@
+package spacealloc
+
+import (
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/collision"
+	"repro/internal/cost"
+	"repro/internal/feedgraph"
+)
+
+// affineParams makes the cost model use exactly the affine law the
+// analysis assumes, so ES and the analytic solution optimize the same
+// objective.
+func affineParams() cost.Params {
+	p := cost.DefaultParams()
+	p.Rate = func(g, b float64) float64 {
+		x := collision.LinearAlpha + collision.Mu*g/b
+		if x > 1 {
+			return 1
+		}
+		return x
+	}
+	return p
+}
+
+func TestTwoLevelOptimalAffineMatchesES(t *testing.T) {
+	queries := sets("A", "B", "C")
+	cfg, err := feedgraph.NewConfig(queries, sets("ABC"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc := groupsOf(map[string]float64{"A": 552, "B": 430, "C": 610, "ABC": 2117})
+	p := affineParams()
+	for _, m := range []int{20000, 40000, 100000} {
+		affine, err := TwoLevelOptimalAffine(cfg, gc, m, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		es, err := Exhaustive(cfg, gc, m, p, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cAffine := perRecord(t, cfg, gc, affine, p)
+		cES := perRecord(t, cfg, gc, es, p)
+		if cAffine > cES*1.02 {
+			t.Errorf("M=%d: affine analytic cost %v vs ES %v", m, cAffine, cES)
+		}
+	}
+}
+
+func TestTwoLevelOptimalAffineVsLinear(t *testing.T) {
+	// Under the affine objective, the affine solution must be at least
+	// as good as the linear-approximation solution (which neglects α).
+	queries := sets("A", "B", "C", "D")
+	cfg, err := feedgraph.NewConfig(queries, sets("ABCD"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc := groupsOf(map[string]float64{
+		"A": 552, "B": 430, "C": 610, "D": 380, "ABCD": 2837,
+	})
+	p := affineParams()
+	const m = 40000
+	affine, err := TwoLevelOptimalAffine(cfg, gc, m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	linear, err := TwoLevelOptimal(cfg, gc, m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cA := perRecord(t, cfg, gc, affine, p)
+	cL := perRecord(t, cfg, gc, linear, p)
+	if cA > cL*1.005 {
+		t.Errorf("affine solution %v worse than linear approximation %v", cA, cL)
+	}
+	// The paper's observation must survive the refinement: the phantom
+	// keeps more than half of the space.
+	ph := affine[attr.MustParseSet("ABCD")] * feedgraph.EntrySize(attr.MustParseSet("ABCD"))
+	if float64(ph) < float64(m)*0.5 {
+		t.Errorf("affine phantom share = %d of %d units", ph, m)
+	}
+}
+
+func TestTwoLevelOptimalAffineValidation(t *testing.T) {
+	flat, _ := feedgraph.NewConfig(sets("A", "B"), nil)
+	gc := groupsOf(map[string]float64{"A": 10, "B": 10})
+	if _, err := TwoLevelOptimalAffine(flat, gc, 1000, affineParams()); err == nil {
+		t.Error("flat configuration accepted")
+	}
+	two, _ := feedgraph.NewConfig(sets("A", "B"), sets("AB"))
+	gc2 := groupsOf(map[string]float64{"A": 10, "B": 10, "AB": 20})
+	if _, err := TwoLevelOptimalAffine(two, gc2, 3, affineParams()); err == nil {
+		t.Error("impossible budget accepted")
+	}
+}

@@ -1,0 +1,135 @@
+package spacealloc
+
+import (
+	"fmt"
+
+	"repro/internal/attr"
+	"repro/internal/cost"
+	"repro/internal/feedgraph"
+)
+
+// Peak-load repair (Section 6.3.4): the end-of-epoch update cost E_u of a
+// chosen allocation must stay below the peak-load constraint E_p. Two
+// repair methods are provided. Shrink scales every table down
+// proportionally, freeing load at the cost of higher collision rates
+// everywhere. Shift moves space from the queries to the phantoms: since
+// c2 ≫ c1, most of E_u is the M_R·c2 term of the query tables, so
+// shrinking queries while growing phantoms reduces E_u without giving up
+// the total budget. The paper finds shift better when E_p is close to
+// E_u, and shrink better when E_p ≪ E_u.
+
+// Shrink returns the largest proportional scale-down of alloc whose
+// end-of-epoch cost fits under ep, found by binary search on the scale
+// factor. Every table keeps at least one bucket.
+func Shrink(cfg *feedgraph.Config, groups feedgraph.GroupCounts, alloc cost.Alloc, p cost.Params, ep float64) (cost.Alloc, error) {
+	eu, err := cost.EndOfEpoch(cfg, groups, alloc, p)
+	if err != nil {
+		return nil, err
+	}
+	if eu <= ep {
+		return alloc.Clone(), nil
+	}
+	scaled := func(s float64) cost.Alloc {
+		out := make(cost.Alloc, len(alloc))
+		for r, b := range alloc {
+			nb := int(float64(b) * s)
+			if nb < 1 {
+				nb = 1
+			}
+			out[r] = nb
+		}
+		return out
+	}
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 40; i++ {
+		mid := (lo + hi) / 2
+		eu, err := cost.EndOfEpoch(cfg, groups, scaled(mid), p)
+		if err != nil {
+			return nil, err
+		}
+		if eu <= ep {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	out := scaled(lo)
+	if eu, _ := cost.EndOfEpoch(cfg, groups, out, p); eu > ep {
+		// Even the minimal tables exceed the constraint.
+		if eu2, _ := cost.EndOfEpoch(cfg, groups, scaled(0), p); eu2 > ep {
+			return nil, fmt.Errorf("spacealloc: peak-load constraint %v unreachable (min E_u = %v)", ep, eu2)
+		}
+		return scaled(0), nil
+	}
+	return out, nil
+}
+
+// Shift repeatedly moves a small slice of space (step fraction of the
+// queries' current space, default 2%) from the query tables to the
+// phantom tables until the end-of-epoch cost fits under ep. Without
+// phantoms it falls back to Shrink.
+func Shift(cfg *feedgraph.Config, groups feedgraph.GroupCounts, alloc cost.Alloc, p cost.Params, ep float64) (cost.Alloc, error) {
+	eu, err := cost.EndOfEpoch(cfg, groups, alloc, p)
+	if err != nil {
+		return nil, err
+	}
+	if eu <= ep {
+		return alloc.Clone(), nil
+	}
+	phantoms := cfg.Phantoms()
+	if len(phantoms) == 0 {
+		return Shrink(cfg, groups, alloc, p, ep)
+	}
+	queries := make([]attr.Set, 0, len(cfg.Rels))
+	for _, r := range cfg.Rels {
+		if cfg.IsQuery(r) {
+			queries = append(queries, r)
+		}
+	}
+	out := alloc.Clone()
+	const step = 0.02
+	for iter := 0; iter < 200; iter++ {
+		eu, err := cost.EndOfEpoch(cfg, groups, out, p)
+		if err != nil {
+			return nil, err
+		}
+		if eu <= ep {
+			return out, nil
+		}
+		// Take step of each query's space, pool the freed units.
+		freed := 0
+		movable := false
+		for _, q := range queries {
+			h := feedgraph.EntrySize(q)
+			take := int(float64(out[q]) * step)
+			if take < 1 {
+				take = 1
+			}
+			if out[q]-take < 1 {
+				take = out[q] - 1
+			}
+			if take <= 0 {
+				continue
+			}
+			out[q] -= take
+			freed += take * h
+			movable = true
+		}
+		if !movable {
+			// Queries are at minimum size; fall back to shrinking the
+			// phantoms too.
+			return Shrink(cfg, groups, out, p, ep)
+		}
+		// Grow phantoms proportionally to their current sizes.
+		totalPh := 0
+		for _, ph := range phantoms {
+			totalPh += out[ph] * feedgraph.EntrySize(ph)
+		}
+		for _, ph := range phantoms {
+			h := feedgraph.EntrySize(ph)
+			share := float64(out[ph]*h) / float64(totalPh)
+			out[ph] += int(share * float64(freed) / float64(h))
+		}
+	}
+	return nil, fmt.Errorf("spacealloc: shift did not reach peak-load constraint %v", ep)
+}

@@ -1,0 +1,139 @@
+package spacealloc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/cost"
+	"repro/internal/feedgraph"
+	"repro/internal/gen"
+	"repro/internal/stream"
+)
+
+// randomWorkload draws a random query set over 4 attributes, a random
+// phantom subset of its feeding graph, and consistent group counts
+// measured from a random universe.
+func randomWorkload(t *testing.T, rng *rand.Rand) (*feedgraph.Config, feedgraph.GroupCounts) {
+	t.Helper()
+	schema := stream.MustSchema(4)
+	u, err := gen.UniformUniverse(rng, schema, 500+rng.Intn(2500), uint32(20+rng.Intn(200)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2-4 distinct random non-empty query relations.
+	nq := 2 + rng.Intn(3)
+	seen := map[attr.Set]bool{}
+	var queries []attr.Set
+	for len(queries) < nq {
+		q := attr.Set(rng.Intn(15) + 1) // non-empty subset of ABCD
+		if !seen[q] {
+			seen[q] = true
+			queries = append(queries, q)
+		}
+	}
+	g, err := feedgraph.New(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var phantoms []attr.Set
+	for _, ph := range g.Phantoms {
+		if rng.Intn(2) == 0 {
+			phantoms = append(phantoms, ph)
+		}
+	}
+	cfg, err := feedgraph.NewConfig(queries, phantoms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := feedgraph.GroupCounts{}
+	for _, r := range cfg.Rels {
+		groups[r] = float64(u.GroupCount(r))
+	}
+	return cfg, groups
+}
+
+// TestESLowerBoundsHeuristicsProperty: on random configurations and group
+// counts, no heuristic beats the fine-grained exhaustive optimum, and
+// every allocation respects the budget and per-table minimums.
+func TestESLowerBoundsHeuristicsProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property sweep is slow in -short mode")
+	}
+	rng := rand.New(rand.NewSource(2024))
+	p := cost.DefaultParams()
+	for trial := 0; trial < 40; trial++ {
+		cfg, groups := randomWorkload(t, rng)
+		m := 10000 + rng.Intn(90000)
+		es, err := Exhaustive(cfg, groups, m, p, DefaultGranularity)
+		if err != nil {
+			continue // budget may be infeasible for this config; fine
+		}
+		cES, err := cost.PerRecord(cfg, groups, es, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if used := es.SpaceUnits(); used > m+feedgraph.EntrySize(attr.MustParseSet("ABCD")) {
+			t.Errorf("trial %d %q: ES uses %d of %d units", trial, cfg, used, m)
+		}
+		for _, s := range []Scheme{SL, SR, PL, PR} {
+			alloc, err := Allocate(s, cfg, groups, m, p)
+			if err != nil {
+				t.Errorf("trial %d %q/%s: %v", trial, cfg, s, err)
+				continue
+			}
+			if used := alloc.SpaceUnits(); used > m {
+				t.Errorf("trial %d %q/%s: budget exceeded (%d > %d)", trial, cfg, s, used, m)
+			}
+			for _, r := range cfg.Rels {
+				if alloc[r] < 1 {
+					t.Errorf("trial %d %q/%s: %v got no bucket", trial, cfg, s, r)
+				}
+			}
+			c, err := cost.PerRecord(cfg, groups, alloc, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// 1% slack: ES works at finite granularity.
+			if c < cES*0.99 {
+				t.Errorf("trial %d %q: %s cost %v beats ES %v", trial, cfg, s, c, cES)
+			}
+		}
+	}
+}
+
+// TestShrinkShiftProperty: on random workloads, both repairs meet any
+// reachable constraint and never return a more expensive E_u than asked.
+func TestShrinkShiftProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property sweep is slow in -short mode")
+	}
+	rng := rand.New(rand.NewSource(77))
+	p := cost.DefaultParams()
+	for trial := 0; trial < 25; trial++ {
+		cfg, groups := randomWorkload(t, rng)
+		m := 20000 + rng.Intn(60000)
+		alloc, err := Allocate(SL, cfg, groups, m, p)
+		if err != nil {
+			continue
+		}
+		eu, err := cost.EndOfEpoch(cfg, groups, alloc, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frac := 0.75 + rng.Float64()*0.2
+		ep := eu * frac
+		if out, err := Shrink(cfg, groups, alloc, p, ep); err == nil {
+			got, _ := cost.EndOfEpoch(cfg, groups, out, p)
+			if got > ep*1.0001 {
+				t.Errorf("trial %d %q: shrink E_u %v > %v", trial, cfg, got, ep)
+			}
+		}
+		if out, err := Shift(cfg, groups, alloc, p, ep); err == nil {
+			got, _ := cost.EndOfEpoch(cfg, groups, out, p)
+			if got > ep*1.0001 {
+				t.Errorf("trial %d %q: shift E_u %v > %v", trial, cfg, got, ep)
+			}
+		}
+	}
+}

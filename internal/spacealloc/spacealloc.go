@@ -1,0 +1,580 @@
+// Package spacealloc implements the paper's space-allocation analysis and
+// heuristics (Section 5): given a configuration of relations to
+// instantiate in the LFTA and a memory budget M (in 4-byte units), decide
+// how many buckets each hash table gets.
+//
+// Analytic results (Section 5.1, generalized to variable entry sizes h_R
+// and flow lengths l_R per Section 5.3):
+//
+//   - no phantoms: optimal buckets are b_i ∝ √(g_i/(h_i·l_i)), i.e. space
+//     proportional to √(g_i·h_i/l_i);
+//   - one phantom feeding all queries: the closed-form solution of the
+//     quadratic Equation 19 (Equations 20/21); the phantom always receives
+//     more than half the space.
+//
+// Heuristics for deeper ("unsolvable") configurations (Section 5.2):
+// SL and SR collapse phantom subtrees into supernodes bottom-up, allocate
+// across the top level optimally, and recursively decompose each
+// supernode with the exact two-level solution; PL and PR allocate
+// proportionally to g (equal collision rates) and √(g·h) respectively.
+// ES finds the optimum at a fixed granularity: the paper enumerates
+// allocations at 1% of M; because subtree costs factor linearly in the
+// tuple rate fed to them, the same optimum is computed here exactly by a
+// bottom-up min-plus dynamic program (see DESIGN.md §6), with a
+// brute-force enumerator retained in tests as a cross-check oracle.
+package spacealloc
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/attr"
+	"repro/internal/collision"
+	"repro/internal/cost"
+	"repro/internal/feedgraph"
+)
+
+// Scheme identifies a space-allocation strategy.
+type Scheme string
+
+// The paper's allocation schemes.
+const (
+	SL Scheme = "SL" // supernode, linear group combination
+	SR Scheme = "SR" // supernode, square-root combination
+	PL Scheme = "PL" // proportional to g (equal collision rates)
+	PR Scheme = "PR" // proportional to √(g·h)
+	ES Scheme = "ES" // exhaustive (1% granularity optimum, via DP)
+)
+
+// Allocate dispatches on the scheme.
+func Allocate(s Scheme, cfg *feedgraph.Config, groups feedgraph.GroupCounts, m int, p cost.Params) (cost.Alloc, error) {
+	switch s {
+	case SL:
+		return Supernode(cfg, groups, m, p, false)
+	case SR:
+		return Supernode(cfg, groups, m, p, true)
+	case PL:
+		return Proportional(cfg, groups, m, p, false)
+	case PR:
+		return Proportional(cfg, groups, m, p, true)
+	case ES:
+		return Exhaustive(cfg, groups, m, p, DefaultGranularity)
+	default:
+		return nil, fmt.Errorf("spacealloc: unknown scheme %q", s)
+	}
+}
+
+// weights returns, per relation, the clustered-group weight G_R = g_R/l_R
+// used throughout the analysis (x_R ≈ μ·G_R/b_R). Flow lengths apply to
+// raw relations only, matching cost.Rates.
+func weights(cfg *feedgraph.Config, groups feedgraph.GroupCounts, p cost.Params) (map[attr.Set]float64, error) {
+	out := make(map[attr.Set]float64, len(cfg.Rels))
+	for _, r := range cfg.Rels {
+		g, err := groups.Get(r)
+		if err != nil {
+			return nil, err
+		}
+		if g <= 0 {
+			return nil, fmt.Errorf("spacealloc: group count for %v is %v", r, g)
+		}
+		l := 1.0
+		if p.FlowLen != nil && cfg.IsRaw(r) {
+			if fl := p.FlowLen(r); fl > 1 {
+				l = fl
+			}
+		}
+		out[r] = g / l
+	}
+	return out, nil
+}
+
+func checkBudget(cfg *feedgraph.Config, m int) error {
+	min := 0
+	for _, r := range cfg.Rels {
+		min += feedgraph.EntrySize(r)
+	}
+	if m < min {
+		return fmt.Errorf("spacealloc: budget %d units cannot give every one of %d relations a bucket (need ≥ %d)", m, len(cfg.Rels), min)
+	}
+	return nil
+}
+
+// roundAlloc converts target space shares (in units, summing to ≤ m) into
+// a bucket allocation guaranteeing every relation at least one bucket and
+// never exceeding m units in total. Leftover units from rounding are
+// handed to the largest-share relations first.
+func roundAlloc(cfg *feedgraph.Config, shares map[attr.Set]float64, m int) cost.Alloc {
+	alloc := make(cost.Alloc, len(cfg.Rels))
+	used := 0
+	for _, r := range cfg.Rels {
+		h := feedgraph.EntrySize(r)
+		b := int(shares[r]) / h
+		if b < 1 {
+			b = 1
+		}
+		alloc[r] = b
+		used += b * h
+	}
+	// Spend rounding slack where the (fractional) share was cut the most.
+	for used < m {
+		var best attr.Set
+		bestLoss := -math.MaxFloat64
+		for _, r := range cfg.Rels {
+			h := feedgraph.EntrySize(r)
+			if used+h > m {
+				continue
+			}
+			loss := shares[r] - float64(alloc[r]*h)
+			if loss > bestLoss {
+				bestLoss = loss
+				best = r
+			}
+		}
+		if best == 0 {
+			break
+		}
+		alloc[best]++
+		used += feedgraph.EntrySize(best)
+	}
+	return alloc
+}
+
+// Proportional implements PL (sqrt = false): buckets proportional to G_R,
+// equalizing modeled collision rates; and PR (sqrt = true): space
+// proportional to √(G_R·h_R), the flat-configuration optimum applied
+// indiscriminately to every relation.
+func Proportional(cfg *feedgraph.Config, groups feedgraph.GroupCounts, m int, p cost.Params, sqrt bool) (cost.Alloc, error) {
+	if err := checkBudget(cfg, m); err != nil {
+		return nil, err
+	}
+	w, err := weights(cfg, groups, p)
+	if err != nil {
+		return nil, err
+	}
+	shares := make(map[attr.Set]float64, len(cfg.Rels))
+	total := 0.0
+	for _, r := range cfg.Rels {
+		h := float64(feedgraph.EntrySize(r))
+		var s float64
+		if sqrt {
+			s = math.Sqrt(w[r] * h)
+		} else {
+			s = w[r] * h // buckets ∝ G ⇒ space ∝ G·h
+		}
+		shares[r] = s
+		total += s
+	}
+	for r := range shares {
+		shares[r] = shares[r] / total * float64(m)
+	}
+	return roundAlloc(cfg, shares, m), nil
+}
+
+// FlatOptimal solves the no-phantom case optimally: space shares
+// proportional to √(G_i·h_i). It requires a configuration of depth 1.
+func FlatOptimal(cfg *feedgraph.Config, groups feedgraph.GroupCounts, m int, p cost.Params) (cost.Alloc, error) {
+	if cfg.Depth() != 1 {
+		return nil, fmt.Errorf("spacealloc: FlatOptimal needs a flat configuration, got depth %d", cfg.Depth())
+	}
+	return Proportional(cfg, groups, m, p, true)
+}
+
+// twoLevelShares solves the one-phantom-feeding-all case analytically
+// (Equations 19-21 generalized): given the phantom's weight G0 and entry
+// size h0, children weights G_i and sizes h_i, and budget m, it returns
+// the space (in units) for the phantom and for each child.
+//
+// Derivation (x = μG/b): with b_i = β·√(G_i/h_i), the stationarity
+// conditions reduce to f·c1·β² + 2·c2'·S·β − c2'·m = 0 where
+// S = Σ√(G_i·h_i) and c2' = μ·c2·(child cost coefficient); the positive
+// root gives β, children get space h_i·b_i, and the phantom keeps the
+// rest — always more than half (the paper's observation).
+//
+// childCost generalizes c2: for a child that is itself a supernode, the
+// coefficient is the derivative scale of its internal cost; for plain
+// query children it is exactly c2.
+func twoLevelShares(h0 float64, gs, hs, childCost []float64, m float64, p cost.Params) (phantomSpace float64, childSpace []float64) {
+	f := float64(len(gs))
+	s := 0.0
+	for i := range gs {
+		s += math.Sqrt(gs[i] * hs[i] * childCost[i] / p.C2)
+	}
+	mu := collision.Mu
+	// f·c1·β² + 2·μ·c2·S·β − μ·c2·M = 0  (Equation 19 rearranged)
+	a := f * p.C1
+	b := 2 * mu * p.C2 * s
+	c := -mu * p.C2 * m
+	beta := (-b + math.Sqrt(b*b-4*a*c)) / (2 * a)
+	childSpace = make([]float64, len(gs))
+	used := 0.0
+	for i := range gs {
+		childSpace[i] = beta * math.Sqrt(gs[i]*hs[i]*childCost[i]/p.C2)
+		used += childSpace[i]
+	}
+	phantomSpace = m - used
+	if phantomSpace < h0 {
+		// Degenerate budget: keep one bucket for the phantom and scale
+		// children into the remainder.
+		scale := (m - h0) / used
+		if scale < 0 {
+			scale = 0
+		}
+		for i := range childSpace {
+			childSpace[i] *= scale
+		}
+		phantomSpace = h0
+	}
+	return phantomSpace, childSpace
+}
+
+// TwoLevelOptimal solves configurations with exactly one phantom feeding
+// all queries (Section 5.1) under the linear rate approximation.
+func TwoLevelOptimal(cfg *feedgraph.Config, groups feedgraph.GroupCounts, m int, p cost.Params) (cost.Alloc, error) {
+	if err := checkBudget(cfg, m); err != nil {
+		return nil, err
+	}
+	raws := cfg.Raws()
+	if cfg.Depth() != 2 || len(raws) != 1 {
+		return nil, fmt.Errorf("spacealloc: TwoLevelOptimal needs one phantom feeding all queries, got %q", cfg)
+	}
+	w, err := weights(cfg, groups, p)
+	if err != nil {
+		return nil, err
+	}
+	root := raws[0]
+	kids := cfg.Children(root)
+	gs := make([]float64, len(kids))
+	hs := make([]float64, len(kids))
+	cc := make([]float64, len(kids))
+	for i, k := range kids {
+		gs[i] = w[k]
+		hs[i] = float64(feedgraph.EntrySize(k))
+		cc[i] = p.C2
+	}
+	ps, cs := twoLevelShares(float64(feedgraph.EntrySize(root)), gs, hs, cc, float64(m), p)
+	shares := map[attr.Set]float64{root: ps}
+	for i, k := range kids {
+		shares[k] = cs[i]
+	}
+	return roundAlloc(cfg, shares, m), nil
+}
+
+// Supernode implements SL (sqrtCombine = false) and SR (true), the
+// paper's analysis-guided heuristics: bottom-up, each phantom and its
+// children collapse into a supernode whose group mass is the linear sum
+// (SL) or square-root sum (SR) of its members'; the resulting flat
+// configuration is allocated optimally (∝ √(G·h)); then every supernode's
+// space is split by the exact two-level solution, recursively.
+func Supernode(cfg *feedgraph.Config, groups feedgraph.GroupCounts, m int, p cost.Params, sqrtCombine bool) (cost.Alloc, error) {
+	if err := checkBudget(cfg, m); err != nil {
+		return nil, err
+	}
+	w, err := weights(cfg, groups, p)
+	if err != nil {
+		return nil, err
+	}
+
+	// Effective (G·h) mass of each subtree, combined per SL or SR.
+	var mass func(r attr.Set) float64 // returns combined G·h of subtree
+	mass = func(r attr.Set) float64 {
+		own := w[r] * float64(feedgraph.EntrySize(r))
+		kids := cfg.Children(r)
+		if len(kids) == 0 {
+			return own
+		}
+		if sqrtCombine {
+			s := math.Sqrt(own)
+			for _, k := range kids {
+				s += math.Sqrt(mass(k))
+			}
+			return s * s
+		}
+		s := own
+		for _, k := range kids {
+			s += mass(k)
+		}
+		return s
+	}
+
+	// Top level: optimal flat allocation across raw subtrees ∝ √(G·h).
+	raws := cfg.Raws()
+	total := 0.0
+	rootShare := make(map[attr.Set]float64, len(raws))
+	for _, r := range raws {
+		s := math.Sqrt(mass(r))
+		rootShare[r] = s
+		total += s
+	}
+	shares := make(map[attr.Set]float64, len(cfg.Rels))
+	var decompose func(r attr.Set, space float64)
+	decompose = func(r attr.Set, space float64) {
+		kids := cfg.Children(r)
+		if len(kids) == 0 {
+			shares[r] = space
+			return
+		}
+		gs := make([]float64, len(kids))
+		hs := make([]float64, len(kids))
+		cc := make([]float64, len(kids))
+		for i, k := range kids {
+			// A child subtree behaves like a pseudo-query whose g·h is
+			// its combined mass; entry size folds into the mass, so pass
+			// h = 1 and G = mass.
+			gs[i] = mass(k)
+			hs[i] = 1
+			cc[i] = p.C2
+		}
+		ps, cs := twoLevelShares(float64(feedgraph.EntrySize(r)), gs, hs, cc, space, p)
+		shares[r] = ps
+		for i, k := range kids {
+			decompose(k, cs[i])
+		}
+	}
+	for _, r := range raws {
+		decompose(r, rootShare[r]/total*float64(m))
+	}
+	return roundAlloc(cfg, shares, m), nil
+}
+
+// DefaultGranularity is the paper's ES step: 1% of M.
+const DefaultGranularity = 100
+
+// Exhaustive computes the minimum-cost allocation at a granularity of
+// m/steps units via the bottom-up min-plus dynamic program. It optimizes
+// the same objective as cost.PerRecord with the model rate of Params.
+func Exhaustive(cfg *feedgraph.Config, groups feedgraph.GroupCounts, m int, p cost.Params, steps int) (cost.Alloc, error) {
+	if err := checkBudget(cfg, m); err != nil {
+		return nil, err
+	}
+	if steps < 2 {
+		return nil, fmt.Errorf("spacealloc: need at least 2 steps, got %d", steps)
+	}
+	w, err := weights(cfg, groups, p) // G_R = g_R/l_R
+	if err != nil {
+		return nil, err
+	}
+	rate := func(r attr.Set, buckets int) float64 {
+		// w already folds the raw-only flow lengths in: l_R = g_R/w_R.
+		x := collision.Rate(groups[r], float64(buckets))
+		if p.Rate != nil {
+			x = p.Rate(groups[r], float64(buckets))
+		}
+		return collision.Clustered(x, groups[r]/w[r])
+	}
+	unit := float64(m) / float64(steps)
+
+	const inf = math.MaxFloat64 / 4
+
+	// f[r][t] = min cost per tuple fed into r's subtree using t units of
+	// granularity; choice[r][t] = units kept for r's own table.
+	f := make(map[attr.Set][]float64, len(cfg.Rels))
+	choice := make(map[attr.Set][]int, len(cfg.Rels))
+	childSplit := make(map[attr.Set][][]int, len(cfg.Rels)) // per t-for-children: units per child
+
+	var solve func(r attr.Set)
+	solve = func(r attr.Set) {
+		kids := cfg.Children(r)
+		for _, k := range kids {
+			solve(k)
+		}
+		h := feedgraph.EntrySize(r)
+		fr := make([]float64, steps+1)
+		ch := make([]int, steps+1)
+
+		// Combined children cost: min-plus convolution, tracking splits.
+		var gsum []float64
+		var splits [][]int
+		if len(kids) > 0 {
+			gsum = make([]float64, steps+1)
+			splits = make([][]int, steps+1)
+			for t := 0; t <= steps; t++ {
+				splits[t] = make([]int, len(kids))
+			}
+			first := f[kids[0]]
+			for t := 0; t <= steps; t++ {
+				gsum[t] = first[t]
+				splits[t][0] = t
+			}
+			for ki := 1; ki < len(kids); ki++ {
+				fk := f[kids[ki]]
+				next := make([]float64, steps+1)
+				nsplit := make([][]int, steps+1)
+				for t := 0; t <= steps; t++ {
+					next[t] = inf
+					for tk := 0; tk <= t; tk++ {
+						if gsum[t-tk] >= inf || fk[tk] >= inf {
+							continue
+						}
+						if v := gsum[t-tk] + fk[tk]; v < next[t] {
+							next[t] = v
+							ns := append([]int(nil), splits[t-tk][:ki]...)
+							ns = append(ns, tk)
+							for len(ns) < len(kids) {
+								ns = append(ns, 0)
+							}
+							nsplit[t] = ns
+						}
+					}
+					if nsplit[t] == nil {
+						nsplit[t] = make([]int, len(kids))
+					}
+				}
+				gsum, splits = next, nsplit
+			}
+		}
+
+		for t := 0; t <= steps; t++ {
+			fr[t] = inf
+			minOwn := 1
+			for own := minOwn; own <= t; own++ {
+				buckets := int(float64(own) * unit / float64(h))
+				if buckets < 1 {
+					continue
+				}
+				x := rate(r, buckets)
+				v := p.C1
+				if cfg.IsQuery(r) {
+					v += x * p.C2
+				}
+				if len(kids) > 0 {
+					rest := t - own
+					if gsum[rest] >= inf {
+						continue
+					}
+					v += x * gsum[rest]
+				}
+				if v < fr[t] {
+					fr[t] = v
+					ch[t] = own
+				}
+			}
+		}
+		f[r] = fr
+		choice[r] = ch
+		if len(kids) > 0 {
+			childSplit[r] = splits
+		}
+	}
+
+	raws := cfg.Raws()
+	for _, r := range raws {
+		solve(r)
+	}
+
+	// Top level: min-plus convolution across raw subtrees.
+	type topState struct {
+		cost  float64
+		split []int
+	}
+	cur := topState{cost: 0, split: nil}
+	top := make([]topState, steps+1)
+	for t := range top {
+		top[t] = topState{cost: inf}
+	}
+	top[0] = cur
+	for ri, r := range raws {
+		next := make([]topState, steps+1)
+		for t := range next {
+			next[t] = topState{cost: inf}
+		}
+		fr := f[r]
+		for t := 0; t <= steps; t++ {
+			if top[t].cost >= inf {
+				continue
+			}
+			for tr := 0; t+tr <= steps; tr++ {
+				if fr[tr] >= inf {
+					continue
+				}
+				v := top[t].cost + fr[tr]
+				if v < next[t+tr].cost {
+					ns := append([]int(nil), top[t].split...)
+					for len(ns) < ri {
+						ns = append(ns, 0)
+					}
+					ns = append(ns, tr)
+					next[t+tr] = topState{cost: v, split: ns}
+				}
+			}
+		}
+		top = next
+	}
+	best := top[steps]
+	if best.cost >= inf {
+		return nil, fmt.Errorf("spacealloc: no feasible ES allocation with %d steps for %q", steps, cfg)
+	}
+
+	// Recover the allocation.
+	alloc := make(cost.Alloc, len(cfg.Rels))
+	var assign func(r attr.Set, t int)
+	assign = func(r attr.Set, t int) {
+		own := choice[r][t]
+		h := feedgraph.EntrySize(r)
+		buckets := int(float64(own) * unit / float64(h))
+		if buckets < 1 {
+			buckets = 1
+		}
+		alloc[r] = buckets
+		kids := cfg.Children(r)
+		if len(kids) == 0 {
+			return
+		}
+		split := childSplit[r][t-own]
+		for i, k := range kids {
+			assign(k, split[i])
+		}
+	}
+	for i, r := range raws {
+		assign(r, best.split[i])
+	}
+	return alloc, nil
+}
+
+// BruteForce enumerates every allocation of `steps` granularity units to
+// the configuration's relations (compositions of steps over |Rels| parts)
+// and returns the cheapest. Exponential; retained as the test oracle for
+// Exhaustive. It refuses configurations with more than 4 relations or
+// more than 60 steps.
+func BruteForce(cfg *feedgraph.Config, groups feedgraph.GroupCounts, m int, p cost.Params, steps int) (cost.Alloc, error) {
+	if len(cfg.Rels) > 4 {
+		return nil, fmt.Errorf("spacealloc: BruteForce limited to 4 relations, got %d", len(cfg.Rels))
+	}
+	if steps > 60 {
+		return nil, fmt.Errorf("spacealloc: BruteForce limited to 60 steps, got %d", steps)
+	}
+	unit := float64(m) / float64(steps)
+	rels := cfg.Rels
+	bestCost := math.MaxFloat64
+	var bestAlloc cost.Alloc
+	var rec func(i, left int, alloc cost.Alloc)
+	rec = func(i, left int, alloc cost.Alloc) {
+		if i == len(rels)-1 {
+			h := feedgraph.EntrySize(rels[i])
+			b := int(float64(left) * unit / float64(h))
+			if b < 1 {
+				return
+			}
+			alloc[rels[i]] = b
+			c, err := cost.PerRecord(cfg, groups, alloc, p)
+			if err == nil && c < bestCost {
+				bestCost = c
+				bestAlloc = alloc.Clone()
+			}
+			return
+		}
+		for t := 1; t <= left-(len(rels)-1-i); t++ {
+			h := feedgraph.EntrySize(rels[i])
+			b := int(float64(t) * unit / float64(h))
+			if b < 1 {
+				continue
+			}
+			alloc[rels[i]] = b
+			rec(i+1, left-t, alloc)
+		}
+	}
+	rec(0, steps, cost.Alloc{})
+	if bestAlloc == nil {
+		return nil, fmt.Errorf("spacealloc: no feasible brute-force allocation")
+	}
+	return bestAlloc, nil
+}

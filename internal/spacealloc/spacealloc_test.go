@@ -1,0 +1,403 @@
+package spacealloc
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/cost"
+	"repro/internal/feedgraph"
+)
+
+func sets(names ...string) []attr.Set {
+	out := make([]attr.Set, len(names))
+	for i, n := range names {
+		out[i] = attr.MustParseSet(n)
+	}
+	return out
+}
+
+func groupsOf(m map[string]float64) feedgraph.GroupCounts {
+	gc := feedgraph.GroupCounts{}
+	for k, v := range m {
+		gc[attr.MustParseSet(k)] = v
+	}
+	return gc
+}
+
+// paperGroups approximates the real dataset's group counts for the
+// relations used across the paper's configurations.
+func paperGroups() feedgraph.GroupCounts {
+	return groupsOf(map[string]float64{
+		"A": 552, "B": 430, "C": 610, "D": 380,
+		"AB": 1846, "AC": 1300, "AD": 1100, "BC": 980, "BD": 870, "CD": 1240,
+		"ABC": 2117, "ABD": 1900, "ACD": 2000, "BCD": 1700,
+		"ABCD": 2837,
+	})
+}
+
+func perRecord(t *testing.T, cfg *feedgraph.Config, gc feedgraph.GroupCounts, a cost.Alloc, p cost.Params) float64 {
+	t.Helper()
+	c, err := cost.PerRecord(cfg, gc, a, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestFlatOptimalSqrtRule(t *testing.T) {
+	// Two queries with equal entry size: space ratio must be √(g1/g2).
+	cfg, _ := feedgraph.NewConfig(sets("AB", "CD"), nil)
+	gc := groupsOf(map[string]float64{"AB": 400, "CD": 1600})
+	p := cost.DefaultParams()
+	alloc, err := FlatOptimal(cfg, gc, 30000, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, cd := alloc[attr.MustParseSet("AB")], alloc[attr.MustParseSet("CD")]
+	ratio := float64(cd) / float64(ab)
+	if math.Abs(ratio-2) > 0.05 { // √(1600/400) = 2
+		t.Errorf("bucket ratio = %v; want 2", ratio)
+	}
+	// Budget is fully used (within one entry of rounding).
+	if used := alloc.SpaceUnits(); used > 30000 || used < 30000-3 {
+		t.Errorf("allocation uses %d of 30000 units", used)
+	}
+	// And FlatOptimal refuses deep configurations.
+	deep, _ := feedgraph.NewConfig(sets("A", "B"), sets("AB"))
+	if _, err := FlatOptimal(deep, paperGroups(), 30000, p); err == nil {
+		t.Error("FlatOptimal accepted a 2-level configuration")
+	}
+}
+
+func TestFlatOptimalBeatsAlternatives(t *testing.T) {
+	// Against the model cost, the √(g·h) rule must beat PL and equal-split
+	// on a flat configuration with heterogeneous group counts.
+	cfg, _ := feedgraph.NewConfig(sets("A", "BC", "D"), nil)
+	gc := groupsOf(map[string]float64{"A": 552, "BC": 980, "D": 380})
+	p := cost.DefaultParams()
+	m := 20000
+	opt, err := FlatOptimal(cfg, gc, m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := Proportional(cfg, gc, m, p, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cOpt, cPL := perRecord(t, cfg, gc, opt, p), perRecord(t, cfg, gc, pl, p)
+	if cOpt > cPL*1.01 {
+		t.Errorf("optimal %v worse than PL %v", cOpt, cPL)
+	}
+	// Sanity: equal split also not better.
+	eq := cost.Alloc{}
+	for _, r := range cfg.Rels {
+		eq[r] = m / 3 / feedgraph.EntrySize(r)
+	}
+	if cEq := perRecord(t, cfg, gc, eq, p); cOpt > cEq*1.01 {
+		t.Errorf("optimal %v worse than equal split %v", cOpt, cEq)
+	}
+}
+
+// TestTwoLevelOptimalAgainstES: the closed-form solution for one phantom
+// feeding all queries must be within a couple of percent of the
+// fine-grained exhaustive optimum when both are evaluated under the model
+// cost. The paper reports ≤ 2% (Section 6.2.1).
+func TestTwoLevelOptimalAgainstES(t *testing.T) {
+	queries := sets("A", "B", "C")
+	cfg, _ := feedgraph.NewConfig(queries, sets("ABC"))
+	gc := groupsOf(map[string]float64{"A": 552, "B": 430, "C": 610, "ABC": 2117})
+	p := cost.DefaultParams()
+	for _, m := range []int{20000, 60000, 100000} {
+		analytic, err := TwoLevelOptimal(cfg, gc, m, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		es, err := Exhaustive(cfg, gc, m, p, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ca, ce := perRecord(t, cfg, gc, analytic, p), perRecord(t, cfg, gc, es, p)
+		if ca > ce*1.03 {
+			t.Errorf("M=%d: analytic cost %v vs ES %v (%.1f%% worse)", m, ca, ce, (ca/ce-1)*100)
+		}
+		// Paper: the phantom always takes more than half the space.
+		ph := analytic[attr.MustParseSet("ABC")] * feedgraph.EntrySize(attr.MustParseSet("ABC"))
+		if float64(ph) < float64(m)*0.5 {
+			t.Errorf("M=%d: phantom got %d units (less than half of %d)", m, ph, m)
+		}
+	}
+	// Rejects non-2-level shapes.
+	flat, _ := feedgraph.NewConfig(queries, nil)
+	if _, err := TwoLevelOptimal(flat, gc, 20000, p); err == nil {
+		t.Error("flat configuration accepted")
+	}
+}
+
+// TestSupernodeOptimalOnTwoLevel: SL and SR must reproduce the exact
+// two-level solution for one phantom feeding all queries (the paper notes
+// both are optimal for this case).
+func TestSupernodeOptimalOnTwoLevel(t *testing.T) {
+	queries := sets("A", "B", "C")
+	cfg, _ := feedgraph.NewConfig(queries, sets("ABC"))
+	gc := groupsOf(map[string]float64{"A": 552, "B": 430, "C": 610, "ABC": 2117})
+	p := cost.DefaultParams()
+	m := 40000
+	want, err := TwoLevelOptimal(cfg, gc, m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cWant := perRecord(t, cfg, gc, want, p)
+	for _, sqrt := range []bool{false, true} {
+		got, err := Supernode(cfg, gc, m, p, sqrt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cGot := perRecord(t, cfg, gc, got, p)
+		if math.Abs(cGot-cWant)/cWant > 0.02 {
+			t.Errorf("sqrt=%v: supernode cost %v vs two-level optimal %v", sqrt, cGot, cWant)
+		}
+	}
+}
+
+// TestESMatchesBruteForce cross-checks the DP against exhaustive
+// enumeration on small configurations.
+func TestESMatchesBruteForce(t *testing.T) {
+	p := cost.DefaultParams()
+	for _, tc := range []struct {
+		notation string
+		groups   map[string]float64
+	}{
+		{"AB(A B)", map[string]float64{"A": 552, "B": 430, "AB": 1846}},
+		{"A B C", map[string]float64{"A": 552, "B": 430, "C": 610}},
+		{"ABC(AB C)", map[string]float64{"AB": 1846, "C": 610, "ABC": 2117}},
+	} {
+		cfg, err := feedgraph.ParseConfig(tc.notation, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gc := groupsOf(tc.groups)
+		m := 20000
+		steps := 50
+		dp, err := Exhaustive(cfg, gc, m, p, steps)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.notation, err)
+		}
+		bf, err := BruteForce(cfg, gc, m, p, steps)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.notation, err)
+		}
+		cDP, cBF := perRecord(t, cfg, gc, dp, p), perRecord(t, cfg, gc, bf, p)
+		if math.Abs(cDP-cBF)/cBF > 1e-9 {
+			t.Errorf("%s: DP cost %v != brute force %v", tc.notation, cDP, cBF)
+		}
+	}
+}
+
+// TestESBeatsHeuristics: on the paper's "unsolvable" configurations the
+// fine-grained ES must be at least as good as every heuristic, and SL
+// should be the closest heuristic most of the time (Tables 2-3).
+func TestESBeatsHeuristics(t *testing.T) {
+	p := cost.DefaultParams()
+	gc := paperGroups()
+	notations := []string{
+		"(ABC(AC(A C) B))",
+		"AB(A B) CD(C D)",
+		"(ABCD(ABC(A BC(B C)) D))",
+		"(ABCD(AB BCD(BC BD CD)))",
+	}
+	slWins := 0
+	for _, notation := range notations {
+		cfg, err := feedgraph.ParseConfig(notation, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := 40000
+		es, err := Exhaustive(cfg, gc, m, p, DefaultGranularity)
+		if err != nil {
+			t.Fatalf("%s: %v", notation, err)
+		}
+		cES := perRecord(t, cfg, gc, es, p)
+		costs := map[Scheme]float64{}
+		for _, s := range []Scheme{SL, SR, PL, PR} {
+			alloc, err := Allocate(s, cfg, gc, m, p)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", notation, s, err)
+			}
+			c := perRecord(t, cfg, gc, alloc, p)
+			costs[s] = c
+			if c < cES*0.999 {
+				t.Errorf("%s: heuristic %s cost %v beats ES %v", notation, s, c, cES)
+			}
+		}
+		if costs[SL] <= costs[SR] && costs[SL] <= costs[PL] && costs[SL] <= costs[PR] {
+			slWins++
+		}
+		// SL within a modest factor of optimal on paper configurations.
+		if costs[SL] > cES*1.25 {
+			t.Errorf("%s: SL cost %v is %.0f%% above ES %v", notation, costs[SL], (costs[SL]/cES-1)*100, cES)
+		}
+	}
+	if slWins < len(notations)-1 {
+		t.Errorf("SL was best in only %d of %d configurations", slWins, len(notations))
+	}
+}
+
+func TestAllocateUnknownScheme(t *testing.T) {
+	cfg, _ := feedgraph.NewConfig(sets("A"), nil)
+	if _, err := Allocate("XX", cfg, paperGroups(), 1000, cost.DefaultParams()); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestBudgetTooSmall(t *testing.T) {
+	cfg, _ := feedgraph.NewConfig(sets("AB", "BC", "BD", "CD"), sets("ABCD"))
+	p := cost.DefaultParams()
+	if _, err := Supernode(cfg, paperGroups(), 10, p, false); err == nil {
+		t.Error("impossible budget accepted")
+	}
+	if _, err := Exhaustive(cfg, paperGroups(), 10, p, 100); err == nil {
+		t.Error("impossible budget accepted by ES")
+	}
+	if _, err := Exhaustive(cfg, paperGroups(), 40000, p, 1); err == nil {
+		t.Error("ES with 1 step accepted")
+	}
+}
+
+func TestAllSchemesRespectBudgetAndMinimums(t *testing.T) {
+	gc := paperGroups()
+	p := cost.DefaultParams()
+	for _, notation := range []string{
+		"A B C D",
+		"ABC(A B C)",
+		"(ABCD(AB BCD(BC BD CD)))",
+		"AB(A B) CD(C D)",
+	} {
+		cfg, err := feedgraph.ParseConfig(notation, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range []int{20000, 100000} {
+			for _, s := range []Scheme{SL, SR, PL, PR, ES} {
+				alloc, err := Allocate(s, cfg, gc, m, p)
+				if err != nil {
+					t.Errorf("%s/%s/M=%d: %v", notation, s, m, err)
+					continue
+				}
+				if used := alloc.SpaceUnits(); used > m+5 { // ES rounding may add a bucket
+					t.Errorf("%s/%s/M=%d: uses %d units", notation, s, m, used)
+				}
+				for _, r := range cfg.Rels {
+					if alloc[r] < 1 {
+						t.Errorf("%s/%s: relation %v got %d buckets", notation, s, r, alloc[r])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFlowLengthShiftsSpaceAway(t *testing.T) {
+	// A clustered relation (high l) needs less space: its share must drop
+	// relative to the same relation without clustering.
+	cfg, _ := feedgraph.NewConfig(sets("A", "B"), nil)
+	gc := groupsOf(map[string]float64{"A": 1000, "B": 1000})
+	p := cost.DefaultParams()
+	base, err := FlatOptimal(cfg, gc, 20000, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.FlowLen = func(r attr.Set) float64 {
+		if r == attr.MustParseSet("A") {
+			return 25
+		}
+		return 1
+	}
+	clustered, err := FlatOptimal(cfg, gc, 20000, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := attr.MustParseSet("A")
+	if clustered[a] >= base[a] {
+		t.Errorf("clustered A kept %d buckets (was %d); expected fewer", clustered[a], base[a])
+	}
+}
+
+func TestShrinkMeetsConstraint(t *testing.T) {
+	cfg, _ := feedgraph.NewConfig(sets("AB", "BC", "BD", "CD"), sets("BCD"))
+	gc := paperGroups()
+	p := cost.DefaultParams()
+	alloc, err := Allocate(SL, cfg, gc, 40000, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eu, err := cost.EndOfEpoch(cfg, gc, alloc, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []float64{0.95, 0.85} {
+		ep := eu * frac
+		out, err := Shrink(cfg, gc, alloc, p, ep)
+		if err != nil {
+			t.Fatalf("frac %v: %v", frac, err)
+		}
+		got, _ := cost.EndOfEpoch(cfg, gc, out, p)
+		if got > ep {
+			t.Errorf("frac %v: E_u %v exceeds constraint %v", frac, got, ep)
+		}
+		// Shrink must not grow any table.
+		for r, b := range out {
+			if b > alloc[r] {
+				t.Errorf("shrink grew %v from %d to %d", r, alloc[r], b)
+			}
+		}
+	}
+	// Already satisfied: unchanged.
+	same, err := Shrink(cfg, gc, alloc, p, eu*2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range alloc {
+		if same[r] != alloc[r] {
+			t.Error("satisfied constraint still modified the allocation")
+		}
+	}
+}
+
+func TestShiftMeetsConstraint(t *testing.T) {
+	cfg, _ := feedgraph.NewConfig(sets("AB", "BC", "BD", "CD"), sets("BCD"))
+	gc := paperGroups()
+	p := cost.DefaultParams()
+	alloc, err := Allocate(SL, cfg, gc, 40000, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eu, _ := cost.EndOfEpoch(cfg, gc, alloc, p)
+	ep := eu * 0.95
+	out, err := Shift(cfg, gc, alloc, p, ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := cost.EndOfEpoch(cfg, gc, out, p)
+	if got > ep {
+		t.Errorf("E_u %v exceeds constraint %v", got, ep)
+	}
+	// Shift must preserve (approximately) the total budget.
+	if used, orig := out.SpaceUnits(), alloc.SpaceUnits(); used > orig || float64(used) < float64(orig)*0.9 {
+		t.Errorf("shift changed budget from %d to %d", orig, used)
+	}
+	// Without phantoms, Shift falls back to Shrink.
+	flat, _ := feedgraph.NewConfig(sets("AB", "BC"), nil)
+	fa, err := Allocate(SL, flat, gc, 20000, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feu, _ := cost.EndOfEpoch(flat, gc, fa, p)
+	fOut, err := Shift(flat, gc, fa, p, feu*0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := cost.EndOfEpoch(flat, gc, fOut, p); got > feu*0.9 {
+		t.Errorf("fallback shrink missed constraint: %v > %v", got, feu*0.9)
+	}
+}

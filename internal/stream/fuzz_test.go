@@ -1,0 +1,58 @@
+package stream
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadTrace: arbitrary bytes must never panic the binary trace
+// reader, and a valid trace embedded in the corpus must round trip.
+func FuzzReadTrace(f *testing.F) {
+	var good bytes.Buffer
+	if err := WriteTrace(&good, MustSchema(2), []Record{
+		{Attrs: []uint32{1, 2}, Time: 3},
+		{Attrs: []uint32{4, 5}, Time: 6},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Bytes())
+	f.Add([]byte("MAGT"))
+	f.Add([]byte{})
+	f.Add([]byte("MAGTxxxxxxxxxxxxxxxxxxxxxxxx"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		schema, recs, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever parses must re-encode and re-parse identically.
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, schema, recs); err != nil {
+			t.Fatalf("accepted trace cannot re-encode: %v", err)
+		}
+		schema2, recs2, err := ReadTrace(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded trace rejected: %v", err)
+		}
+		if schema2.NumAttrs != schema.NumAttrs || len(recs2) != len(recs) {
+			t.Fatal("round trip changed shape")
+		}
+	})
+}
+
+// FuzzReadTextTrace: the text parser must never panic.
+func FuzzReadTextTrace(f *testing.F) {
+	f.Add("1,2,3\n4,5,6\n")
+	f.Add("# comment\n\n 1, 2, 3 \n")
+	f.Add("a,b,c\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, data string) {
+		schema, recs, err := ReadTextTrace(bytes.NewReader([]byte(data)))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteTextTrace(&buf, schema, recs); err != nil {
+			t.Fatalf("accepted text trace cannot re-encode: %v", err)
+		}
+	})
+}

@@ -1,0 +1,89 @@
+package stream
+
+import (
+	"container/heap"
+)
+
+// OrderedSource re-orders a slightly out-of-order stream (e.g. records
+// merged from several capture interfaces) into non-decreasing timestamp
+// order using a bounded slack window, so the engine's epoch clock — which
+// assumes ordered arrivals, as Gigascope does — sees a well-formed
+// stream.
+//
+// Records are buffered until one with timestamp ≥ watermark + Slack
+// arrives; everything at or below the advancing watermark is then
+// released in timestamp order. A record older than the watermark at
+// arrival is *late*: it cannot be emitted without violating order, so it
+// is dropped and counted.
+type OrderedSource struct {
+	src   Source
+	slack uint32
+
+	buf       recHeap
+	watermark uint32
+	started   bool
+	drained   bool
+	late      uint64
+	err       error
+}
+
+// NewOrderedSource wraps src with a reordering window of slack time
+// units. Slack 0 passes records through in arrival order, dropping any
+// that would move time backwards.
+func NewOrderedSource(src Source, slack uint32) *OrderedSource {
+	return &OrderedSource{src: src, slack: slack}
+}
+
+// Late returns the number of records dropped for arriving beyond the
+// reordering window.
+func (o *OrderedSource) Late() uint64 { return o.late }
+
+// Next implements Source.
+func (o *OrderedSource) Next() (Record, bool) {
+	for {
+		// Release a buffered record if the watermark already covers it.
+		if len(o.buf) > 0 && (o.drained || o.buf[0].Time <= o.watermark) {
+			rec := heap.Pop(&o.buf).(Record)
+			return rec, true
+		}
+		if o.drained {
+			return Record{}, false
+		}
+		rec, ok := o.src.Next()
+		if !ok {
+			o.err = o.src.Err()
+			o.drained = true
+			continue // release the remaining buffer in order
+		}
+		if o.started && rec.Time < o.watermark {
+			o.late++
+			continue
+		}
+		if !o.started {
+			o.started = true
+			o.watermark = 0
+		}
+		heap.Push(&o.buf, rec)
+		if rec.Time >= o.slack && rec.Time-o.slack > o.watermark {
+			o.watermark = rec.Time - o.slack
+		}
+	}
+}
+
+// Err implements Source.
+func (o *OrderedSource) Err() error { return o.err }
+
+// recHeap is a min-heap of records by timestamp.
+type recHeap []Record
+
+func (h recHeap) Len() int            { return len(h) }
+func (h recHeap) Less(i, j int) bool  { return h[i].Time < h[j].Time }
+func (h recHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *recHeap) Push(x interface{}) { *h = append(*h, x.(Record)) }
+func (h *recHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	rec := old[n-1]
+	*h = old[:n-1]
+	return rec
+}

@@ -1,0 +1,150 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func timesOf(recs []Record) []uint32 {
+	out := make([]uint32, len(recs))
+	for i, r := range recs {
+		out[i] = r.Time
+	}
+	return out
+}
+
+func TestOrderedSourcePassesOrderedStream(t *testing.T) {
+	in := []Record{mkRec(0, 1), mkRec(1, 2), mkRec(1, 3), mkRec(5, 4)}
+	o := NewOrderedSource(NewSliceSource(in), 2)
+	out, err := Collect(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d records", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].Time < out[i-1].Time {
+			t.Fatalf("order violated: %v", timesOf(out))
+		}
+	}
+	if o.Late() != 0 {
+		t.Errorf("Late = %d on an ordered stream", o.Late())
+	}
+}
+
+func TestOrderedSourceReorders(t *testing.T) {
+	// Timestamps 3,1,2 with slack 3: all fit in the window and come out
+	// sorted.
+	in := []Record{mkRec(3, 1), mkRec(1, 2), mkRec(2, 3), mkRec(4, 4)}
+	o := NewOrderedSource(NewSliceSource(in), 3)
+	out, err := Collect(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint32{1, 2, 3, 4}
+	got := timesOf(out)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("times = %v; want %v", got, want)
+		}
+	}
+	if o.Late() != 0 {
+		t.Errorf("Late = %d", o.Late())
+	}
+}
+
+func TestOrderedSourceDropsLate(t *testing.T) {
+	// With slack 1, the record at t=0 arriving after t=10 has passed the
+	// watermark (10-1=9) and must be dropped.
+	in := []Record{mkRec(5, 1), mkRec(10, 2), mkRec(0, 3), mkRec(11, 4)}
+	o := NewOrderedSource(NewSliceSource(in), 1)
+	out, err := Collect(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Late() != 1 {
+		t.Errorf("Late = %d; want 1", o.Late())
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].Time < out[i-1].Time {
+			t.Fatalf("order violated: %v", timesOf(out))
+		}
+	}
+	if len(out) != 3 {
+		t.Errorf("emitted %d records; want 3", len(out))
+	}
+}
+
+// Property: for any input and slack, the output is sorted, and output
+// count + late count equals input count.
+func TestOrderedSourceProperty(t *testing.T) {
+	f := func(seed int64, slackRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		slack := uint32(slackRaw % 16)
+		n := 200
+		in := make([]Record, n)
+		tm := uint32(0)
+		for i := range in {
+			// Mostly advancing time with occasional back-jumps.
+			if rng.Intn(4) == 0 && tm > 3 {
+				in[i] = mkRec(tm-uint32(rng.Intn(4)), uint32(i))
+			} else {
+				in[i] = mkRec(tm, uint32(i))
+			}
+			if rng.Intn(2) == 0 {
+				tm++
+			}
+		}
+		o := NewOrderedSource(NewSliceSource(in), slack)
+		out, err := Collect(o)
+		if err != nil {
+			return false
+		}
+		for i := 1; i < len(out); i++ {
+			if out[i].Time < out[i-1].Time {
+				return false
+			}
+		}
+		return uint64(len(out))+o.Late() == uint64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with slack at least the maximum displacement, nothing is
+// dropped and the output is a sorted permutation of the input.
+func TestOrderedSourceLosslessProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 100
+		in := make([]Record, n)
+		for i := range in {
+			base := uint32(i)
+			jitter := uint32(rng.Intn(5))
+			tm := uint32(0)
+			if base > jitter {
+				tm = base - jitter
+			}
+			in[i] = mkRec(tm, uint32(i))
+		}
+		o := NewOrderedSource(NewSliceSource(in), 8) // > max displacement
+		out, err := Collect(o)
+		if err != nil || o.Late() != 0 || len(out) != n {
+			return false
+		}
+		seen := map[uint32]bool{}
+		for _, r := range out {
+			if seen[r.Attrs[0]] {
+				return false
+			}
+			seen[r.Attrs[0]] = true
+		}
+		return len(seen) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,219 @@
+// Package stream provides the tuple and stream substrate the two-level
+// DSMS runs on: fixed-schema records with a timestamp, stream sources, and
+// epoch bookkeeping.
+//
+// Records model IP packet headers the way the paper's evaluation does:
+// every grouping attribute is a 4-byte value (source IP, destination IP,
+// source port, destination port, ...), plus an arrival timestamp used to
+// cut the stream into aggregation epochs.
+package stream
+
+import (
+	"fmt"
+
+	"repro/internal/attr"
+)
+
+// Record is one stream tuple. Attrs is indexed by attr.ID and has exactly
+// Schema.NumAttrs entries; Time is the arrival timestamp in stream time
+// units (seconds in all paper workloads).
+type Record struct {
+	Attrs []uint32
+	Time  uint32
+}
+
+// Schema describes the stream relation R: how many grouping attributes a
+// record carries and what they are called.
+type Schema struct {
+	NumAttrs int
+	Names    []string // optional long names, e.g. "srcIP"; Names[i] for attr.ID(i)
+}
+
+// NewSchema builds a schema with n attributes named A..; long names are
+// defaulted to the single-letter names.
+func NewSchema(n int) (Schema, error) {
+	if n <= 0 || n > attr.MaxAttrs {
+		return Schema{}, fmt.Errorf("stream: schema must have 1..%d attributes, got %d", attr.MaxAttrs, n)
+	}
+	names := make([]string, n)
+	for i := range names {
+		names[i] = attr.ID(i).Name()
+	}
+	return Schema{NumAttrs: n, Names: names}, nil
+}
+
+// MustSchema is NewSchema that panics on error.
+func MustSchema(n int) Schema {
+	s, err := NewSchema(n)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Universe returns the relation containing all schema attributes.
+func (s Schema) Universe() attr.Set {
+	var u attr.Set
+	for i := 0; i < s.NumAttrs; i++ {
+		u = u.Add(attr.ID(i))
+	}
+	return u
+}
+
+// Validate reports an error if the record does not match the schema.
+func (s Schema) Validate(r Record) error {
+	if len(r.Attrs) != s.NumAttrs {
+		return fmt.Errorf("stream: record has %d attributes, schema wants %d", len(r.Attrs), s.NumAttrs)
+	}
+	return nil
+}
+
+// AttrName resolves an attribute's long name.
+func (s Schema) AttrName(id attr.ID) string {
+	if int(id) < len(s.Names) {
+		return s.Names[id]
+	}
+	return id.Name()
+}
+
+// Source yields a stream of records. Next returns false when the stream is
+// exhausted; Err reports any error that terminated it early.
+type Source interface {
+	Next() (Record, bool)
+	Err() error
+}
+
+// SliceSource replays an in-memory batch of records; the canonical source
+// for experiments, which need repeatable multi-pass access to a dataset.
+type SliceSource struct {
+	recs []Record
+	pos  int
+}
+
+// NewSliceSource wraps recs. The records are not copied; callers must not
+// mutate them while the source is in use.
+func NewSliceSource(recs []Record) *SliceSource {
+	return &SliceSource{recs: recs}
+}
+
+// Next implements Source.
+func (s *SliceSource) Next() (Record, bool) {
+	if s.pos >= len(s.recs) {
+		return Record{}, false
+	}
+	r := s.recs[s.pos]
+	s.pos++
+	return r, true
+}
+
+// Err implements Source; a slice source never fails.
+func (s *SliceSource) Err() error { return nil }
+
+// Reset rewinds the source to the beginning for another pass.
+func (s *SliceSource) Reset() { s.pos = 0 }
+
+// Len returns the total number of records in the source.
+func (s *SliceSource) Len() int { return len(s.recs) }
+
+// ChanSource adapts a channel of records to the Source interface, for live
+// pipelines feeding the engine from another goroutine.
+type ChanSource struct {
+	C <-chan Record
+}
+
+// Next implements Source; it blocks until a record arrives or C is closed.
+func (c ChanSource) Next() (Record, bool) {
+	r, ok := <-c.C
+	return r, ok
+}
+
+// Err implements Source.
+func (c ChanSource) Err() error { return nil }
+
+// FuncSource adapts a generator function to Source. The function returns
+// ok=false when the stream ends.
+type FuncSource func() (Record, bool)
+
+// Next implements Source.
+func (f FuncSource) Next() (Record, bool) { return f() }
+
+// Err implements Source.
+func (f FuncSource) Err() error { return nil }
+
+// Epoch identifies an aggregation window: epoch e covers stream times
+// [e*Length, (e+1)*Length).
+type Epoch struct {
+	Index  uint32
+	Length uint32 // in stream time units; 0 means a single unbounded epoch
+}
+
+// Of returns the epoch index a timestamp falls into.
+func (e Epoch) Of(t uint32) uint32 {
+	if e.Length == 0 {
+		return 0
+	}
+	return t / e.Length
+}
+
+// Clock tracks epoch boundaries while consuming a stream in arrival order.
+// It is the "time/60 as tb" machinery of the paper's queries.
+type Clock struct {
+	Length  uint32
+	started bool
+	cur     uint32
+}
+
+// NewClock returns a clock cutting the stream into epochs of the given
+// length; length 0 means the whole stream is one epoch.
+func NewClock(length uint32) *Clock { return &Clock{Length: length} }
+
+// Advance feeds the clock the next record timestamp. It returns the
+// epoch index the record belongs to and whether this record starts a new
+// epoch (i.e. an end-of-epoch flush of all previous state is due first).
+func (c *Clock) Advance(t uint32) (epoch uint32, rolled bool) {
+	e := Epoch{Length: c.Length}.Of(t)
+	if !c.started {
+		c.started = true
+		c.cur = e
+		return e, false
+	}
+	if e != c.cur {
+		c.cur = e
+		return e, true
+	}
+	return e, false
+}
+
+// Current returns the epoch the clock is in; valid after the first Advance.
+func (c *Clock) Current() uint32 { return c.cur }
+
+// Started reports whether the clock has seen any record.
+func (c *Clock) Started() bool { return c.started }
+
+// Collect drains a source into a slice. It is a convenience for tests and
+// experiment setup.
+func Collect(src Source) ([]Record, error) {
+	var out []Record
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		out = append(out, r)
+	}
+	return out, src.Err()
+}
+
+// GroupKey renders the projection of a record onto a relation as a
+// human-readable key such as "10.0.0.1|443"; used in results and tests.
+func GroupKey(rel attr.Set, rec Record) string {
+	vals := rel.Project(rec.Attrs, nil)
+	out := ""
+	for i, v := range vals {
+		if i > 0 {
+			out += "|"
+		}
+		out += fmt.Sprint(v)
+	}
+	return out
+}

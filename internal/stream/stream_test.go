@@ -1,0 +1,273 @@
+package stream
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/attr"
+)
+
+func mkRec(t uint32, vals ...uint32) Record {
+	return Record{Attrs: vals, Time: t}
+}
+
+func TestNewSchema(t *testing.T) {
+	if _, err := NewSchema(0); err == nil {
+		t.Error("NewSchema(0) should fail")
+	}
+	if _, err := NewSchema(27); err == nil {
+		t.Error("NewSchema(27) should fail")
+	}
+	s, err := NewSchema(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Universe() != attr.MustParseSet("ABCD") {
+		t.Errorf("Universe = %v", s.Universe())
+	}
+	if s.AttrName(2) != "C" {
+		t.Errorf("AttrName(2) = %q", s.AttrName(2))
+	}
+	if err := s.Validate(mkRec(0, 1, 2, 3)); err == nil {
+		t.Error("Validate should reject 3-attr record for 4-attr schema")
+	}
+	if err := s.Validate(mkRec(0, 1, 2, 3, 4)); err != nil {
+		t.Errorf("Validate rejected valid record: %v", err)
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	recs := []Record{mkRec(0, 1), mkRec(1, 2), mkRec(2, 3)}
+	src := NewSliceSource(recs)
+	if src.Len() != 3 {
+		t.Fatalf("Len = %d", src.Len())
+	}
+	got, err := Collect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[2].Attrs[0] != 3 {
+		t.Fatalf("Collect = %v", got)
+	}
+	if _, ok := src.Next(); ok {
+		t.Error("exhausted source returned a record")
+	}
+	src.Reset()
+	if r, ok := src.Next(); !ok || r.Attrs[0] != 1 {
+		t.Error("Reset did not rewind")
+	}
+}
+
+func TestChanAndFuncSource(t *testing.T) {
+	ch := make(chan Record, 2)
+	ch <- mkRec(5, 9)
+	close(ch)
+	cs := ChanSource{C: ch}
+	if r, ok := cs.Next(); !ok || r.Time != 5 {
+		t.Errorf("ChanSource.Next = %v, %v", r, ok)
+	}
+	if _, ok := cs.Next(); ok {
+		t.Error("closed channel source returned a record")
+	}
+
+	n := 0
+	fs := FuncSource(func() (Record, bool) {
+		if n >= 2 {
+			return Record{}, false
+		}
+		n++
+		return mkRec(uint32(n), uint32(n)), true
+	})
+	recs, _ := Collect(fs)
+	if len(recs) != 2 {
+		t.Errorf("FuncSource produced %d records", len(recs))
+	}
+}
+
+func TestEpochOf(t *testing.T) {
+	e := Epoch{Length: 60}
+	cases := []struct{ t, want uint32 }{{0, 0}, {59, 0}, {60, 1}, {121, 2}}
+	for _, c := range cases {
+		if got := e.Of(c.t); got != c.want {
+			t.Errorf("Of(%d) = %d; want %d", c.t, got, c.want)
+		}
+	}
+	if (Epoch{Length: 0}).Of(12345) != 0 {
+		t.Error("unbounded epoch must always be 0")
+	}
+}
+
+func TestClock(t *testing.T) {
+	c := NewClock(10)
+	if c.Started() {
+		t.Error("fresh clock claims started")
+	}
+	e, rolled := c.Advance(3)
+	if e != 0 || rolled {
+		t.Fatalf("first Advance = %d, %v", e, rolled)
+	}
+	if e, rolled = c.Advance(9); e != 0 || rolled {
+		t.Fatalf("same-epoch Advance = %d, %v", e, rolled)
+	}
+	if e, rolled = c.Advance(10); e != 1 || !rolled {
+		t.Fatalf("boundary Advance = %d, %v", e, rolled)
+	}
+	if e, rolled = c.Advance(35); e != 3 || !rolled {
+		t.Fatalf("skip Advance = %d, %v", e, rolled)
+	}
+	if c.Current() != 3 {
+		t.Fatalf("Current = %d", c.Current())
+	}
+}
+
+func TestGroupKey(t *testing.T) {
+	rec := mkRec(0, 10, 20, 30, 40)
+	if got := GroupKey(attr.MustParseSet("AC"), rec); got != "10|30" {
+		t.Errorf("GroupKey = %q", got)
+	}
+	if got := GroupKey(attr.MustParseSet("B"), rec); got != "20" {
+		t.Errorf("GroupKey = %q", got)
+	}
+}
+
+func TestBinaryTraceRoundTrip(t *testing.T) {
+	schema := MustSchema(3)
+	recs := []Record{
+		mkRec(0, 1, 2, 3),
+		mkRec(7, 4294967295, 0, 42),
+		mkRec(100, 5, 6, 7),
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, schema, recs); err != nil {
+		t.Fatal(err)
+	}
+	gotSchema, got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSchema.NumAttrs != 3 {
+		t.Fatalf("schema round trip: %d attrs", gotSchema.NumAttrs)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records; want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].Time != recs[i].Time {
+			t.Fatalf("record %d time mismatch", i)
+		}
+		for j := range recs[i].Attrs {
+			if got[i].Attrs[j] != recs[i].Attrs[j] {
+				t.Fatalf("record %d attr %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	if _, _, err := ReadTrace(strings.NewReader("BOGUS-HEADER")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, _, err := ReadTrace(strings.NewReader("")); err == nil {
+		t.Error("empty stream accepted")
+	}
+	// Valid header, truncated body.
+	schema := MustSchema(2)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, schema, []Record{mkRec(1, 2, 3)}); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, _, err := ReadTrace(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated trace accepted")
+	}
+}
+
+func TestWriteTraceRejectsBadRecord(t *testing.T) {
+	schema := MustSchema(2)
+	var buf bytes.Buffer
+	err := WriteTrace(&buf, schema, []Record{mkRec(0, 1, 2, 3)})
+	if err == nil {
+		t.Error("record/schema arity mismatch accepted")
+	}
+}
+
+func TestTextTraceRoundTrip(t *testing.T) {
+	schema := MustSchema(2)
+	recs := []Record{mkRec(0, 1, 2), mkRec(60, 3, 4)}
+	var buf bytes.Buffer
+	if err := WriteTextTrace(&buf, schema, recs); err != nil {
+		t.Fatal(err)
+	}
+	gotSchema, got, err := ReadTextTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSchema.NumAttrs != 2 || len(got) != 2 {
+		t.Fatalf("round trip: %d attrs, %d recs", gotSchema.NumAttrs, len(got))
+	}
+	if got[1].Time != 60 || got[1].Attrs[0] != 3 {
+		t.Fatalf("record mismatch: %+v", got[1])
+	}
+}
+
+func TestTextTraceParsing(t *testing.T) {
+	in := "# comment\n\n 1, 2, 3 \n4,5,6\n"
+	schema, recs, err := ReadTextTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schema.NumAttrs != 2 || len(recs) != 2 {
+		t.Fatalf("parsed %d attrs, %d recs", schema.NumAttrs, len(recs))
+	}
+	bad := []string{
+		"1,2,3\n1,2\n",     // arity change
+		"abc,2,3\n",        // non-numeric attr
+		"1,2,xyz\n",        // non-numeric timestamp
+		"5\n",              // too few fields
+		"# only comment\n", // no data at all
+	}
+	for _, b := range bad {
+		if _, _, err := ReadTextTrace(strings.NewReader(b)); err == nil {
+			t.Errorf("bad input %q accepted", b)
+		}
+	}
+}
+
+// Property: binary trace encoding round-trips arbitrary records.
+func TestBinaryTraceProperty(t *testing.T) {
+	f := func(vals []uint32) bool {
+		const arity = 4
+		schema := MustSchema(arity)
+		var recs []Record
+		for i := 0; i+arity < len(vals); i += arity + 1 {
+			recs = append(recs, Record{
+				Attrs: vals[i : i+arity],
+				Time:  vals[i+arity],
+			})
+		}
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, schema, recs); err != nil {
+			return false
+		}
+		_, got, err := ReadTrace(&buf)
+		if err != nil || len(got) != len(recs) {
+			return false
+		}
+		for i := range recs {
+			if got[i].Time != recs[i].Time {
+				return false
+			}
+			for j := range recs[i].Attrs {
+				if got[i].Attrs[j] != recs[i].Attrs[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

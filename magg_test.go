@@ -1,0 +1,230 @@
+package magg
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+// These tests exercise the public facade the way a downstream user would,
+// without touching internal packages directly.
+
+func facadeWorkload(t *testing.T) ([]Record, []Relation, GroupCounts) {
+	t.Helper()
+	schema := MustSchema(4)
+	u, err := NewUniformUniverse(1, schema, 600, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := GenerateUniform(2, u, 40000, 30)
+	queries := []Relation{MustRelation("AB"), MustRelation("BC"), MustRelation("CD")}
+	groups, err := EstimateGroups(recs, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs, queries, groups
+}
+
+func TestFacadeEngineEndToEnd(t *testing.T) {
+	recs, queries, groups := facadeWorkload(t)
+	sqls := []string{
+		"select A, B, count(*) as cnt from R group by A, B, time/10",
+		"select B, C, count(*) as cnt from R group by B, C, time/10",
+		"select C, D, count(*) as cnt from R group by C, D, time/10",
+	}
+	eng, err := NewEngine(sqls, groups, Options{M: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(NewSliceSource(recs)); err != nil {
+		t.Fatal(err)
+	}
+	// Every query's per-epoch counts must sum to the record count.
+	for _, q := range queries {
+		var total int64
+		for _, epoch := range eng.Epochs(q) {
+			rows, err := eng.Results(q, epoch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range rows {
+				total += r.Aggs[0]
+			}
+		}
+		if total != int64(len(recs)) {
+			t.Errorf("query %v accounts for %d of %d records", q, total, len(recs))
+		}
+	}
+	if eng.Stats().Ops.Records != uint64(len(recs)) {
+		t.Errorf("ops records = %d", eng.Stats().Ops.Records)
+	}
+}
+
+func TestFacadePlan(t *testing.T) {
+	_, queries, groups := facadeWorkload(t)
+	p := DefaultParams()
+	plan, err := Plan(queries, groups, 40000, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Cost <= 0 {
+		t.Errorf("plan cost = %v", plan.Cost)
+	}
+	opt, err := PlanOptimal(queries, groups, 40000, p, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Cost > plan.Cost*1.001 {
+		t.Errorf("optimal cost %v above GCSL %v", opt.Cost, plan.Cost)
+	}
+	if plan.Cost > opt.Cost*3 {
+		t.Errorf("GCSL cost %v more than 3x optimal %v", plan.Cost, opt.Cost)
+	}
+}
+
+func TestFacadeConfigAndCosts(t *testing.T) {
+	_, queries, groups := facadeWorkload(t)
+	cfg, err := ParseConfig("ABCD(AB BC CD)", queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	for _, scheme := range []AllocScheme{AllocSL, AllocSR, AllocPL, AllocPR, AllocES} {
+		alloc, err := Allocate(scheme, cfg, groups, 20000, p)
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		em, err := PerRecordCost(cfg, groups, alloc, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eu, err := EndOfEpochCost(cfg, groups, alloc, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if em <= 0 || eu <= 0 {
+			t.Errorf("%s: costs %v / %v", scheme, em, eu)
+		}
+	}
+	graph, err := NewFeedingGraph(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(graph.Phantoms) == 0 {
+		t.Error("no candidate phantoms")
+	}
+}
+
+func TestFacadeRelationAndQueryParsing(t *testing.T) {
+	r, err := ParseRelation("ABD")
+	if err != nil || r.String() != "ABD" {
+		t.Errorf("ParseRelation = %v, %v", r, err)
+	}
+	if _, err := ParseRelation("A1"); err == nil {
+		t.Error("bad relation accepted")
+	}
+	spec, err := ParseQuery("select A, avg(B) as len from R group by A, time/60")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.GroupBy != MustRelation("A") || spec.EpochLen != 60 {
+		t.Errorf("spec = %+v", spec)
+	}
+	if cols := spec.OutputColumns(); len(cols) != 1 || cols[0] != "len" {
+		t.Errorf("OutputColumns = %v", cols)
+	}
+}
+
+func TestFacadeCollisionRate(t *testing.T) {
+	// Monotone in g/b and ≈ 1/e at g = b.
+	if x := CollisionRate(1000, 1000); math.Abs(x-1/math.E) > 0.02 {
+		t.Errorf("CollisionRate(g=b) = %v", x)
+	}
+	if CollisionRate(100, 1000) >= CollisionRate(5000, 1000) {
+		t.Error("rate not increasing in g/b")
+	}
+}
+
+func TestFacadeTraceIO(t *testing.T) {
+	recs, _, _ := facadeWorkload(t)
+	schema := MustSchema(4)
+	path := filepath.Join(t.TempDir(), "trace.magt")
+	if err := WriteTraceFile(path, schema, recs[:100]); err != nil {
+		t.Fatal(err)
+	}
+	gotSchema, got, err := ReadTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSchema.NumAttrs != 4 || len(got) != 100 {
+		t.Errorf("round trip: %d attrs, %d recs", gotSchema.NumAttrs, len(got))
+	}
+}
+
+func TestFacadeGenerators(t *testing.T) {
+	schema := MustSchema(3)
+	u, err := NewNestedUniverse(3, schema, []int{50, 120, 200}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := CountGroups(GenerateUniform(4, u, 5000, 10), MustRelation("ABC")); g > 200 {
+		t.Errorf("generated %d groups from a 200-group universe", g)
+	}
+	z, err := GenerateZipf(5, u, 5000, 10, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(z) != 5000 {
+		t.Errorf("zipf generated %d records", len(z))
+	}
+	ft, err := GenerateFlows(6, u, FlowConfig{NumRecords: 5000, MeanFlowLen: 10, Concurrency: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft.AvgFlowLength() < 2 {
+		t.Errorf("flow trace not clustered: l_a = %v", ft.AvgFlowLength())
+	}
+	tu, err := NewUniverseFromTuples(schema, [][]uint32{{1, 2, 3}, {1, 2, 3}, {4, 5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tu.Size() != 2 {
+		t.Errorf("duplicate tuples not collapsed: size %d", tu.Size())
+	}
+}
+
+func TestFacadePaperTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper trace generation is slow in -short mode")
+	}
+	u, ft, err := PaperTrace(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Size() != 2837 || len(ft.Records) != 860000 {
+		t.Errorf("paper trace: %d groups, %d records", u.Size(), len(ft.Records))
+	}
+}
+
+func TestFacadePlannerVariants(t *testing.T) {
+	recs, _, groups := facadeWorkload(t)
+	_ = recs
+	sqls := []string{
+		"select A, B, count(*) as cnt from R group by A, B, time/10",
+		"select B, C, count(*) as cnt from R group by B, C, time/10",
+		"select C, D, count(*) as cnt from R group by C, D, time/10",
+	}
+	for name, planner := range map[string]Planner{
+		"gcsl": GCSLPlanner,
+		"gs":   GSPlanner(1.0),
+		"none": NoPhantomPlanner,
+	} {
+		eng, err := NewEngine(sqls, groups, Options{M: 20000, Planner: planner})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if name == "none" && len(eng.Plan().Config.Phantoms()) != 0 {
+			t.Error("no-phantom planner chose phantoms")
+		}
+	}
+}

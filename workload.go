@@ -1,0 +1,58 @@
+package magg
+
+import (
+	"math/rand"
+
+	"repro/internal/gen"
+	"repro/internal/stream"
+)
+
+// Workload generation wrappers over internal/gen, for examples, tests and
+// applications that need synthetic streams.
+
+// FlowConfig parameterizes GenerateFlows.
+type FlowConfig = gen.FlowConfig
+
+// NewUniformUniverse draws g distinct full-width group tuples, each
+// attribute from a pool of the given size (0 = the full 32-bit space).
+func NewUniformUniverse(seed int64, schema Schema, g int, pool uint32) (*Universe, error) {
+	return gen.UniformUniverse(rand.New(rand.NewSource(seed)), schema, g, pool)
+}
+
+// NewNestedUniverse builds a universe whose prefix relations (A, AB,
+// ABC, ...) have exactly the requested cardinalities; this is how the
+// paper's real-data group structure is reproduced.
+func NewNestedUniverse(seed int64, schema Schema, prefixCards []int, pool uint32) (*Universe, error) {
+	return gen.NestedUniverse(rand.New(rand.NewSource(seed)), schema, prefixCards, pool)
+}
+
+// NewUniverseFromTuples wraps an explicit set of group tuples (duplicates
+// removed).
+func NewUniverseFromTuples(schema Schema, tuples [][]uint32) (*Universe, error) {
+	return gen.NewUniverse(schema, tuples)
+}
+
+// GenerateUniform draws n records uniformly from the universe's groups
+// with timestamps spread over [0, duration).
+func GenerateUniform(seed int64, u *Universe, n int, duration uint32) []Record {
+	return gen.Uniform(rand.New(rand.NewSource(seed)), u, n, duration)
+}
+
+// GenerateZipf draws n records under a Zipf(s) group-popularity skew.
+func GenerateZipf(seed int64, u *Universe, n int, duration uint32, s float64) ([]Record, error) {
+	return gen.Zipf(rand.New(rand.NewSource(seed)), u, n, duration, s)
+}
+
+// GenerateFlows produces a clustered netflow-like packet trace: packets of
+// one flow share all attributes and arrive interleaved with a bounded
+// number of other flows.
+func GenerateFlows(seed int64, u *Universe, cfg FlowConfig) (*FlowTrace, error) {
+	return gen.Flows(rand.New(rand.NewSource(seed)), u, cfg)
+}
+
+// CountGroups measures the number of distinct projections of a record
+// batch onto a relation (the g_R of a dataset).
+func CountGroups(recs []Record, rel Relation) int { return gen.CountGroups(recs, rel) }
+
+// MustSchema is NewSchema that panics on error.
+func MustSchema(n int) Schema { return stream.MustSchema(n) }
