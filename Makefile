@@ -1,0 +1,32 @@
+# Developer targets. `make check` is the tier-1 gate; `make race` runs the
+# race detector over the concurrent hot path (parallel LFTA shards,
+# batched eviction buffers, sharded HFTA merge).
+
+GO ?= go
+
+.PHONY: build test vet race check bench bench-json
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-detect the packages with concurrent execution paths: the sharded
+# runtime's RunParallel fan-out, the runtime eviction buffers, and the
+# lock-sharded HFTA merge they flush into.
+race:
+	$(GO) test -race ./internal/lfta/... ./internal/hfta/... ./internal/stream/...
+
+check: build vet test race
+
+# Quick perf numbers for the engine hot path (see docs/PERF.md).
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkEngineThroughput|BenchmarkHFTAMerge|BenchmarkSharded|BenchmarkRuntimeRecord|BenchmarkLFTAProbe' -benchmem .
+
+# Machine-readable summary, the BENCH_PR<N>.json trajectory format.
+bench-json:
+	$(GO) run ./cmd/maggbench -json BENCH_PR1.json

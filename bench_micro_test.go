@@ -121,10 +121,11 @@ func benchSharded(b *testing.B, parallel bool) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		s, err := NewShardedLFTA(plan.Config, plan.Alloc, CountStar, 5, agg.ConcurrentSink(), 4)
+		s, err := NewShardedLFTA(plan.Config, plan.Alloc, CountStar, 5, nil, 4)
 		if err != nil {
 			b.Fatal(err)
 		}
+		s.SetBatchSink(agg.ConsumeBatch, 0)
 		if parallel {
 			_, err = s.RunParallel(NewSliceSource(recs), 10)
 		} else {

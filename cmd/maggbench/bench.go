@@ -1,0 +1,271 @@
+package main
+
+// Machine-readable performance benchmarks (-json): a fixed suite of
+// engine and building-block benchmarks whose results are written as a
+// JSON summary, so the perf trajectory across PRs is diffable
+// (BENCH_PR1.json onward). The suite mirrors the go-test benchmarks in
+// bench_test.go / bench_micro_test.go but runs standalone via
+// testing.Benchmark, no `go test` invocation required.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/attr"
+	"repro/internal/choose"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/feedgraph"
+	"repro/internal/gen"
+	"repro/internal/hashtab"
+	"repro/internal/hfta"
+	"repro/internal/lfta"
+	"repro/internal/stream"
+)
+
+// benchResult is one benchmark's summary. RecordsPerSec is the
+// throughput in stream records per second (0 when the benchmark has no
+// per-record interpretation).
+type benchResult struct {
+	Name          string  `json:"name"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+	RecordsPerSec float64 `json:"records_per_sec,omitempty"`
+	Iterations    int     `json:"iterations"`
+}
+
+// benchReport is the file-level JSON document.
+type benchReport struct {
+	Generated  string        `json:"generated"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	NumCPU     int           `json:"num_cpu"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// namedBench couples a benchmark body with its report entry. recordsPerOp
+// converts ns/op into records/sec (0 = not a record-throughput bench).
+type namedBench struct {
+	name         string
+	recordsPerOp float64
+	fn           func(b *testing.B)
+}
+
+// benchSuite builds the standard suite. Kept as a function (not a global)
+// so each -json run constructs fresh fixtures.
+func benchSuite() []namedBench {
+	return []namedBench{
+		{name: "engine-throughput", recordsPerOp: 1, fn: benchEngineThroughput},
+		{name: "runtime-record", recordsPerOp: 1, fn: benchRuntimeRecord},
+		{name: "lfta-probe", recordsPerOp: 1, fn: benchLFTAProbe},
+		{name: "hfta-merge", recordsPerOp: 0, fn: benchHFTAMerge},
+		{name: "sharded-sequential", recordsPerOp: shardedBenchRecords, fn: shardedBench(false)},
+		{name: "sharded-parallel", recordsPerOp: shardedBenchRecords, fn: shardedBench(true)},
+	}
+}
+
+// runBenchSuite executes the suite and writes the JSON report to path
+// ("-" for stdout), echoing human-readable lines to log.
+func runBenchSuite(path string, log io.Writer) error {
+	report := benchReport{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	for _, nb := range benchSuite() {
+		res := testing.Benchmark(nb.fn)
+		r := benchResult{
+			Name:        nb.name,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			Iterations:  res.N,
+		}
+		if nb.recordsPerOp > 0 && r.NsPerOp > 0 {
+			r.RecordsPerSec = nb.recordsPerOp * 1e9 / r.NsPerOp
+		}
+		report.Benchmarks = append(report.Benchmarks, r)
+		fmt.Fprintf(log, "%-20s %12.1f ns/op %8d B/op %6d allocs/op",
+			nb.name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		if r.RecordsPerSec > 0 {
+			fmt.Fprintf(log, " %14.0f records/s", r.RecordsPerSec)
+		}
+		fmt.Fprintln(log)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// benchEngineThroughput is the end-to-end hot path: one record through a
+// planned two-level engine (LFTA probes, cascades, batched HFTA merge).
+func benchEngineThroughput(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	schema := stream.MustSchema(4)
+	u, err := gen.UniformUniverse(rng, schema, 1000, 60)
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs := gen.Uniform(rng, u, 65536, 0)
+	queries := []attr.Set{attr.MustParseSet("AB"), attr.MustParseSet("BC"), attr.MustParseSet("CD")}
+	groups, err := core.EstimateGroups(recs[:10000], queries)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sqls := []string{
+		"select A, B, count(*) as cnt from R group by A, B",
+		"select B, C, count(*) as cnt from R group by B, C",
+		"select C, D, count(*) as cnt from R group by C, D",
+	}
+	eng, err := core.New(sqls, groups, core.Options{M: 20000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.Process(recs[i%len(recs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchRuntimeRecord drives one record through a three-level LFTA
+// configuration with no HFTA attached (probe + cascade cost only).
+func benchRuntimeRecord(b *testing.B) {
+	queries := []attr.Set{
+		attr.MustParseSet("AB"), attr.MustParseSet("BC"),
+		attr.MustParseSet("BD"), attr.MustParseSet("CD"),
+	}
+	cfg, err := feedgraph.ParseConfig("ABCD(AB BCD(BC BD CD))", queries)
+	if err != nil {
+		b.Fatal(err)
+	}
+	alloc := cost.Alloc{}
+	for _, r := range cfg.Rels {
+		alloc[r] = 1024
+	}
+	rt, err := lfta.New(cfg, alloc, lfta.CountStar, 3, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	recs := make([]stream.Record, 1024)
+	for i := range recs {
+		recs[i] = stream.Record{Attrs: []uint32{rng.Uint32() % 100, rng.Uint32() % 100, rng.Uint32() % 100, rng.Uint32() % 100}}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Process(recs[i%len(recs)], 0)
+	}
+}
+
+// benchLFTAProbe isolates a single hash-table probe (the paper's c1).
+func benchLFTAProbe(b *testing.B) {
+	tab := hashtab.MustNew(attr.MustParseSet("ABCD"), 4096, []hashtab.AggOp{hashtab.Sum}, 1)
+	rng := rand.New(rand.NewSource(1))
+	keys := make([][]uint32, 1024)
+	for i := range keys {
+		keys[i] = []uint32{rng.Uint32() % 500, rng.Uint32() % 500, rng.Uint32() % 500, rng.Uint32() % 500}
+	}
+	deltas := []int64{1}
+	var victim hashtab.Entry
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.ProbeInto(keys[i%len(keys)], deltas, &victim)
+	}
+}
+
+// benchHFTAMerge isolates one eviction merged into the HFTA state.
+func benchHFTAMerge(b *testing.B) {
+	agg, err := hfta.New([]attr.Set{attr.MustParseSet("AB")}, lfta.CountStar)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	evs := make([]lfta.Eviction, 1024)
+	for i := range evs {
+		evs[i] = lfta.Eviction{
+			Rel:   attr.MustParseSet("AB"),
+			Key:   []uint32{rng.Uint32() % 500, rng.Uint32() % 500},
+			Aggs:  []int64{int64(rng.Intn(100))},
+			Epoch: uint32(i % 4),
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg.Consume(evs[i%len(evs)])
+	}
+}
+
+// shardedBenchRecords is the trace length of the sharded benchmarks; one
+// benchmark op runs the whole trace.
+const shardedBenchRecords = 200000
+
+// shardedBench runs a planned 4-shard LFTA deployment over a fixed trace
+// with the batched eviction path, sequentially or in parallel.
+func shardedBench(parallel bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		rng := rand.New(rand.NewSource(4))
+		schema := stream.MustSchema(4)
+		u, err := gen.UniformUniverse(rng, schema, 2000, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		recs := gen.Uniform(rng, u, shardedBenchRecords, 50)
+		queries := []attr.Set{attr.MustParseSet("AB"), attr.MustParseSet("BC"), attr.MustParseSet("CD")}
+		groups, err := core.EstimateGroups(recs[:20000], queries)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, err := feedgraph.New(queries)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan, err := choose.GCSL(g, groups, 20000, cost.DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			agg, err := hfta.New(queries, lfta.CountStar)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := lfta.NewSharded(plan.Config, plan.Alloc, lfta.CountStar, 5, nil, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.SetBatchSink(agg.ConsumeBatch, 0)
+			if parallel {
+				_, err = s.RunParallel(stream.NewSliceSource(recs), 10)
+			} else {
+				_, err = s.Run(stream.NewSliceSource(recs), 10)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

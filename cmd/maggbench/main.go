@@ -2,12 +2,17 @@
 //
 // Usage:
 //
-//	maggbench [-run id[,id...]] [-quick] [-seed n] [-list]
+//	maggbench [-run id[,id...]] [-quick] [-seed n] [-list] [-json path]
 //
 // Without -run it executes every experiment in paper order. Experiment
 // ids are fig5..fig15 and table1..table3. -quick shrinks datasets and
 // sweeps for a fast smoke run; the default sizes match the paper's setup
 // (860k-record trace, 1M-record synthetic dataset).
+//
+// -json runs the engine performance suite instead of the paper
+// experiments and writes a machine-readable summary (records/sec,
+// allocs/op, ns/op per benchmark) to the given path ("-" for stdout) —
+// the BENCH_PR1.json format tracking the perf trajectory across PRs.
 package main
 
 import (
@@ -27,8 +32,17 @@ func main() {
 		quick = flag.Bool("quick", false, "reduced dataset sizes and sweeps")
 		seed  = flag.Int64("seed", 42, "seed for the synthetic datasets")
 		list  = flag.Bool("list", false, "list experiment ids and exit")
+		jsonP = flag.String("json", "", "run the perf benchmark suite and write a JSON summary to this path (\"-\" for stdout)")
 	)
 	flag.Parse()
+
+	if *jsonP != "" {
+		if err := runBenchSuite(*jsonP, os.Stderr); err != nil {
+			fmt.Fprintf(os.Stderr, "maggbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {

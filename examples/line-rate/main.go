@@ -84,16 +84,17 @@ func main() {
 		fmt.Println(row + "  (%)")
 	}
 
-	// Multi-LFTA deployment: 4 shards processing in parallel, exact
-	// results at the shared HFTA.
+	// Multi-LFTA deployment: 4 shards processing in parallel with
+	// per-shard eviction buffers, exact results at the shared HFTA.
 	agg, err := magg.NewAggregator(queries, magg.CountStar)
 	if err != nil {
 		log.Fatal(err)
 	}
-	sharded, err := magg.NewShardedLFTA(gcsl.Config, gcsl.Alloc, magg.CountStar, 11, agg.ConcurrentSink(), 4)
+	sharded, err := magg.NewShardedLFTA(gcsl.Config, gcsl.Alloc, magg.CountStar, 11, nil, 4)
 	if err != nil {
 		log.Fatal(err)
 	}
+	sharded.SetBatchSink(agg.ConsumeBatch, 0)
 	ops, err := sharded.RunParallel(magg.NewSliceSource(records), 10)
 	if err != nil {
 		log.Fatal(err)

@@ -272,10 +272,15 @@ func (e *Engine) adopt(res *choose.Result) error {
 		}
 		e.agg = agg
 	}
-	rt, err := lfta.New(res.Config, res.Alloc, e.aggs, e.opts.Seed, e.agg.Sink())
+	rt, err := lfta.New(res.Config, res.Alloc, e.aggs, e.opts.Seed, nil)
 	if err != nil {
 		return err
 	}
+	// Batched transfers: evictions reach the HFTA through the runtime's
+	// arena-backed buffer instead of a per-eviction sink call, keeping the
+	// record hot path allocation-free. FlushEpoch drains the buffer, so
+	// every endEpoch read of HFTA state still sees the complete epoch.
+	rt.SetBatchSink(e.agg.ConsumeBatch, 0)
 	if e.rt != nil {
 		ops := e.rt.Ops()
 		e.totalOps.Probes += ops.Probes

@@ -290,6 +290,45 @@ func (t *Table) Probe(key []uint32, deltas []int64) (evicted Entry, collided boo
 	return evicted, true
 }
 
+// ProbeInto is the allocation-free variant of Probe used on the LFTA hot
+// path. On a collision the victim's key, aggregates and update count are
+// copied into victim, reusing its slice capacity; the caller owns victim
+// and may retain it until the next ProbeInto with the same scratch.
+func (t *Table) ProbeInto(key []uint32, deltas []int64, victim *Entry) (collided bool) {
+	if len(key) != t.arity {
+		panic(fmt.Sprintf("hashtab: key arity %d for table %v (arity %d)", len(key), t.rel, t.arity))
+	}
+	if len(deltas) != len(t.ops) {
+		panic(fmt.Sprintf("hashtab: %d deltas for table %v (%d aggs)", len(deltas), t.rel, len(t.ops)))
+	}
+	t.stats.Probes++
+	i := t.Bucket(key)
+	ks := t.keys[i*t.arity : (i+1)*t.arity]
+	as := t.aggs[i*len(t.ops) : (i+1)*len(t.ops)]
+
+	if !t.occupied[i] {
+		t.install(i, ks, as, key, deltas)
+		t.stats.Inserts++
+		return false
+	}
+	if equalKeys(ks, key) {
+		for j, op := range t.ops {
+			as[j] = op.Combine(as[j], deltas[j])
+		}
+		t.updates[i]++
+		t.stats.Hits++
+		return false
+	}
+	victim.Key = append(victim.Key[:0], ks...)
+	victim.Aggs = append(victim.Aggs[:0], as...)
+	victim.Updates = t.updates[i]
+	t.stats.Collisions++
+	t.stats.EvictedUpdates += uint64(t.updates[i])
+	t.stats.EvictedEntries++
+	t.install(i, ks, as, key, deltas)
+	return true
+}
+
 func (t *Table) install(i int, ks []uint32, as []int64, key []uint32, deltas []int64) {
 	copy(ks, key)
 	for j, op := range t.ops {
@@ -368,6 +407,32 @@ func (t *Table) Flush(fn func(Entry)) int {
 		t.stats.EvictedEntries++
 		n++
 		fn(e)
+	}
+	t.live = 0
+	return n
+}
+
+// Drain emits every resident entry through fn and clears the table, like
+// Flush, but the Entry passed to fn aliases internal table storage: it is
+// valid only for the duration of the call and must not be retained. This
+// is the allocation-free end-of-epoch path; fn may probe *other* tables
+// (the top-down cascade) but must not probe the draining table itself.
+func (t *Table) Drain(fn func(Entry)) int {
+	n := 0
+	for i := 0; i < t.b; i++ {
+		if !t.occupied[i] {
+			continue
+		}
+		t.occupied[i] = false
+		t.stats.Flushes++
+		t.stats.EvictedUpdates += uint64(t.updates[i])
+		t.stats.EvictedEntries++
+		n++
+		fn(Entry{
+			Key:     t.keys[i*t.arity : (i+1)*t.arity],
+			Aggs:    t.aggs[i*len(t.ops) : (i+1)*len(t.ops)],
+			Updates: t.updates[i],
+		})
 	}
 	t.live = 0
 	return n

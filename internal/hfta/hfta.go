@@ -5,12 +5,14 @@
 //
 // Within an epoch the HFTA may see several partials for the same group
 // (one per eviction plus the end-of-epoch flush); they combine under the
-// aggregate operations. The HFTA runs in host memory, so a plain map is
-// the honest model — its cost is not the bottleneck the paper optimizes.
+// aggregate operations. The HFTA runs in host memory, but with parallel
+// LFTA shards its merge map is on the ingest path, so the state is keyed
+// by packed integers (see key.go) and split into lock shards by key hash:
+// concurrent flushes from different LFTA shards rarely touch the same
+// lock, and the sequential path pays only an uncontended mutex.
 package hfta
 
 import (
-	"encoding/binary"
 	"fmt"
 	"sort"
 	"sync"
@@ -29,12 +31,160 @@ type Row struct {
 	Aggs  []int64
 }
 
-// Aggregator accumulates evictions per (query, epoch, group).
+// keyShards is the number of lock shards per query relation; a power of
+// two so shard selection is a mask of the key hash.
+const keyShards = 16
+
+// arenaBlock is the growth quantum (in int64 slots) of a shard's
+// accumulator arena.
+const arenaBlock = 1024
+
+// groupMap holds one epoch's groups for one lock shard, in the map
+// variant matching the relation's arity (exactly one field is non-nil).
+type groupMap struct {
+	small map[uint64][]int64
+	wide  map[wideKey][]int64
+	jumbo map[jumboKey][]int64
+}
+
+func newGroupMap(arity int) *groupMap {
+	switch {
+	case arity <= smallArity:
+		return &groupMap{small: make(map[uint64][]int64)}
+	case arity <= wideArity:
+		return &groupMap{wide: make(map[wideKey][]int64)}
+	default:
+		return &groupMap{jumbo: make(map[jumboKey][]int64)}
+	}
+}
+
+func (gm *groupMap) len() int {
+	switch {
+	case gm.small != nil:
+		return len(gm.small)
+	case gm.wide != nil:
+		return len(gm.wide)
+	default:
+		return len(gm.jumbo)
+	}
+}
+
+// each calls fn with every (decoded key, accumulator) pair. The key slice
+// is only valid during the call.
+func (gm *groupMap) each(arity int, fn func(key []uint32, acc []int64)) {
+	var buf [attr.MaxAttrs]uint32
+	switch {
+	case gm.small != nil:
+		for k, acc := range gm.small {
+			fn(unpackSmall(k, arity, buf[:0]), acc)
+		}
+	case gm.wide != nil:
+		for k, acc := range gm.wide {
+			k := k
+			fn(k[:arity], acc)
+		}
+	default:
+		for k, acc := range gm.jumbo {
+			k := k
+			fn(k[:arity], acc)
+		}
+	}
+}
+
+// relShard is one lock shard of a relation's state: per-epoch group maps
+// plus an arena the accumulator slices are carved from (one allocation per
+// arenaBlock/len(aggs) new groups instead of one per group).
+type relShard struct {
+	mu     sync.Mutex
+	epochs map[uint32]*groupMap
+	arena  []int64
+}
+
+// alloc carves a fresh accumulator (initialized to the aggregate
+// identities) out of the shard arena. Caller holds the shard lock.
+func (sh *relShard) alloc(aggs []lfta.AggSpec) []int64 {
+	n := len(aggs)
+	if len(sh.arena)+n > cap(sh.arena) {
+		size := arenaBlock
+		if size < n {
+			size = n
+		}
+		sh.arena = make([]int64, 0, size)
+	}
+	start := len(sh.arena)
+	sh.arena = sh.arena[:start+n]
+	acc := sh.arena[start : start+n : start+n]
+	for i, spec := range aggs {
+		acc[i] = spec.Op.Identity()
+	}
+	return acc
+}
+
+// relState is the merge state of one query relation.
+type relState struct {
+	arity  int
+	shards [keyShards]relShard
+}
+
+// merge folds one partial (key, deltas) into the epoch's group state.
+// Safe for concurrent use; key and deltas are not retained.
+func (rs *relState) merge(key []uint32, deltas []int64, epoch uint32, aggs []lfta.AggSpec) {
+	var (
+		sk uint64
+		wk wideKey
+		jk jumboKey
+		h  uint64
+	)
+	switch {
+	case rs.arity <= smallArity:
+		sk = packSmall(key)
+		h = mix64(sk)
+	case rs.arity <= wideArity:
+		wk = packWide(key)
+		h = hashWords(key)
+	default:
+		jk = packJumbo(key)
+		h = hashWords(key)
+	}
+	sh := &rs.shards[h&(keyShards-1)]
+	sh.mu.Lock()
+	gm := sh.epochs[epoch]
+	if gm == nil {
+		gm = newGroupMap(rs.arity)
+		sh.epochs[epoch] = gm
+	}
+	var acc []int64
+	switch {
+	case gm.small != nil:
+		acc = gm.small[sk]
+		if acc == nil {
+			acc = sh.alloc(aggs)
+			gm.small[sk] = acc
+		}
+	case gm.wide != nil:
+		acc = gm.wide[wk]
+		if acc == nil {
+			acc = sh.alloc(aggs)
+			gm.wide[wk] = acc
+		}
+	default:
+		acc = gm.jumbo[jk]
+		if acc == nil {
+			acc = sh.alloc(aggs)
+			gm.jumbo[jk] = acc
+		}
+	}
+	for i, spec := range aggs {
+		acc[i] = spec.Op.Combine(acc[i], deltas[i])
+	}
+	sh.mu.Unlock()
+}
+
+// Aggregator accumulates evictions per (query, epoch, group). All methods
+// are safe for concurrent use.
 type Aggregator struct {
-	queries map[attr.Set]bool
-	aggs    []lfta.AggSpec
-	// state[rel][epoch][key] = aggregate values
-	state map[attr.Set]map[uint32]map[string][]int64
+	aggs  []lfta.AggSpec
+	state map[attr.Set]*relState
 }
 
 // New builds an aggregator for the given query relations and aggregates.
@@ -46,16 +196,18 @@ func New(queries []attr.Set, aggs []lfta.AggSpec) (*Aggregator, error) {
 		return nil, fmt.Errorf("hfta: need at least one aggregate")
 	}
 	a := &Aggregator{
-		queries: make(map[attr.Set]bool, len(queries)),
-		aggs:    append([]lfta.AggSpec(nil), aggs...),
-		state:   make(map[attr.Set]map[uint32]map[string][]int64),
+		aggs:  append([]lfta.AggSpec(nil), aggs...),
+		state: make(map[attr.Set]*relState, len(queries)),
 	}
 	for _, q := range queries {
 		if q.IsEmpty() {
 			return nil, fmt.Errorf("hfta: empty query relation")
 		}
-		a.queries[q] = true
-		a.state[q] = make(map[uint32]map[string][]int64)
+		rs := &relState{arity: q.Size()}
+		for i := range rs.shards {
+			rs.shards[i].epochs = make(map[uint32]*groupMap)
+		}
+		a.state[q] = rs
 	}
 	return a, nil
 }
@@ -63,80 +215,76 @@ func New(queries []attr.Set, aggs []lfta.AggSpec) (*Aggregator, error) {
 // Sink returns the aggregator as an lfta.Sink.
 func (a *Aggregator) Sink() lfta.Sink { return a.Consume }
 
-// ConcurrentSink returns a mutex-guarded sink for use with parallel LFTA
-// shards (lfta.Sharded.RunParallel). The HFTA runs on the host, off the
-// critical path, so a single lock is the honest model.
-func (a *Aggregator) ConcurrentSink() lfta.Sink {
-	var mu sync.Mutex
-	return func(ev lfta.Eviction) {
-		mu.Lock()
-		defer mu.Unlock()
-		a.Consume(ev)
-	}
-}
+// ConcurrentSink returns the aggregator as an lfta.Sink for parallel LFTA
+// shards. Consume is itself safe for concurrent use (the state is lock-
+// sharded by key hash), so this is now the same as Sink; the method
+// survives for callers written against the old single-mutex design.
+func (a *Aggregator) ConcurrentSink() lfta.Sink { return a.Consume }
+
+// BatchSink returns the aggregator's batch ingest as an lfta.BatchSink,
+// the preferred hookup for runtimes with per-shard eviction buffers
+// (lfta.Runtime.SetBatchSink).
+func (a *Aggregator) BatchSink() lfta.BatchSink { return a.ConsumeBatch }
 
 // Consume folds one eviction into the per-epoch state. Evictions for
 // relations that are not user queries are ignored (phantoms never reach
-// the HFTA in a correct runtime, but defense costs nothing).
+// the HFTA in a correct runtime, but defense costs nothing). Safe for
+// concurrent use; the eviction's slices are not retained.
 func (a *Aggregator) Consume(ev lfta.Eviction) {
-	epochs, ok := a.state[ev.Rel]
-	if !ok {
+	rs := a.state[ev.Rel]
+	if rs == nil {
 		return
 	}
-	groups := epochs[ev.Epoch]
-	if groups == nil {
-		groups = make(map[string][]int64)
-		epochs[ev.Epoch] = groups
-	}
-	k := keyString(ev.Key)
-	acc, ok := groups[k]
-	if !ok {
-		acc = make([]int64, len(a.aggs))
-		for i, spec := range a.aggs {
-			acc[i] = spec.Op.Identity()
+	rs.merge(ev.Key, ev.Aggs, ev.Epoch, a.aggs)
+}
+
+// ConsumeBatch folds a batch of evictions, caching the per-relation state
+// lookup across consecutive evictions of the same relation (flushed
+// batches arrive grouped by table). Safe for concurrent use; the batch
+// and its slices are released back to the caller on return.
+func (a *Aggregator) ConsumeBatch(evs []lfta.Eviction) {
+	var (
+		lastRel attr.Set
+		rs      *relState
+	)
+	for i := range evs {
+		ev := &evs[i]
+		if i == 0 || ev.Rel != lastRel {
+			rs = a.state[ev.Rel]
+			lastRel = ev.Rel
 		}
-		groups[k] = acc
+		if rs == nil {
+			continue
+		}
+		rs.merge(ev.Key, ev.Aggs, ev.Epoch, a.aggs)
 	}
-	for i, spec := range a.aggs {
-		acc[i] = spec.Op.Combine(acc[i], ev.Aggs[i])
-	}
-}
-
-func keyString(vals []uint32) string {
-	buf := make([]byte, 4*len(vals))
-	for i, v := range vals {
-		binary.LittleEndian.PutUint32(buf[i*4:], v)
-	}
-	return string(buf)
-}
-
-func keyValues(s string) []uint32 {
-	out := make([]uint32, len(s)/4)
-	for i := range out {
-		out[i] = binary.LittleEndian.Uint32([]byte(s[i*4 : i*4+4]))
-	}
-	return out
 }
 
 // Rows finalizes and returns the answers for one query and epoch, sorted
-// by group key. The state for that (query, epoch) remains available until
-// Drop is called.
+// by group key (numeric, per attribute). The state for that (query,
+// epoch) remains available until Drop is called.
 func (a *Aggregator) Rows(rel attr.Set, epoch uint32) []Row {
-	groups := a.state[rel][epoch]
-	keys := make([]string, 0, len(groups))
-	for k := range groups {
-		keys = append(keys, k)
+	rs := a.state[rel]
+	if rs == nil {
+		return nil
 	}
-	sort.Strings(keys)
-	out := make([]Row, 0, len(keys))
-	for _, k := range keys {
-		out = append(out, Row{
-			Rel:   rel,
-			Epoch: epoch,
-			Key:   keyValues(k),
-			Aggs:  append([]int64(nil), groups[k]...),
-		})
+	var out []Row
+	for i := range rs.shards {
+		sh := &rs.shards[i]
+		sh.mu.Lock()
+		if gm := sh.epochs[epoch]; gm != nil {
+			gm.each(rs.arity, func(key []uint32, acc []int64) {
+				out = append(out, Row{
+					Rel:   rel,
+					Epoch: epoch,
+					Key:   append([]uint32(nil), key...),
+					Aggs:  append([]int64(nil), acc...),
+				})
+			})
+		}
+		sh.mu.Unlock()
 	}
+	sort.Slice(out, func(i, j int) bool { return lessKeys(out[i].Key, out[j].Key) })
 	return out
 }
 
@@ -150,12 +298,7 @@ func (a *Aggregator) AllRows() []Row {
 	attr.SortSets(rels)
 	var out []Row
 	for _, r := range rels {
-		var epochs []uint32
-		for e := range a.state[r] {
-			epochs = append(epochs, e)
-		}
-		sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
-		for _, e := range epochs {
+		for _, e := range a.Epochs(r) {
 			out = append(out, a.Rows(r, e)...)
 		}
 	}
@@ -164,9 +307,22 @@ func (a *Aggregator) AllRows() []Row {
 
 // Epochs returns the epochs with state for a query, ascending.
 func (a *Aggregator) Epochs(rel attr.Set) []uint32 {
+	rs := a.state[rel]
+	if rs == nil {
+		return nil
+	}
+	seen := make(map[uint32]bool)
 	var out []uint32
-	for e := range a.state[rel] {
-		out = append(out, e)
+	for i := range rs.shards {
+		sh := &rs.shards[i]
+		sh.mu.Lock()
+		for e := range sh.epochs {
+			if !seen[e] {
+				seen[e] = true
+				out = append(out, e)
+			}
+		}
+		sh.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -174,8 +330,13 @@ func (a *Aggregator) Epochs(rel attr.Set) []uint32 {
 
 // Drop releases the state of one epoch across all queries.
 func (a *Aggregator) Drop(epoch uint32) {
-	for _, epochs := range a.state {
-		delete(epochs, epoch)
+	for _, rs := range a.state {
+		for i := range rs.shards {
+			sh := &rs.shards[i]
+			sh.mu.Lock()
+			delete(sh.epochs, epoch)
+			sh.mu.Unlock()
+		}
 	}
 }
 
@@ -183,7 +344,20 @@ func (a *Aggregator) Drop(epoch uint32) {
 // epoch — the measured g_R signal the adaptive engine feeds back into the
 // optimizer.
 func (a *Aggregator) GroupCount(rel attr.Set, epoch uint32) int {
-	return len(a.state[rel][epoch])
+	rs := a.state[rel]
+	if rs == nil {
+		return 0
+	}
+	n := 0
+	for i := range rs.shards {
+		sh := &rs.shards[i]
+		sh.mu.Lock()
+		if gm := sh.epochs[epoch]; gm != nil {
+			n += gm.len()
+		}
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Reference computes exact query answers directly from the records (no
@@ -196,6 +370,7 @@ func Reference(recs []stream.Record, queries []attr.Set, aggs []lfta.AggSpec, ep
 	}
 	e := stream.Epoch{Length: epochLen}
 	deltas := make([]int64, len(aggs))
+	var keyBuf []uint32
 	for i := range recs {
 		rec := &recs[i]
 		for j, spec := range aggs {
@@ -206,9 +381,10 @@ func Reference(recs []stream.Record, queries []attr.Set, aggs []lfta.AggSpec, ep
 			}
 		}
 		for _, q := range queries {
+			keyBuf = q.Project(rec.Attrs, keyBuf)
 			agg.Consume(lfta.Eviction{
 				Rel:   q,
-				Key:   q.Project(rec.Attrs, nil),
+				Key:   keyBuf,
 				Aggs:  deltas,
 				Epoch: e.Of(rec.Time),
 			})

@@ -1,0 +1,117 @@
+package hfta
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/attr"
+)
+
+// packKey packs vals through whichever codec variant the aggregator would
+// use for the arity, and unpackKey reverses it — the round-trip under test.
+func packUnpack(vals []uint32) []uint32 {
+	arity := len(vals)
+	switch {
+	case arity <= smallArity:
+		return unpackSmall(packSmall(vals), arity, nil)
+	case arity <= wideArity:
+		k := packWide(vals)
+		return append([]uint32(nil), k[:arity]...)
+	default:
+		k := packJumbo(vals)
+		return append([]uint32(nil), k[:arity]...)
+	}
+}
+
+func TestKeyCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	boundaries := []uint32{0, 1, math.MaxUint32, math.MaxUint32 - 1, 1 << 31, 255, 256}
+	for arity := 1; arity <= wideArity; arity++ {
+		// Boundary patterns: every position cycles through the boundary
+		// values, plus random fills.
+		for trial := 0; trial < 64; trial++ {
+			vals := make([]uint32, arity)
+			for i := range vals {
+				if trial < len(boundaries) {
+					vals[i] = boundaries[(trial+i)%len(boundaries)]
+				} else {
+					vals[i] = rng.Uint32()
+				}
+			}
+			got := packUnpack(vals)
+			if len(got) != arity {
+				t.Fatalf("arity %d: round-trip length %d", arity, len(got))
+			}
+			for i := range vals {
+				if got[i] != vals[i] {
+					t.Fatalf("arity %d: round-trip %v -> %v", arity, vals, got)
+				}
+			}
+		}
+	}
+}
+
+func TestKeyCodecJumboRoundTrip(t *testing.T) {
+	// The defensive wide-arity fallback must round-trip too.
+	rng := rand.New(rand.NewSource(72))
+	for arity := wideArity + 1; arity <= attr.MaxAttrs; arity += 5 {
+		vals := make([]uint32, arity)
+		for i := range vals {
+			vals[i] = rng.Uint32()
+		}
+		vals[0], vals[arity-1] = 0, math.MaxUint32
+		got := packUnpack(vals)
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Fatalf("arity %d: round-trip mismatch at %d", arity, i)
+			}
+		}
+	}
+}
+
+func TestKeyCodecDistinct(t *testing.T) {
+	// Distinct keys must pack to distinct map keys (injectivity), including
+	// pairs that collided under naive packings: (0,1) vs (1,0), values
+	// straddling the 32-bit word boundary, etc.
+	pairs := [][2][]uint32{
+		{{0, 1}, {1, 0}},
+		{{0, math.MaxUint32}, {1, 0}},
+		{{math.MaxUint32, 0}, {0, math.MaxUint32}},
+		{{1, 2, 3}, {3, 2, 1}},
+		{{0, 0, 0, 0, 0, 0, 0, 1}, {1, 0, 0, 0, 0, 0, 0, 0}},
+	}
+	for _, p := range pairs {
+		a, b := p[0], p[1]
+		if len(a) <= smallArity {
+			if packSmall(a) == packSmall(b) {
+				t.Errorf("packSmall(%v) == packSmall(%v)", a, b)
+			}
+		} else {
+			if packWide(a) == packWide(b) {
+				t.Errorf("packWide(%v) == packWide(%v)", a, b)
+			}
+		}
+	}
+}
+
+func TestKeyOrderMatchesLexicographic(t *testing.T) {
+	// packSmall's numeric order must equal lessKeys' lexicographic order,
+	// since Rows sorts decoded keys but the old string codec sorted byte-
+	// wise; 256 vs 1 is exactly the case little-endian byte order got wrong.
+	cases := [][2][]uint32{
+		{{1}, {256}},
+		{{255}, {256}},
+		{{0, math.MaxUint32}, {1, 0}},
+		{{7, 8}, {7, 9}},
+	}
+	for _, c := range cases {
+		lo, hi := c[0], c[1]
+		if !lessKeys(lo, hi) {
+			t.Errorf("lessKeys(%v, %v) = false", lo, hi)
+		}
+		if packSmall(lo) >= packSmall(hi) {
+			t.Errorf("packSmall order disagrees for %v < %v", lo, hi)
+		}
+	}
+}

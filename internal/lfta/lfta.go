@@ -9,6 +9,11 @@
 // every probe (a c1 operation) and every transfer to the HFTA (a c2
 // operation), which is exactly the "actual cost" metric of the paper's
 // measured experiments (Figures 13-15).
+//
+// The record path is allocation-free in steady state: collision victims
+// are copied into per-cascade-depth scratch frames (hashtab.ProbeInto),
+// and HFTA transfers are staged in an arena-backed eviction buffer that
+// flushes to a BatchSink in batches instead of calling a sink per entry.
 package lfta
 
 import (
@@ -43,8 +48,19 @@ type Eviction struct {
 	Epoch uint32
 }
 
-// Sink receives evictions; typically an HFTA aggregator.
+// Sink receives evictions one at a time; typically an HFTA aggregator.
+// The Eviction's slices are fresh copies the sink may retain.
 type Sink func(Eviction)
+
+// BatchSink receives batches of evictions. The batch and the entries'
+// Key/Aggs slices alias buffer memory owned by the runtime and are valid
+// only for the duration of the call: implementations must fold them into
+// their own state before returning (hfta.(*Aggregator).ConsumeBatch does).
+type BatchSink func([]Eviction)
+
+// DefaultEvictionBatch is the eviction-buffer capacity used when
+// SetBatchSink is given a non-positive batch size.
+const DefaultEvictionBatch = 256
 
 // Ops are the cumulative operation counts of a runtime.
 type Ops struct {
@@ -66,15 +82,31 @@ func (o Ops) PerRecordCost(c1, c2 float64) float64 {
 	return o.ActualCost(c1, c2) / float64(o.Records)
 }
 
+// frame is the reusable scratch of one cascade level: the collision
+// victim copied out of a table plus the projected child key fed onward.
+// Frames are pointer-stable so deeper cascades can grow the frame stack
+// without invalidating shallower levels.
+type frame struct {
+	victim   hashtab.Entry
+	childKey []uint32
+}
+
 // Runtime executes one configuration.
 type Runtime struct {
 	cfg    *feedgraph.Config
 	aggs   []AggSpec
 	tables map[attr.Set]*hashtab.Table
+	raws   []attr.Set // cached cfg.Raws(): probed per record
 	order  []attr.Set // parents strictly before children
-	sink   Sink
 	epoch  uint32
 	ops    Ops
+
+	sink      Sink
+	batchSink BatchSink
+	batchCap  int
+	batch     []Eviction
+	keyArena  []uint32
+	aggArena  []int64
 
 	// Per-edge projection plans: for child c of parent p, the indices of
 	// c's attributes within p's projected key.
@@ -82,11 +114,13 @@ type Runtime struct {
 
 	keyBuf   []uint32
 	deltaBuf []int64
+	frames   []*frame
 }
 
 // New builds a runtime for the configuration with the given bucket
 // allocation. Seed derives per-table hash seeds. The sink may be nil, in
-// which case query evictions are counted but discarded.
+// which case query evictions are counted but discarded; SetBatchSink
+// installs the faster batched transfer path instead.
 func New(cfg *feedgraph.Config, alloc cost.Alloc, aggs []AggSpec, seed uint64, sink Sink) (*Runtime, error) {
 	if len(aggs) == 0 {
 		return nil, fmt.Errorf("lfta: need at least one aggregate")
@@ -113,6 +147,7 @@ func New(cfg *feedgraph.Config, alloc cost.Alloc, aggs []AggSpec, seed uint64, s
 		}
 		r.tables[rel] = t
 	}
+	r.raws = cfg.Raws()
 	r.order = append([]attr.Set(nil), cfg.Rels...)
 	sort.Slice(r.order, func(i, j int) bool {
 		if a, b := r.order[i].Size(), r.order[j].Size(); a != b {
@@ -142,6 +177,23 @@ func projectionPlan(parent, child attr.Set) []int {
 		plan[i] = pos[id]
 	}
 	return plan
+}
+
+// SetBatchSink installs a batched transfer path: query evictions are
+// copied into an arena-backed buffer and handed to fn in batches of up to
+// batchSize entries (DefaultEvictionBatch if batchSize <= 0), instead of
+// invoking a Sink per eviction. The buffer always drains inside
+// FlushEpoch, so per-epoch results are complete at epoch boundaries.
+// A batch sink takes precedence over a Sink passed to New.
+func (r *Runtime) SetBatchSink(fn BatchSink, batchSize int) {
+	if batchSize <= 0 {
+		batchSize = DefaultEvictionBatch
+	}
+	r.batchSink = fn
+	r.batchCap = batchSize
+	if cap(r.batch) < batchSize {
+		r.batch = make([]Eviction, 0, batchSize)
+	}
 }
 
 // Config returns the configuration the runtime executes.
@@ -179,6 +231,15 @@ func (r *Runtime) ResetTableStats() {
 	}
 }
 
+// frame returns the scratch frame for one cascade depth, growing the
+// stack on first use of a depth.
+func (r *Runtime) frame(depth int) *frame {
+	for len(r.frames) <= depth {
+		r.frames = append(r.frames, &frame{})
+	}
+	return r.frames[depth]
+}
+
 // Process feeds one record into the raw tables. epoch tags any evictions
 // it causes; the engine must call FlushEpoch before the first record of a
 // new epoch.
@@ -196,52 +257,109 @@ func (r *Runtime) Process(rec stream.Record, epoch uint32) {
 			deltas[i] = int64(rec.Attrs[a.Input])
 		}
 	}
-	for _, rel := range r.cfg.Raws() {
+	for _, rel := range r.raws {
 		r.keyBuf = rel.Project(rec.Attrs, r.keyBuf)
-		r.feed(rel, r.keyBuf, deltas)
+		r.feed(rel, r.keyBuf, deltas, 0)
 	}
 }
 
-// feed probes rel's table with (key, deltas) and cascades any eviction.
-func (r *Runtime) feed(rel attr.Set, key []uint32, deltas []int64) {
+// ProcessBatch feeds a batch of records sharing one epoch; the caller
+// guarantees no epoch boundary falls inside the batch.
+func (r *Runtime) ProcessBatch(recs []stream.Record, epoch uint32) {
+	for i := range recs {
+		r.Process(recs[i], epoch)
+	}
+}
+
+// feed probes rel's table with (key, deltas) and cascades any eviction,
+// using the scratch frame of the given cascade depth for the victim.
+func (r *Runtime) feed(rel attr.Set, key []uint32, deltas []int64, depth int) {
 	r.ops.Probes++
-	victim, collided := r.tables[rel].Probe(key, deltas)
-	if !collided {
+	f := r.frame(depth)
+	if !r.tables[rel].ProbeInto(key, deltas, &f.victim) {
 		return
 	}
-	r.emit(rel, victim)
+	r.emit(rel, f.victim.Key, f.victim.Aggs, depth)
 }
 
 // emit routes an evicted entry of rel: into each child table, and to the
-// HFTA when rel is a user query.
-func (r *Runtime) emit(rel attr.Set, e hashtab.Entry) {
+// HFTA when rel is a user query. key and aggs may alias scratch or table
+// storage; emit copies before anything escapes the call.
+func (r *Runtime) emit(rel attr.Set, key []uint32, aggs []int64, depth int) {
 	for _, child := range r.cfg.Children(rel) {
 		plan := r.proj[[2]attr.Set{rel, child}]
-		key := make([]uint32, len(plan))
-		for i, idx := range plan {
-			key[i] = e.Key[idx]
+		f := r.frame(depth)
+		if cap(f.childKey) < len(plan) {
+			f.childKey = make([]uint32, len(plan))
 		}
-		r.feed(child, key, e.Aggs)
+		ck := f.childKey[:len(plan)]
+		for i, idx := range plan {
+			ck[i] = key[idx]
+		}
+		r.feed(child, ck, aggs, depth+1)
 	}
 	if r.cfg.IsQuery(rel) {
 		r.ops.Transfers++
-		if r.sink != nil {
-			r.sink(Eviction{Rel: rel, Key: e.Key, Aggs: e.Aggs, Epoch: r.epoch})
+		switch {
+		case r.batchSink != nil:
+			r.pushEviction(rel, key, aggs)
+		case r.sink != nil:
+			r.sink(Eviction{
+				Rel:   rel,
+				Key:   append([]uint32(nil), key...),
+				Aggs:  append([]int64(nil), aggs...),
+				Epoch: r.epoch,
+			})
 		}
 	}
+}
+
+// pushEviction copies one transfer into the eviction buffer, flushing the
+// batch to the sink when full. Key and aggregate values land in shared
+// arenas so steady-state batches allocate nothing.
+func (r *Runtime) pushEviction(rel attr.Set, key []uint32, aggs []int64) {
+	ks := len(r.keyArena)
+	r.keyArena = append(r.keyArena, key...)
+	as := len(r.aggArena)
+	r.aggArena = append(r.aggArena, aggs...)
+	r.batch = append(r.batch, Eviction{
+		Rel:   rel,
+		Key:   r.keyArena[ks:len(r.keyArena):len(r.keyArena)],
+		Aggs:  r.aggArena[as:len(r.aggArena):len(r.aggArena)],
+		Epoch: r.epoch,
+	})
+	if len(r.batch) >= r.batchCap {
+		r.flushBatch()
+	}
+}
+
+// flushBatch hands the buffered evictions to the batch sink and resets
+// the buffer and arenas for reuse.
+func (r *Runtime) flushBatch() {
+	if len(r.batch) == 0 {
+		return
+	}
+	r.batchSink(r.batch)
+	r.batch = r.batch[:0]
+	r.keyArena = r.keyArena[:0]
+	r.aggArena = r.aggArena[:0]
 }
 
 // FlushEpoch performs the end-of-epoch update: tables are scanned from the
 // raw level down, each entry propagating into the tables it feeds (and to
 // the HFTA for queries); collision victims during the flush cascade
-// further down immediately. Afterwards every table is empty.
+// further down immediately. Afterwards every table is empty and any
+// buffered evictions have reached the batch sink.
 func (r *Runtime) FlushEpoch() {
 	for _, rel := range r.order {
 		t := r.tables[rel]
 		rel := rel
-		t.Flush(func(e hashtab.Entry) {
-			r.emit(rel, e)
+		t.Drain(func(e hashtab.Entry) {
+			r.emit(rel, e.Key, e.Aggs, 0)
 		})
+	}
+	if r.batchSink != nil {
+		r.flushBatch()
 	}
 }
 

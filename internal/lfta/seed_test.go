@@ -1,0 +1,70 @@
+package lfta
+
+import (
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/cost"
+	"repro/internal/feedgraph"
+)
+
+func TestShardSeedMixing(t *testing.T) {
+	// Seeds for nearby (seed, shard) inputs must be distinct and differ in
+	// many bits — the property the old seed+i*0x1000193 derivation lacked.
+	seen := make(map[uint64]bool)
+	for seed := uint64(0); seed < 8; seed++ {
+		for shard := 0; shard < 64; shard++ {
+			s := shardSeed(seed, shard)
+			if seen[s] {
+				t.Fatalf("duplicate shard seed %#x (seed=%d shard=%d)", s, seed, shard)
+			}
+			seen[s] = true
+		}
+	}
+	// Consecutive shards of one base seed should differ in both halves of
+	// the word, not just the low bits.
+	for shard := 0; shard < 16; shard++ {
+		a, b := shardSeed(42, shard), shardSeed(42, shard+1)
+		if a>>32 == b>>32 {
+			t.Errorf("shards %d and %d share high word %#x", shard, shard+1, a>>32)
+		}
+	}
+}
+
+func TestShardsUseDistinctHashFunctions(t *testing.T) {
+	// Two shards hashing a key sample identically would mean the per-shard
+	// tables are clones, defeating the random-hash independence the
+	// paper's collision model assumes across LFTAs.
+	queries := []attr.Set{attr.MustParseSet("AB")}
+	cfg, err := feedgraph.ParseConfig("AB", queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := attr.MustParseSet("AB")
+	alloc := cost.Alloc{rel: 64}
+	s, err := NewSharded(cfg, alloc, CountStar, 7, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const samples = 256
+	for i := 0; i < s.NumShards(); i++ {
+		for j := i + 1; j < s.NumShards(); j++ {
+			ti, tj := s.Shard(i).tables[rel], s.Shard(j).tables[rel]
+			same := 0
+			for k := 0; k < samples; k++ {
+				key := []uint32{uint32(k), uint32(k * 31)}
+				if ti.Bucket(key) == tj.Bucket(key) {
+					same++
+				}
+			}
+			if same == samples {
+				t.Errorf("shards %d and %d hash all %d sample keys identically", i, j, samples)
+			}
+			// Independent hashes into 64 buckets agree on ~1/64 of keys;
+			// flag anything suspiciously correlated.
+			if same > samples/4 {
+				t.Errorf("shards %d and %d agree on %d/%d keys; hash functions look correlated", i, j, same, samples)
+			}
+		}
+	}
+}

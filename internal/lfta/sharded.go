@@ -19,12 +19,28 @@ import (
 // commutative.
 //
 // Each shard owns its own hash tables sized by the same allocation (each
-// LFTA has its own memory in the architecture). Process routes
-// sequentially; RunParallel drives one goroutine per shard, in which case
-// the sink must be safe for concurrent use (see
-// hfta.(*Aggregator).ConcurrentSink).
+// LFTA has its own memory in the architecture) and, with SetBatchSink,
+// its own eviction buffer, so concurrent shards share no mutable state
+// until the batched HFTA merge. Process routes sequentially; RunParallel
+// drives one goroutine per shard, in which case the sink must be safe for
+// concurrent use (hfta.(*Aggregator).ConsumeBatch and Consume both are).
 type Sharded struct {
 	shards []*Runtime
+}
+
+// shardSeed derives the hash seed of one shard from the base seed via a
+// splitmix64 stream. Consecutive shard indices therefore get seeds that
+// differ in roughly half their bits, so the shards' table hash functions
+// are independent (the old seed+i*constant scheme produced nearly
+// identical seeds whose low-bit differences a weak mix could preserve).
+func shardSeed(seed uint64, shard int) uint64 {
+	x := seed + uint64(shard)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 // NewSharded builds n shards, each executing cfg with its own tables of
@@ -36,13 +52,23 @@ func NewSharded(cfg *feedgraph.Config, alloc cost.Alloc, aggs []AggSpec, seed ui
 	}
 	s := &Sharded{shards: make([]*Runtime, n)}
 	for i := range s.shards {
-		rt, err := New(cfg, alloc, aggs, seed+uint64(i)*0x1000193, sink)
+		rt, err := New(cfg, alloc, aggs, shardSeed(seed, i), sink)
 		if err != nil {
 			return nil, err
 		}
 		s.shards[i] = rt
 	}
 	return s, nil
+}
+
+// SetBatchSink installs a batched transfer path on every shard (see
+// Runtime.SetBatchSink). Each shard keeps its own eviction buffer; with
+// RunParallel the sink receives batches concurrently and must be safe for
+// concurrent use.
+func (s *Sharded) SetBatchSink(fn BatchSink, batchSize int) {
+	for _, rt := range s.shards {
+		rt.SetBatchSink(fn, batchSize)
+	}
 }
 
 // NumShards returns the number of LFTA instances.
@@ -113,39 +139,60 @@ func (s *Sharded) Run(src stream.Source, epochLen uint32) (Ops, error) {
 	return s.Ops(), nil
 }
 
-// RunParallel consumes the source with one goroutine per shard,
-// dispatching records in batches so channel synchronization amortizes
-// over many records (per-record sends would cost more than the LFTA work
-// itself). The sink passed at construction must be concurrency-safe.
-// Each shard keeps its own epoch clock over the (time-ordered)
-// subsequence it receives, so flushes need no cross-shard barrier.
+// Batch-dispatch tuning for RunParallel. Each shard cycles through a
+// small fixed pool of record slices: the router fills one while the shard
+// goroutine drains others, and drained slices return to the shard's free
+// list. After warm-up the dispatch path performs no allocation and no
+// per-record channel operations — one send per batchSize records.
+const (
+	parallelBatchSize = 512
+	buffersPerShard   = 4
+)
+
+// RunParallel consumes the source with one goroutine per shard. The
+// router partitions records into per-shard slices recycled through a free
+// list, so channel synchronization and allocation amortize over whole
+// batches (per-record sends would cost more than the LFTA work itself).
+// The sink passed at construction (or SetBatchSink) must be
+// concurrency-safe. Each shard keeps its own epoch clock over the
+// (time-ordered) subsequence it receives, so flushes need no cross-shard
+// barrier.
 func (s *Sharded) RunParallel(src stream.Source, epochLen uint32) (Ops, error) {
-	const batchSize = 512
-	chans := make([]chan []stream.Record, len(s.shards))
-	for i := range chans {
-		chans[i] = make(chan []stream.Record, 8)
+	n := len(s.shards)
+	work := make([]chan []stream.Record, n)
+	free := make([]chan []stream.Record, n)
+	for i := 0; i < n; i++ {
+		work[i] = make(chan []stream.Record, buffersPerShard)
+		free[i] = make(chan []stream.Record, buffersPerShard)
+		for j := 0; j < buffersPerShard-1; j++ {
+			free[i] <- make([]stream.Record, 0, parallelBatchSize)
+		}
 	}
 	var wg sync.WaitGroup
 	for i, rt := range s.shards {
 		wg.Add(1)
-		go func(rt *Runtime, in <-chan []stream.Record) {
+		go func(rt *Runtime, in <-chan []stream.Record, back chan<- []stream.Record) {
 			defer wg.Done()
 			clock := stream.NewClock(epochLen)
 			for batch := range in {
-				for _, rec := range batch {
-					epoch, rolled := clock.Advance(rec.Time)
+				for k := range batch {
+					epoch, rolled := clock.Advance(batch[k].Time)
 					if rolled {
 						rt.FlushEpoch()
 					}
-					rt.Process(rec, epoch)
+					rt.Process(batch[k], epoch)
 				}
+				back <- batch[:0]
 			}
 			if clock.Started() {
 				rt.FlushEpoch()
 			}
-		}(rt, chans[i])
+		}(rt, work[i], free[i])
 	}
-	pending := make([][]stream.Record, len(s.shards))
+	pending := make([][]stream.Record, n)
+	for i := range pending {
+		pending[i] = make([]stream.Record, 0, parallelBatchSize)
+	}
 	var srcErr error
 	for {
 		rec, ok := src.Next()
@@ -155,16 +202,16 @@ func (s *Sharded) RunParallel(src stream.Source, epochLen uint32) (Ops, error) {
 		}
 		i := s.shardOf(&rec)
 		pending[i] = append(pending[i], rec)
-		if len(pending[i]) >= batchSize {
-			chans[i] <- pending[i]
-			pending[i] = make([]stream.Record, 0, batchSize)
+		if len(pending[i]) >= parallelBatchSize {
+			work[i] <- pending[i]
+			pending[i] = <-free[i]
 		}
 	}
 	for i, batch := range pending {
 		if len(batch) > 0 {
-			chans[i] <- batch
+			work[i] <- batch
 		}
-		close(chans[i])
+		close(work[i])
 	}
 	wg.Wait()
 	return s.Ops(), srcErr

@@ -20,6 +20,11 @@ type Eviction = lfta.Eviction
 // Sink receives evictions, typically an HFTA aggregator's Sink.
 type Sink = lfta.Sink
 
+// BatchSink receives batches of evictions from a runtime's eviction
+// buffer (LFTA.SetBatchSink); typically Aggregator.ConsumeBatch. Batches
+// alias runtime-owned memory valid only during the call.
+type BatchSink = lfta.BatchSink
+
 // AggSpec describes one aggregate slot (operation + input attribute;
 // input -1 is count(*)).
 type AggSpec = lfta.AggSpec
@@ -36,8 +41,10 @@ func NewLFTA(cfg *Config, alloc Alloc, aggs []AggSpec, seed uint64, sink Sink) (
 // partitioned by group hash; see its RunParallel for multi-core execution.
 type ShardedLFTA = lfta.Sharded
 
-// NewShardedLFTA builds n shards each executing cfg. With RunParallel,
-// pass a concurrency-safe sink (Aggregator.ConcurrentSink).
+// NewShardedLFTA builds n shards each executing cfg. For the fast path,
+// install per-shard eviction buffers with SetBatchSink
+// (Aggregator.ConsumeBatch is a concurrency-safe batch sink); a plain
+// concurrency-safe Sink also works with RunParallel.
 func NewShardedLFTA(cfg *Config, alloc Alloc, aggs []AggSpec, seed uint64, sink Sink, n int) (*ShardedLFTA, error) {
 	return lfta.NewSharded(cfg, alloc, aggs, seed, sink, n)
 }
