@@ -15,11 +15,11 @@ test:
 vet:
 	$(GO) vet ./...
 
-# Race-detect the packages with concurrent execution paths: the sharded
-# runtime's RunParallel fan-out, the runtime eviction buffers, and the
-# lock-sharded HFTA merge they flush into.
+# Race-detect every internal package: the sharded runtime's RunParallel
+# fan-out, the runtime eviction buffers, the lock-sharded HFTA merge, and
+# the core engine's checkpoint/shedding paths on top of them.
 race:
-	$(GO) test -race ./internal/lfta/... ./internal/hfta/... ./internal/stream/...
+	$(GO) test -race ./internal/...
 
 check: build vet test race
 

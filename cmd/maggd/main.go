@@ -11,6 +11,19 @@
 //
 // A query file holds one GSQL query per line ('#' comments allowed). The
 // queries must differ only in their grouping attributes.
+//
+// Robustness flags:
+//
+//   - -budget N enables overload control: the LFTA spends at most N
+//     weighted operation units per stream time unit and sheds the rest
+//     (-shed droptail|uniform picks the policy); drops are accounted per
+//     epoch and printed in the summary.
+//   - -checkpoint path makes the engine write a checkpoint at every
+//     epoch boundary; if the file already exists, maggd resumes from it,
+//     skipping the records of all closed epochs and re-processing the
+//     open epoch. SIGINT/SIGTERM flush the final (partial) epoch instead
+//     of losing it; the checkpoint on disk stays at the last closed
+//     boundary, so a later resume re-emits the interrupted epoch whole.
 package main
 
 import (
@@ -18,7 +31,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"sync/atomic"
+	"syscall"
 
 	"repro/internal/attr"
 	"repro/internal/core"
@@ -35,17 +51,35 @@ func (q *queryFlags) Set(s string) error {
 	return nil
 }
 
+type runConfig struct {
+	trace      string
+	sqls       []string
+	m          int
+	sample     int
+	top        int
+	adaptive   bool
+	quiet      bool
+	slack      uint32
+	budget     float64
+	shed       string
+	checkpoint string
+	stop       *atomic.Bool // set externally to request a graceful stop
+}
+
 func main() {
 	var (
-		queries   queryFlags
-		trace     = flag.String("trace", "", "binary trace file (required)")
-		queryFile = flag.String("queryfile", "", "file with one GSQL query per line")
-		m         = flag.Int("m", 40000, "LFTA memory budget in 4-byte units")
-		sample    = flag.Int("sample", 50000, "records sampled to estimate group counts")
-		top       = flag.Int("top", 10, "rows printed per query per epoch (0 = all)")
-		adaptive  = flag.Bool("adaptive", false, "re-plan between epochs as statistics drift")
-		quiet     = flag.Bool("quiet", false, "suppress per-epoch rows; print only the summary")
-		slack     = flag.Uint("slack", 0, "reorder out-of-order records within this many time units")
+		queries    queryFlags
+		trace      = flag.String("trace", "", "binary trace file (required)")
+		queryFile  = flag.String("queryfile", "", "file with one GSQL query per line")
+		m          = flag.Int("m", 40000, "LFTA memory budget in 4-byte units")
+		sample     = flag.Int("sample", 50000, "records sampled to estimate group counts")
+		top        = flag.Int("top", 10, "rows printed per query per epoch (0 = all)")
+		adaptive   = flag.Bool("adaptive", false, "re-plan between epochs as statistics drift")
+		quiet      = flag.Bool("quiet", false, "suppress per-epoch rows; print only the summary")
+		slack      = flag.Uint("slack", 0, "reorder out-of-order records within this many time units")
+		budget     = flag.Float64("budget", 0, "weighted LFTA operation units per stream time unit (0 = unlimited)")
+		shed       = flag.String("shed", "droptail", "shedding policy under -budget: droptail or uniform")
+		checkpoint = flag.String("checkpoint", "", "checkpoint file: written at epoch boundaries, resumed from if present")
 	)
 	flag.Var(&queries, "query", "GSQL query (repeatable)")
 	flag.Parse()
@@ -68,7 +102,33 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := run(*trace, queries, *m, *sample, *top, *adaptive, *quiet, uint32(*slack)); err != nil {
+	// SIGINT/SIGTERM request a graceful stop: the run loop finishes the
+	// current record, flushes the final epoch, and exits cleanly with the
+	// checkpoint (if any) still pointing at the last closed boundary.
+	var stop atomic.Bool
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		stop.Store(true)
+		signal.Stop(sigs) // a second signal kills the process immediately
+	}()
+
+	cfg := runConfig{
+		trace:      *trace,
+		sqls:       queries,
+		m:          *m,
+		sample:     *sample,
+		top:        *top,
+		adaptive:   *adaptive,
+		quiet:      *quiet,
+		slack:      uint32(*slack),
+		budget:     *budget,
+		shed:       *shed,
+		checkpoint: *checkpoint,
+		stop:       &stop,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "maggd: %v\n", err)
 		os.Exit(1)
 	}
@@ -92,21 +152,22 @@ func readQueryFile(path string) ([]string, error) {
 	return out, sc.Err()
 }
 
-func run(trace string, sqls []string, m, sampleN, top int, adaptive, quiet bool, slack uint32) error {
-	_, recs, err := stream.ReadTraceFile(trace)
+func run(cfg runConfig) error {
+	_, recs, err := stream.ReadTraceFile(cfg.trace)
 	if err != nil {
 		return err
 	}
 	if len(recs) == 0 {
-		return fmt.Errorf("trace %s is empty", trace)
+		return fmt.Errorf("trace %s is empty", cfg.trace)
 	}
+	sampleN := cfg.sample
 	if sampleN > len(recs) {
 		sampleN = len(recs)
 	}
 
 	// The sample drives the initial group-count estimates.
 	var rels []attr.Set
-	for _, sql := range sqls {
+	for _, sql := range cfg.sqls {
 		// Parse leniently here just to collect the grouping relations;
 		// engine construction re-validates the full set.
 		spec, err := parseGroupBy(sql)
@@ -120,20 +181,38 @@ func run(trace string, sqls []string, m, sampleN, top int, adaptive, quiet bool,
 		return err
 	}
 
-	opts := core.Options{M: m}
-	if adaptive {
+	opts := core.Options{
+		M:              cfg.m,
+		Budget:         cfg.budget,
+		CheckpointPath: cfg.checkpoint,
+	}
+	if cfg.adaptive {
 		opts.Adapt = core.AdaptOptions{Enabled: true}
+	}
+	if cfg.budget > 0 {
+		switch cfg.shed {
+		case "", "droptail":
+			opts.Shed = core.DropTail{}
+		case "uniform":
+			opts.Shed = core.NewUniformShed(0, 1)
+		default:
+			return fmt.Errorf("unknown shedding policy %q (want droptail or uniform)", cfg.shed)
+		}
 	}
 	// Stream results out as epochs close (daemon behaviour: memory stays
 	// bounded regardless of stream length).
-	opts.OnResults = func(rel attr.Set, epoch uint32, rows []hfta.Row) {
-		if quiet {
+	opts.OnResults = func(rel attr.Set, epoch uint32, rows []hfta.Row, deg core.Degradation) {
+		if cfg.quiet {
 			return
 		}
 		fmt.Printf("-- query %v, epoch %d: %d groups\n", rel, epoch, len(rows))
+		if deg.Dropped+deg.Late > 0 {
+			fmt.Printf("   (degraded: %d of %d records shed, %d late; shedding rate %.2f%%)\n",
+				deg.Dropped, deg.Offered, deg.Late, 100*deg.SheddingRate())
+		}
 		limit := len(rows)
-		if top > 0 && top < limit {
-			limit = top
+		if cfg.top > 0 && cfg.top < limit {
+			limit = cfg.top
 		}
 		for _, r := range rows[:limit] {
 			fmt.Printf("   %v -> %v\n", r.Key, r.Aggs)
@@ -142,19 +221,54 @@ func run(trace string, sqls []string, m, sampleN, top int, adaptive, quiet bool,
 			fmt.Printf("   ... %d more\n", len(rows)-limit)
 		}
 	}
-	eng, err := core.New(sqls, groups, opts)
+	eng, err := core.New(cfg.sqls, groups, opts)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("configuration: %s (modeled cost %.4f/record)\n\n", eng.Plan().Config, eng.Plan().Cost)
 
+	// Resume from an existing checkpoint: skip the records of all closed
+	// epochs (post-reordering position) and re-process the open epoch.
+	var skip uint64
+	if cfg.checkpoint != "" {
+		if _, statErr := os.Stat(cfg.checkpoint); statErr == nil {
+			skip, err = eng.RestoreCheckpointFile(cfg.checkpoint)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("resumed from %s: %d records consumed, %d epochs closed\n\n",
+				cfg.checkpoint, skip, eng.Stats().Epochs)
+		}
+	}
+
 	var src stream.Source = stream.NewSliceSource(recs)
 	var ordered *stream.OrderedSource
-	if slack > 0 {
-		ordered = stream.NewOrderedSource(src, slack)
+	if cfg.slack > 0 {
+		ordered = stream.NewOrderedSource(src, cfg.slack)
 		src = ordered
 	}
-	if err := eng.Run(src); err != nil {
+	if skip > 0 {
+		src = stream.NewSkipSource(src, skip)
+	}
+
+	interrupted := false
+	for {
+		if cfg.stop != nil && cfg.stop.Load() {
+			interrupted = true
+			break
+		}
+		rec, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := eng.Process(rec); err != nil {
+			return err
+		}
+	}
+	if err := src.Err(); err != nil {
+		return err
+	}
+	if err := eng.Finish(); err != nil {
 		return err
 	}
 
@@ -164,8 +278,23 @@ func run(trace string, sqls []string, m, sampleN, top int, adaptive, quiet bool,
 	fmt.Printf("transfers: %d (c2 operations)\n", st.Ops.Transfers)
 	fmt.Printf("actual cost/record: %.4f (c2/c1 = 50)\n", st.Ops.PerRecordCost(1, 50))
 	fmt.Printf("epochs: %d, adaptive re-plans: %d\n", st.Epochs, st.Replans)
+	d := st.Degradation
+	if d.Dropped+d.Late > 0 || cfg.budget > 0 {
+		fmt.Printf("degradation: offered %d = processed %d + dropped %d + late %d (shedding rate %.2f%%)\n",
+			d.Offered, d.Processed, d.Dropped, d.Late, 100*d.SheddingRate())
+	}
 	if ordered != nil {
 		fmt.Printf("late records dropped by the reorder window: %d\n", ordered.Late())
+	}
+	if interrupted {
+		// Only advertise the checkpoint if one was actually written: a
+		// signal arriving before the first epoch boundary leaves nothing
+		// on disk to resume from.
+		if _, statErr := os.Stat(cfg.checkpoint); cfg.checkpoint != "" && statErr == nil {
+			fmt.Printf("interrupted: final epoch flushed; resume from %s\n", cfg.checkpoint)
+		} else {
+			fmt.Println("interrupted: final epoch flushed")
+		}
 	}
 	return nil
 }

@@ -1,0 +1,327 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"repro/internal/attr"
+	"repro/internal/feedgraph"
+	"repro/internal/lfta"
+)
+
+// Epoch checkpoint/restore. A checkpoint captures everything the engine
+// needs to resume from the last closed epoch after a crash: the stream
+// position (records consumed), the planning inputs (group counts), the
+// clock, the execution statistics and degradation history, and any
+// retained HFTA rows (epochs not yet streamed out through a result
+// handler). It is written at epoch boundaries only, when the LFTA tables
+// are empty and every eviction has reached the HFTA, so no partial hash
+// table state ever needs to be serialized: a restore rebuilds the plan
+// from the restored group counts and replays the open epoch's records
+// from the recorded stream position.
+//
+// Binary format ("MAGK", little-endian), in order: magic, version,
+// workload hash, consumed, stats (epochs, replans, peak repairs, result
+// errors), cumulative ops, clock snapshot, cumulative degradation,
+// per-epoch degradation history, group counts, retained HFTA rows. The
+// workload hash covers the query relations, epoch length, aggregates, M,
+// and seed, so a checkpoint can only be restored into an engine built
+// for the same workload.
+
+const (
+	ckptMagic   = "MAGK"
+	ckptVersion = 1
+
+	// Sanity caps on untrusted length fields: a corrupt header must fail
+	// cleanly, not demand gigabytes.
+	ckptMaxHistory = 1 << 24
+	ckptMaxGroups  = 1 << 20
+	ckptMaxRows    = 1 << 28
+)
+
+// ErrBadCheckpoint reports a malformed or mismatched checkpoint.
+var ErrBadCheckpoint = errors.New("core: malformed checkpoint")
+
+// workloadHash fingerprints the engine's workload-defining inputs.
+func (e *Engine) workloadHash() uint64 {
+	h := fnv.New64a()
+	le := func(v any) { _ = binary.Write(h, binary.LittleEndian, v) }
+	le(uint32(e.epochLen))
+	le(uint64(e.opts.M))
+	le(e.opts.Seed)
+	le(uint32(len(e.queries)))
+	for _, q := range e.queries {
+		le(uint32(q))
+	}
+	le(uint32(len(e.aggs)))
+	for _, a := range e.aggs {
+		le(uint32(a.Op))
+		le(int64(a.Input))
+	}
+	return h.Sum64()
+}
+
+// Checkpoint serializes the engine state. Call only at an epoch boundary
+// (the engine's own CheckpointPath writes satisfy this by construction);
+// mid-epoch LFTA table contents are not captured.
+func (e *Engine) Checkpoint(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(ckptMagic); err != nil {
+		return err
+	}
+	var err error
+	le := func(v any) {
+		if err == nil {
+			err = binary.Write(bw, binary.LittleEndian, v)
+		}
+	}
+	writeDeg := func(d Degradation) {
+		le(d.Epoch)
+		le(d.Offered)
+		le(d.Processed)
+		le(d.Dropped)
+		le(d.Late)
+	}
+	le(uint8(ckptVersion))
+	le(e.workloadHash())
+	le(e.consumed)
+	le(uint64(e.stats.Epochs))
+	le(uint64(e.stats.Replans))
+	le(uint64(e.stats.PeakRepairs))
+	le(uint64(e.stats.ResultErrors))
+	ops := e.Ops()
+	le(ops.Probes)
+	le(ops.Transfers)
+	le(ops.Records)
+	started, cur, regressed := e.clock.Snapshot()
+	var s8 uint8
+	if started {
+		s8 = 1
+	}
+	le(s8)
+	le(cur)
+	le(regressed)
+	writeDeg(e.cumDeg)
+	le(uint32(len(e.degHist)))
+	for _, d := range e.degHist {
+		writeDeg(d)
+	}
+	rels := e.graph.Relations()
+	attr.SortSets(rels)
+	le(uint32(len(rels)))
+	for _, r := range rels {
+		le(uint32(r))
+		le(math.Float64bits(e.groups[r]))
+	}
+	rows := e.agg.AllRows()
+	le(uint64(len(rows)))
+	for i := range rows {
+		r := &rows[i]
+		le(uint32(r.Rel))
+		le(r.Epoch)
+		le(uint8(len(r.Key)))
+		for _, k := range r.Key {
+			le(k)
+		}
+		le(uint8(len(r.Aggs)))
+		for _, a := range r.Aggs {
+			le(uint64(a))
+		}
+	}
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteCheckpointFile writes a checkpoint atomically: a temp file in the
+// same directory is renamed over path, so a crash mid-write never
+// corrupts the previous checkpoint.
+func (e *Engine) WriteCheckpointFile(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := e.Checkpoint(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Restore loads a checkpoint into a freshly constructed engine for the
+// same workload (queries, M, seed) and returns the stream position: the
+// number of records the checkpointed engine had consumed, i.e. how many
+// leading records of the replayed stream to skip (stream.NewSkipSource)
+// before resuming Process. The plan is rebuilt deterministically from the
+// restored group counts; measured flow lengths are not carried over, so
+// the resumed plan may differ marginally from the one running at the
+// crash — answers stay exact under any plan.
+func (e *Engine) Restore(r io.Reader) (consumed uint64, err error) {
+	if e.consumed != 0 || e.stats.Epochs != 0 {
+		return 0, fmt.Errorf("core: Restore requires a freshly constructed engine")
+	}
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(ckptMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+	}
+	if string(magic) != ckptMagic {
+		return 0, fmt.Errorf("%w: bad magic %q", ErrBadCheckpoint, magic)
+	}
+	var rerr error
+	le := func(v any) {
+		if rerr == nil {
+			rerr = binary.Read(br, binary.LittleEndian, v)
+		}
+	}
+	readDeg := func() Degradation {
+		var d Degradation
+		le(&d.Epoch)
+		le(&d.Offered)
+		le(&d.Processed)
+		le(&d.Dropped)
+		le(&d.Late)
+		return d
+	}
+	var version uint8
+	le(&version)
+	if rerr == nil && version != ckptVersion {
+		return 0, fmt.Errorf("%w: unsupported version %d", ErrBadCheckpoint, version)
+	}
+	var hash uint64
+	le(&hash)
+	if rerr == nil && hash != e.workloadHash() {
+		return 0, fmt.Errorf("%w: checkpoint is for a different workload (queries, M, or seed changed)", ErrBadCheckpoint)
+	}
+	var epochs, replans, peakRepairs, resultErrors uint64
+	le(&consumed)
+	le(&epochs)
+	le(&replans)
+	le(&peakRepairs)
+	le(&resultErrors)
+	var ops lfta.Ops
+	le(&ops.Probes)
+	le(&ops.Transfers)
+	le(&ops.Records)
+	var started uint8
+	var cur uint32
+	var regressed uint64
+	le(&started)
+	le(&cur)
+	le(&regressed)
+	cumDeg := readDeg()
+	var nHist uint32
+	le(&nHist)
+	if rerr == nil && nHist > ckptMaxHistory {
+		return 0, fmt.Errorf("%w: implausible history length %d", ErrBadCheckpoint, nHist)
+	}
+	var hist []Degradation
+	for i := uint32(0); rerr == nil && i < nHist; i++ {
+		hist = append(hist, readDeg())
+	}
+	var nGroups uint32
+	le(&nGroups)
+	if rerr == nil && nGroups > ckptMaxGroups {
+		return 0, fmt.Errorf("%w: implausible group count %d", ErrBadCheckpoint, nGroups)
+	}
+	groups := feedgraph.GroupCounts{}
+	for i := uint32(0); rerr == nil && i < nGroups; i++ {
+		var rel uint32
+		var bits uint64
+		le(&rel)
+		le(&bits)
+		groups[attr.Set(rel)] = math.Float64frombits(bits)
+	}
+	var nRows uint64
+	le(&nRows)
+	if rerr == nil && nRows > ckptMaxRows {
+		return 0, fmt.Errorf("%w: implausible row count %d", ErrBadCheckpoint, nRows)
+	}
+	type ckptRow struct {
+		rel   attr.Set
+		epoch uint32
+		key   []uint32
+		aggs  []int64
+	}
+	var rows []ckptRow
+	for i := uint64(0); rerr == nil && i < nRows; i++ {
+		var rel uint32
+		var epoch uint32
+		var keyLen, aggLen uint8
+		le(&rel)
+		le(&epoch)
+		le(&keyLen)
+		if rerr == nil && int(keyLen) > attr.MaxAttrs {
+			return 0, fmt.Errorf("%w: row key arity %d", ErrBadCheckpoint, keyLen)
+		}
+		key := make([]uint32, keyLen)
+		for j := range key {
+			le(&key[j])
+		}
+		le(&aggLen)
+		if rerr == nil && int(aggLen) > 64 {
+			return 0, fmt.Errorf("%w: row aggregate arity %d", ErrBadCheckpoint, aggLen)
+		}
+		aggs := make([]int64, aggLen)
+		for j := range aggs {
+			var u uint64
+			le(&u)
+			aggs[j] = int64(u)
+		}
+		rows = append(rows, ckptRow{rel: attr.Set(rel), epoch: epoch, key: key, aggs: aggs})
+	}
+	if rerr != nil {
+		return 0, fmt.Errorf("%w: truncated: %v", ErrBadCheckpoint, rerr)
+	}
+
+	// Validate the restored group counts cover the feeding graph, then
+	// rebuild the plan from them.
+	for _, rel := range e.graph.Relations() {
+		if _, err := groups.Get(rel); err != nil {
+			return 0, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+		}
+	}
+	e.groups = groups
+	if err := e.replan(); err != nil {
+		return 0, err
+	}
+	e.totalOps = ops // the fresh runtime's counters are zero
+	e.consumed = consumed
+	e.stats.Epochs = int(epochs)
+	e.stats.Replans = int(replans)
+	e.stats.PeakRepairs = int(peakRepairs)
+	e.stats.ResultErrors = int(resultErrors)
+	e.clock.RestoreSnapshot(started != 0, cur, regressed)
+	e.cumDeg = cumDeg
+	e.degHist = hist
+	e.deg = Degradation{}
+	e.degInit = false
+	for _, r := range rows {
+		e.agg.Consume(lfta.Eviction{Rel: r.rel, Key: r.key, Aggs: r.aggs, Epoch: r.epoch})
+	}
+	return consumed, nil
+}
+
+// RestoreCheckpointFile restores from the named checkpoint file; see
+// Restore.
+func (e *Engine) RestoreCheckpointFile(path string) (uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return e.Restore(f)
+}

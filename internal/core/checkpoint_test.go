@@ -1,0 +1,192 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/hfta"
+	"repro/internal/stream"
+)
+
+// TestCheckpointRoundTrip: checkpoint mid-stream (at an epoch boundary),
+// restore into a fresh engine, replay from the recorded position, and get
+// exactly the answers of an uninterrupted run.
+func TestCheckpointRoundTrip(t *testing.T) {
+	recs, groups := testWorkload(t, 30000)
+	opts := Options{M: 8000, Seed: 3}
+
+	// Uninterrupted reference run.
+	ref, err := New(pairSQL, groups, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Run(stream.NewSliceSource(recs)); err != nil {
+		t.Fatal(err)
+	}
+	want := ref.AllResults()
+
+	// First run: crash mid-epoch (no Finish) with the engine writing its
+	// checkpoint at every boundary. The checkpoint the crash leaves behind
+	// is the last closed epoch's; the boundary record itself is not counted
+	// in its stream position and gets replayed on resume.
+	ckpt := filepath.Join(t.TempDir(), "crash.ckpt")
+	copts := opts
+	copts.CheckpointPath = ckpt
+	e1, err := New(pairSQL, groups, copts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const crashAt = 17000 // mid-epoch: 30000 records over 5 epochs
+	for i := 0; i < crashAt; i++ {
+		if err := e1.Process(recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e1.Stats().Epochs == 0 {
+		t.Fatal("crash point never crossed an epoch boundary")
+	}
+
+	// Restore into a fresh engine and replay the rest of the stream from
+	// the recorded position.
+	e2, err := New(pairSQL, groups, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	consumed, err := e2.RestoreCheckpointFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if consumed == 0 || consumed >= crashAt {
+		t.Fatalf("restored stream position %d; want within (0, %d)", consumed, crashAt)
+	}
+	src := stream.NewSkipSource(stream.NewSliceSource(recs), consumed)
+	if err := e2.Run(src); err != nil {
+		t.Fatal(err)
+	}
+	if !hfta.Equal(e2.AllResults(), want) {
+		t.Fatal("restored run's results differ from the uninterrupted run")
+	}
+	// Accounting survived too: every record of the stream ends up counted
+	// exactly once across the crash.
+	d := e2.Stats().Degradation
+	if d.Offered != uint64(len(recs)) || d.Processed != uint64(len(recs)) {
+		t.Errorf("restored accounting %+v; want %d offered and processed", d, len(recs))
+	}
+	if e2.Consumed() != uint64(len(recs)) {
+		t.Errorf("restored consumed = %d; want %d", e2.Consumed(), len(recs))
+	}
+}
+
+// TestCheckpointFileAtomic: WriteCheckpointFile leaves no temp droppings
+// and the file restores cleanly.
+func TestCheckpointFileAtomic(t *testing.T) {
+	recs, groups := testWorkload(t, 20000)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "engine.ckpt")
+	e, err := New(pairSQL, groups, Options{M: 8000, Seed: 3, CheckpointPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(stream.NewSliceSource(recs)); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "engine.ckpt" {
+		t.Errorf("checkpoint dir contains %v; want only engine.ckpt", entries)
+	}
+	e2, err := New(pairSQL, groups, Options{M: 8000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.RestoreCheckpointFile(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRestoreRejectsCorruptCheckpoints: truncated, corrupted, or
+// mismatched checkpoints must fail with ErrBadCheckpoint, never panic or
+// restore garbage.
+func TestRestoreRejectsCorruptCheckpoints(t *testing.T) {
+	recs, groups := testWorkload(t, 20000)
+	e, err := New(pairSQL, groups, Options{M: 8000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := e.Process(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := e.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	fresh := func() *Engine {
+		e, err := New(pairSQL, groups, Options{M: 8000, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"bad magic", append([]byte("XXXX"), good[4:]...)},
+		{"bad version", func() []byte {
+			b := append([]byte(nil), good...)
+			b[4] = 99
+			return b
+		}()},
+		{"truncated header", good[:10]},
+		{"truncated body", good[:len(good)-7]},
+		{"flipped hash", func() []byte {
+			b := append([]byte(nil), good...)
+			b[5] ^= 0xff
+			return b
+		}()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := fresh().Restore(bytes.NewReader(tc.data)); !errors.Is(err, ErrBadCheckpoint) {
+				t.Errorf("err = %v; want ErrBadCheckpoint", err)
+			}
+		})
+	}
+
+	t.Run("different workload", func(t *testing.T) {
+		other, err := New(pairSQL, groups, Options{M: 8000, Seed: 99}) // different seed
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := other.Restore(bytes.NewReader(good)); !errors.Is(err, ErrBadCheckpoint) {
+			t.Errorf("err = %v; want ErrBadCheckpoint for a different workload", err)
+		}
+	})
+
+	t.Run("used engine", func(t *testing.T) {
+		used := fresh()
+		if err := used.Process(recs[0]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := used.Restore(bytes.NewReader(good)); err == nil {
+			t.Error("restore into a used engine accepted")
+		}
+	})
+
+	t.Run("good checkpoint still restores", func(t *testing.T) {
+		if _, err := fresh().Restore(bytes.NewReader(good)); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

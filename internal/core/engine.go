@@ -73,11 +73,13 @@ type AdaptOptions struct {
 }
 
 // ResultHandler receives each query's finalized rows (HAVING applied)
-// when an epoch closes. When a handler is installed the engine releases
-// the epoch's HFTA state immediately afterwards, so memory stays bounded
-// regardless of stream length; without one, results accumulate for later
-// retrieval via Results/AllResults.
-type ResultHandler func(rel attr.Set, epoch uint32, rows []hfta.Row)
+// when an epoch closes, together with the epoch's degradation accounting
+// (shared by all queries of the epoch) so consumers know exactly what the
+// rows cover. When a handler is installed the engine releases the epoch's
+// HFTA state immediately afterwards, so memory stays bounded regardless
+// of stream length; without one, results accumulate for later retrieval
+// via Results/AllResults.
+type ResultHandler func(rel attr.Set, epoch uint32, rows []hfta.Row, deg Degradation)
 
 // Options configure an Engine.
 type Options struct {
@@ -88,6 +90,33 @@ type Options struct {
 	PeakEu  float64      // peak-load constraint E_p on E_u; 0 = none
 	PeakFix PeakMethod   // repair method when PeakEu is set
 	Adapt   AdaptOptions // adaptive re-planning
+
+	// Budget enables overload control: the LFTA may spend at most this
+	// many weighted operation units (Params.C1 per probe, Params.C2 per
+	// transfer) per stream time unit; records beyond it are shed by the
+	// Shed policy and counted per epoch. 0 disables overload control and
+	// keeps the hot path untouched.
+	Budget float64
+
+	// Shed picks which records to sacrifice under overload; nil with a
+	// positive Budget defaults to DropTail.
+	Shed ShedPolicy
+
+	// PeakRepairEpochs enables the online peak-load repair: when the
+	// measured end-of-epoch flush cost exceeds PeakEu for this many
+	// consecutive epochs, the engine re-applies the PeakFix repair
+	// (shrink/shift) to the live allocation. 0 disables; requires PeakEu.
+	PeakRepairEpochs int
+
+	// CheckpointPath, when set, makes the engine write a checkpoint of
+	// its state to this file (atomically, via rename) at every epoch
+	// boundary; see Engine.WriteCheckpointFile and RestoreCheckpointFile.
+	CheckpointPath string
+
+	// WrapBatchSink, when set, wraps the LFTA→HFTA transfer channel —
+	// the hook the chaos suite uses to inject sink faults
+	// (lfta.FaultySink). Production deployments leave it nil.
+	WrapBatchSink func(lfta.BatchSink) lfta.BatchSink
 
 	// OnResults streams finalized epochs out of the engine and bounds
 	// its memory; see ResultHandler.
@@ -100,6 +129,20 @@ type Stats struct {
 	ModeledCost float64 // per-record modeled cost of the active plan
 	Replans     int     // adaptive re-plans adopted
 	Epochs      int     // epochs completed
+
+	// Degradation is the cumulative overload accounting across closed
+	// epochs plus the currently open one: Offered records split exactly
+	// into Processed + Dropped + Late.
+	Degradation Degradation
+
+	// ResultErrors counts epochs-emission errors (Results failures inside
+	// the OnResults delivery loop); the first such error is returned by
+	// Finish.
+	ResultErrors int
+
+	// PeakRepairs counts online peak-load repairs applied because the
+	// measured flush cost exceeded PeakEu for PeakRepairEpochs epochs.
+	PeakRepairs int
 }
 
 // Engine is the assembled two-level system.
@@ -122,6 +165,31 @@ type Engine struct {
 	stats    Stats
 
 	specByRel map[attr.Set]*query.Spec
+
+	// Stream position: records offered to Process since construction (or
+	// restore), including filtered, late, and shed ones — the replay
+	// offset a checkpoint records.
+	consumed uint64
+
+	// Overload control (active when opts.Budget > 0).
+	shedder     ShedPolicy
+	shedTick    uint32
+	shedAvail   float64
+	shedStarted bool
+
+	// Degradation accounting: the open epoch's counters, the closed
+	// epochs' history, and the cumulative total.
+	deg     Degradation
+	degInit bool
+	degHist []Degradation
+	cumDeg  Degradation
+
+	// Online peak-load repair state: consecutive epochs whose measured
+	// flush cost exceeded PeakEu, and the last epoch's measured cost.
+	overPeak      int
+	lastFlushCost float64
+
+	firstResultErr error
 
 	// Online group-count sketches for candidate phantoms (adaptive mode
 	// with TrackPhantoms), reset every epoch.
@@ -187,6 +255,15 @@ func NewFromSpecs(specs []*query.Spec, groups feedgraph.GroupCounts, opts Option
 			opts.Adapt.MinImprovement = 0.05
 		}
 	}
+	if opts.Budget < 0 {
+		return nil, fmt.Errorf("core: processing budget must be non-negative, got %v", opts.Budget)
+	}
+	if opts.Budget > 0 && opts.Shed == nil {
+		opts.Shed = DropTail{}
+	}
+	if opts.PeakRepairEpochs > 0 && opts.PeakEu <= 0 {
+		return nil, fmt.Errorf("core: PeakRepairEpochs requires a PeakEu constraint")
+	}
 
 	e := &Engine{
 		specs:     specs,
@@ -194,6 +271,7 @@ func NewFromSpecs(specs []*query.Spec, groups feedgraph.GroupCounts, opts Option
 		aggs:      specs[0].AggSpecs(),
 		groups:    groups,
 		opts:      opts,
+		shedder:   opts.Shed,
 		specByRel: make(map[attr.Set]*query.Spec, len(specs)),
 	}
 	for _, s := range specs {
@@ -280,7 +358,11 @@ func (e *Engine) adopt(res *choose.Result) error {
 	// arena-backed buffer instead of a per-eviction sink call, keeping the
 	// record hot path allocation-free. FlushEpoch drains the buffer, so
 	// every endEpoch read of HFTA state still sees the complete epoch.
-	rt.SetBatchSink(e.agg.ConsumeBatch, 0)
+	sink := lfta.BatchSink(e.agg.ConsumeBatch)
+	if e.opts.WrapBatchSink != nil {
+		sink = e.opts.WrapBatchSink(sink)
+	}
+	rt.SetBatchSink(sink, 0)
 	if e.rt != nil {
 		ops := e.rt.Ops()
 		e.totalOps.Probes += ops.Probes
@@ -313,17 +395,50 @@ func (e *Engine) Groups() feedgraph.GroupCounts { return e.groups }
 // Process feeds one record. Epoch boundaries (per the queries' time
 // bucket) trigger the end-of-epoch flush and, if enabled, adaptive
 // re-planning.
+//
+// Timestamps must be non-decreasing across epoch boundaries: a record
+// whose timestamp regresses into an already-closed epoch cannot be
+// assigned correctly anymore (its epoch was flushed), so it is dropped
+// and counted as Late instead of silently corrupting epoch assignment.
+// Configure a stream.OrderedSource upstream to reorder such streams
+// within a slack window. Regressions within the open epoch are harmless.
 func (e *Engine) Process(rec stream.Record) error {
 	if !e.specs[0].MatchWhere(rec.Attrs) {
+		e.consumed++
 		return nil // filtered out before any hash-table work (the F of FTA)
 	}
-	epoch, rolled := e.clock.Advance(rec.Time)
+	epoch, rolled, late := e.clock.Observe(rec.Time)
+	if late {
+		e.consumed++
+		e.deg.Offered++
+		e.deg.Late++
+		return nil
+	}
 	if rolled {
 		if err := e.endEpoch(); err != nil {
 			return err
 		}
 	}
-	e.rt.Process(rec, epoch)
+	if !e.degInit {
+		e.degInit = true
+		e.deg.Epoch = epoch
+	}
+	e.consumed++
+	e.deg.Offered++
+	if e.opts.Budget > 0 {
+		if !e.admit(rec) {
+			e.deg.Dropped++
+			return nil
+		}
+		before := e.rt.Ops()
+		e.rt.Process(rec, epoch)
+		after := e.rt.Ops()
+		e.shedAvail -= float64(after.Probes-before.Probes)*e.opts.Params.C1 +
+			float64(after.Transfers-before.Transfers)*e.opts.Params.C2
+	} else {
+		e.rt.Process(rec, epoch)
+	}
+	e.deg.Processed++
 	for rel, h := range e.sketches {
 		e.sketchBuf = rel.Project(rec.Attrs, e.sketchBuf)
 		h.AddKey(e.sketchBuf)
@@ -331,13 +446,106 @@ func (e *Engine) Process(rec stream.Record) error {
 	return nil
 }
 
-// endEpoch flushes the LFTA, emits finalized results, and runs the
-// adaptive step.
+// admit replenishes the per-time-unit budget when stream time advances
+// (never on a regression — an adversarial stream alternating timestamps
+// earns nothing) and asks the shed policy whether to process the record.
+func (e *Engine) admit(rec stream.Record) bool {
+	if !e.shedStarted || rec.Time > e.shedTick {
+		e.shedStarted = true
+		e.shedTick = rec.Time
+		e.shedAvail = e.opts.Budget
+	}
+	return e.shedder.Admit(rec, e.shedAvail <= 0)
+}
+
+// endEpoch flushes the LFTA, closes the epoch's degradation accounting,
+// emits finalized results, and runs the online repair, adaptive, and
+// checkpoint steps. The checkpoint is written last so it reflects a fully
+// closed epoch: the record that triggered the roll is not yet counted in
+// the stream position and is replayed on restore.
 func (e *Engine) endEpoch() error {
-	prevEpoch := e.rt.Epoch()
+	closed := e.closeEpochState()
+	if err := e.maybePeakRepair(); err != nil {
+		return err
+	}
+	if err := e.maybeAdapt(closed.Epoch); err != nil {
+		return err
+	}
+	if e.opts.CheckpointPath != "" {
+		if err := e.WriteCheckpointFile(e.opts.CheckpointPath); err != nil {
+			return fmt.Errorf("core: checkpoint: %w", err)
+		}
+	}
+	return nil
+}
+
+// closeEpochState performs the flush/accounting/emit part of an epoch
+// boundary shared by endEpoch and Finish, and returns the closed epoch's
+// degradation record. It also measures the flush's actual cost for the
+// online peak-load repair.
+func (e *Engine) closeEpochState() Degradation {
+	closed := e.deg
+	e.deg = Degradation{}
+	e.degInit = false
+	flushBefore := e.rt.Ops()
 	e.rt.FlushEpoch()
+	flushAfter := e.rt.Ops()
+	e.lastFlushCost = float64(flushAfter.Probes-flushBefore.Probes)*e.opts.Params.C1 +
+		float64(flushAfter.Transfers-flushBefore.Transfers)*e.opts.Params.C2
 	e.stats.Epochs++
-	e.emitEpoch(prevEpoch)
+	e.degHist = append(e.degHist, closed)
+	e.cumDeg.add(closed)
+	if e.shedder != nil {
+		e.shedder.EpochEnd(closed)
+	}
+	e.emitEpoch(closed)
+	return closed
+}
+
+// maybePeakRepair applies the configured peak-load repair to the live
+// allocation once the measured end-of-epoch cost has exceeded PeakEu for
+// PeakRepairEpochs consecutive epochs. An unreachable constraint is not
+// fatal — shedding remains the backstop — but a failure to adopt the
+// repaired plan is.
+func (e *Engine) maybePeakRepair() error {
+	if e.opts.PeakEu <= 0 || e.opts.PeakRepairEpochs <= 0 {
+		return nil
+	}
+	if e.lastFlushCost <= e.opts.PeakEu {
+		e.overPeak = 0
+		return nil
+	}
+	e.overPeak++
+	if e.overPeak < e.opts.PeakRepairEpochs {
+		return nil
+	}
+	e.overPeak = 0
+	var (
+		fixed cost.Alloc
+		err   error
+	)
+	switch e.opts.PeakFix {
+	case PeakShrink:
+		fixed, err = spacealloc.Shrink(e.plan.Config, e.groups, e.plan.Alloc, e.opts.Params, e.opts.PeakEu)
+	default:
+		fixed, err = spacealloc.Shift(e.plan.Config, e.groups, e.plan.Alloc, e.opts.Params, e.opts.PeakEu)
+	}
+	if err != nil {
+		return nil // constraint unreachable on the live statistics
+	}
+	res := &choose.Result{Config: e.plan.Config, Alloc: fixed}
+	if res.Cost, err = cost.PerRecord(res.Config, e.groups, fixed, e.opts.Params); err != nil {
+		return nil
+	}
+	if err := e.adopt(res); err != nil {
+		return err
+	}
+	e.stats.PeakRepairs++
+	return nil
+}
+
+// maybeAdapt runs the adaptive re-planning step for the closed epoch.
+func (e *Engine) maybeAdapt(prevEpoch uint32) error {
 	if !e.opts.Adapt.Enabled || e.stats.Epochs%e.opts.Adapt.EveryEpochs != 0 {
 		return nil
 	}
@@ -440,13 +648,16 @@ func clampMonotone(groups feedgraph.GroupCounts, g *feedgraph.Graph) error {
 
 // emitEpoch delivers one closed epoch to the result handler and drops its
 // state. Adaptive group-count refreshes read the epoch's counts before
-// this runs (refreshGroupEstimates is called from endEpoch after emit
+// this runs (refreshGroupEstimates is called from maybeAdapt after emit
 // only when no handler is installed — with a handler, the counts are
-// captured here first).
-func (e *Engine) emitEpoch(epoch uint32) {
+// captured here first). Results errors are counted in Stats and the first
+// one is propagated from Finish; the remaining queries of the epoch are
+// still delivered.
+func (e *Engine) emitEpoch(closed Degradation) {
 	if e.opts.OnResults == nil {
 		return
 	}
+	epoch := closed.Epoch
 	if e.opts.Adapt.Enabled {
 		// Capture measured group counts before the state is dropped.
 		e.refreshGroupEstimates(epoch)
@@ -454,22 +665,27 @@ func (e *Engine) emitEpoch(epoch uint32) {
 	for _, q := range e.queries {
 		rows, err := e.Results(q, epoch)
 		if err != nil {
+			e.stats.ResultErrors++
+			if e.firstResultErr == nil {
+				e.firstResultErr = fmt.Errorf("core: emitting epoch %d of %v: %w", epoch, q, err)
+			}
 			continue
 		}
-		e.opts.OnResults(q, epoch, rows)
+		e.opts.OnResults(q, epoch, rows, closed)
 	}
 	e.agg.Drop(epoch)
 }
 
-// Finish flushes the final epoch. Call once after the last record.
+// Finish flushes the final epoch and returns the first error swallowed
+// while emitting results, if any. Call once after the last record. Finish
+// does not write a checkpoint: the checkpoint file (if configured) stays
+// at the last closed epoch boundary, so a later restore replays the final
+// epoch in full.
 func (e *Engine) Finish() error {
-	if e.clock.Started() {
-		epoch := e.rt.Epoch()
-		e.rt.FlushEpoch()
-		e.stats.Epochs++
-		e.emitEpoch(epoch)
+	if e.degInit {
+		e.closeEpochState()
 	}
-	return nil
+	return e.firstResultErr
 }
 
 // Run processes an entire source and finishes.
@@ -531,11 +747,26 @@ func (e *Engine) Ops() lfta.Ops {
 	}
 }
 
-// Stats returns execution statistics.
+// Stats returns execution statistics. Stats.Degradation is cumulative
+// across closed epochs plus the open one (its Epoch field is meaningless
+// in the aggregate).
 func (e *Engine) Stats() Stats {
 	s := e.stats
 	s.Ops = e.Ops()
+	s.Degradation = e.cumDeg
+	s.Degradation.add(e.deg)
 	return s
+}
+
+// Consumed returns the number of records offered to Process since
+// construction or restore — including filtered, late, and shed records —
+// i.e. the stream position a checkpoint records.
+func (e *Engine) Consumed() uint64 { return e.consumed }
+
+// EpochDegradations returns the per-epoch overload accounting of every
+// closed epoch, oldest first.
+func (e *Engine) EpochDegradations() []Degradation {
+	return append([]Degradation(nil), e.degHist...)
 }
 
 // TableDiagnostic compares one LFTA table's modeled and measured
@@ -553,10 +784,20 @@ type TableDiagnostic struct {
 	Probes       uint64
 }
 
+// Diagnostics is the operator's view of the running engine: per-table
+// modeled-vs-measured statistics, plus the degradation accounting of
+// every closed epoch and in total.
+type Diagnostics struct {
+	Tables []TableDiagnostic
+	Epochs []Degradation // closed epochs' overload accounting, oldest first
+	Total  Degradation   // cumulative, including the open epoch
+}
+
 // Diagnostics reports modeled-vs-measured statistics for every
-// instantiated table of the active plan. In adaptive mode the measured
-// window is the current epoch (stats reset at each refresh).
-func (e *Engine) Diagnostics() ([]TableDiagnostic, error) {
+// instantiated table of the active plan, and the engine's degradation
+// history. In adaptive mode the measured table window is the current
+// epoch (stats reset at each refresh).
+func (e *Engine) Diagnostics() (*Diagnostics, error) {
 	rates, err := cost.Rates(e.plan.Config, e.groups, e.plan.Alloc, e.opts.Params)
 	if err != nil {
 		return nil, err
@@ -577,7 +818,13 @@ func (e *Engine) Diagnostics() ([]TableDiagnostic, error) {
 			Probes:       st.Probes,
 		})
 	}
-	return out, nil
+	total := e.cumDeg
+	total.add(e.deg)
+	return &Diagnostics{
+		Tables: out,
+		Epochs: e.EpochDegradations(),
+		Total:  total,
+	}, nil
 }
 
 // EstimateGroups measures g_R for every relation of the queries' feeding

@@ -22,7 +22,7 @@ func TestResultHandlerStreamsAndBoundsMemory(t *testing.T) {
 	e, err := New(pairSQL, groups, Options{
 		M:    8000,
 		Seed: 3,
-		OnResults: func(rel attr.Set, epoch uint32, rows []hfta.Row) {
+		OnResults: func(rel attr.Set, epoch uint32, rows []hfta.Row, deg Degradation) {
 			if handled[rel] == nil {
 				handled[rel] = map[uint32]bool{}
 			}
@@ -75,7 +75,7 @@ func TestResultHandlerWithAdaptive(t *testing.T) {
 			Enabled:     true,
 			EveryEpochs: 1,
 		},
-		OnResults: func(rel attr.Set, epoch uint32, rows []hfta.Row) {
+		OnResults: func(rel attr.Set, epoch uint32, rows []hfta.Row, deg Degradation) {
 			delivered += len(rows)
 		},
 	})
@@ -95,6 +95,50 @@ func TestResultHandlerWithAdaptive(t *testing.T) {
 	}
 }
 
+// TestResultErrorsSurfaced: a failure while emitting one query's epoch is
+// counted, does not abort the other queries' deliveries, and the first
+// error reaches the caller through Finish instead of being swallowed.
+func TestResultErrorsSurfaced(t *testing.T) {
+	recs, groups := testWorkload(t, 30000)
+	delivered := map[attr.Set]int{}
+	e, err := New(pairSQL, groups, Options{
+		M:    8000,
+		Seed: 3,
+		OnResults: func(rel attr.Set, epoch uint32, rows []hfta.Row, deg Degradation) {
+			delivered[rel]++
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage one query's spec lookup so its Results call fails on every
+	// epoch, simulating a downstream fault in the emission path.
+	broken := attr.MustParseSet("BC")
+	delete(e.specByRel, broken)
+
+	for _, r := range recs {
+		if err := e.Process(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Finish(); err == nil {
+		t.Fatal("Finish swallowed the result errors")
+	}
+	st := e.Stats()
+	if st.ResultErrors != 5 {
+		t.Errorf("ResultErrors = %d; want 5 (one per epoch)", st.ResultErrors)
+	}
+	// The other queries still saw all five epochs.
+	for _, q := range []string{"AB", "BD", "CD"} {
+		if rel := attr.MustParseSet(q); delivered[rel] != 5 {
+			t.Errorf("query %v delivered %d epochs; want 5", rel, delivered[rel])
+		}
+	}
+	if delivered[broken] != 0 {
+		t.Errorf("broken query delivered %d epochs; want 0", delivered[broken])
+	}
+}
+
 func TestDiagnostics(t *testing.T) {
 	recs, groups := testWorkload(t, 20000)
 	e, err := New(pairSQL, groups, Options{M: 20000, Seed: 1})
@@ -106,12 +150,16 @@ func TestDiagnostics(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	diags, err := e.Diagnostics()
+	d, err := e.Diagnostics()
 	if err != nil {
 		t.Fatal(err)
 	}
+	diags := d.Tables
 	if len(diags) != len(e.Plan().Config.Rels) {
 		t.Fatalf("diagnostics cover %d of %d tables", len(diags), len(e.Plan().Config.Rels))
+	}
+	if d.Total.Offered != 10000 || d.Total.Processed != 10000 {
+		t.Errorf("degradation totals = %+v; want 10000 offered and processed", d.Total)
 	}
 	sawRaw, sawQuery := false, false
 	for _, d := range diags {

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"repro/internal/stream"
+)
+
+// Degradation is the honest accounting of one epoch's overload behaviour:
+// how many records the engine was offered (after the WHERE filter), how
+// many it processed exactly, how many it shed for lack of capacity, and
+// how many arrived too late for their epoch. The invariant
+//
+//	Offered == Processed + Dropped + Late
+//
+// holds at every epoch boundary: every record is accounted for exactly
+// once. Answers remain exact over the Processed records; the counters
+// quantify what the exactness covers.
+type Degradation struct {
+	Epoch     uint32
+	Offered   uint64
+	Processed uint64
+	Dropped   uint64 // shed by overload control before any hash-table work
+	Late      uint64 // timestamp regressed into an already-closed epoch
+}
+
+// SheddingRate returns (Dropped+Late)/Offered, the fraction of the
+// offered stream the epoch's answers do not cover.
+func (d Degradation) SheddingRate() float64 {
+	if d.Offered == 0 {
+		return 0
+	}
+	return float64(d.Dropped+d.Late) / float64(d.Offered)
+}
+
+// add folds another epoch's counters into a cumulative total.
+func (d *Degradation) add(o Degradation) {
+	d.Offered += o.Offered
+	d.Processed += o.Processed
+	d.Dropped += o.Dropped
+	d.Late += o.Late
+}
+
+// ShedPolicy decides which records to shed when the engine runs with a
+// processing budget (Options.Budget). Admit is consulted for every
+// offered record; exhausted reports whether the current stream time
+// unit's budget is already spent. EpochEnd delivers the closed epoch's
+// degradation so adaptive policies can steer. Policies are used from a
+// single goroutine.
+type ShedPolicy interface {
+	Admit(rec stream.Record, exhausted bool) bool
+	EpochEnd(d Degradation)
+}
+
+// DropTail is the default policy and what a NIC does at line rate: every
+// record is admitted while budget remains, and everything after
+// exhaustion is dropped. Drops concentrate at the tail of each time unit,
+// biasing per-group counts toward early arrivals.
+type DropTail struct{}
+
+// Admit implements ShedPolicy.
+func (DropTail) Admit(_ stream.Record, exhausted bool) bool { return !exhausted }
+
+// EpochEnd implements ShedPolicy.
+func (DropTail) EpochEnd(Degradation) {}
+
+// UniformShed sheds a deterministic pseudo-random fraction of records
+// spread uniformly across the epoch, instead of letting drop-tail
+// truncate each time unit. The shedding rate is adapted at every epoch
+// boundary toward the previous epoch's measured total shed rate (EWMA),
+// so under sustained overload the policy converges to dropping the
+// unavoidable fraction uniformly — keeping per-group aggregates an
+// unbiased downscaling of the true ones — while still hard-dropping when
+// the budget is exhausted despite sampling.
+type UniformShed struct {
+	rate  float64 // current proactive shed probability in [0, 1)
+	alpha float64 // EWMA weight of the newest epoch's observation
+	rng   func() uint64
+}
+
+// NewUniformShed returns a uniform shedder with the given EWMA weight
+// (0 < alpha <= 1; 0 defaults to 0.5) and deterministic seed.
+func NewUniformShed(alpha float64, seed uint64) *UniformShed {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.5
+	}
+	x := seed ^ 0x5851f42d4c957f2d
+	return &UniformShed{
+		alpha: alpha,
+		rng: func() uint64 {
+			x += 0x9e3779b97f4a7c15
+			z := x
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+			return z ^ (z >> 31)
+		},
+	}
+}
+
+// Rate returns the current proactive shedding probability.
+func (u *UniformShed) Rate() float64 { return u.rate }
+
+// Admit implements ShedPolicy.
+func (u *UniformShed) Admit(_ stream.Record, exhausted bool) bool {
+	if exhausted {
+		return false
+	}
+	if u.rate <= 0 {
+		return true
+	}
+	const scale = 1 << 53
+	return float64(u.rng()>>11)/scale >= u.rate
+}
+
+// EpochEnd implements ShedPolicy: steer the proactive rate toward the
+// epoch's measured shed rate.
+func (u *UniformShed) EpochEnd(d Degradation) {
+	if d.Offered == 0 {
+		return
+	}
+	obs := float64(d.Dropped) / float64(d.Offered)
+	u.rate = u.alpha*obs + (1-u.alpha)*u.rate
+	if u.rate > 0.95 {
+		u.rate = 0.95
+	}
+}

@@ -1,0 +1,127 @@
+package lfta
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/attr"
+)
+
+// SinkFaults configure a FaultySink: deterministic transient failures and
+// delays on the LFTA→HFTA transfer channel. A zero or negative Every
+// disables that fault.
+type SinkFaults struct {
+	FailEvery  int           // every Nth delivery is lost
+	DelayEvery int           // every Nth delivery sleeps for Delay first
+	Delay      time.Duration // injected latency
+}
+
+// FaultySink wraps a Sink or BatchSink with injected faults, modelling a
+// flaky transfer channel between the NIC-resident LFTA and the host HFTA.
+// A failed delivery is *lost* — the evictions never reach the inner sink —
+// and the lost record count and aggregate mass are accounted per relation,
+// so tests can verify exact degradation arithmetic: for additive
+// aggregates, delivered mass + lost mass must equal the mass the runtime
+// transferred. Delays exercise the engine's tolerance of a slow sink
+// without corrupting state.
+//
+// All methods are safe for concurrent use (parallel LFTA shards share one
+// FaultySink).
+type FaultySink struct {
+	faults SinkFaults
+
+	mu         sync.Mutex
+	deliveries uint64
+	failures   uint64
+	delays     uint64
+	lostCount  map[attr.Set]uint64
+	lostMass   map[attr.Set][]int64
+}
+
+// NewFaultySink builds a sink-fault injector.
+func NewFaultySink(f SinkFaults) *FaultySink {
+	return &FaultySink{
+		faults:    f,
+		lostCount: make(map[attr.Set]uint64),
+		lostMass:  make(map[attr.Set][]int64),
+	}
+}
+
+// inject decides the fate of one delivery; it returns true when the
+// delivery must be dropped, after accounting the loss.
+func (s *FaultySink) inject(evs []Eviction) (lost bool) {
+	s.mu.Lock()
+	s.deliveries++
+	n := s.deliveries
+	fail := s.faults.FailEvery > 0 && n%uint64(s.faults.FailEvery) == 0
+	delay := s.faults.DelayEvery > 0 && n%uint64(s.faults.DelayEvery) == 0
+	if fail {
+		s.failures++
+		for i := range evs {
+			ev := &evs[i]
+			s.lostCount[ev.Rel]++
+			mass := s.lostMass[ev.Rel]
+			if len(mass) < len(ev.Aggs) {
+				mass = append(mass, make([]int64, len(ev.Aggs)-len(mass))...)
+				s.lostMass[ev.Rel] = mass
+			}
+			for j, v := range ev.Aggs {
+				mass[j] += v
+			}
+		}
+	}
+	if delay {
+		s.delays++
+	}
+	s.mu.Unlock()
+	if delay && s.faults.Delay > 0 {
+		time.Sleep(s.faults.Delay)
+	}
+	return fail
+}
+
+// Wrap returns a Sink that injects the configured faults in front of
+// inner. Each eviction is one delivery.
+func (s *FaultySink) Wrap(inner Sink) Sink {
+	return func(ev Eviction) {
+		if s.inject([]Eviction{ev}) {
+			return
+		}
+		inner(ev)
+	}
+}
+
+// WrapBatch returns a BatchSink injecting the configured faults in front
+// of inner. Each batch is one delivery: a failure loses the whole batch,
+// as a dropped transfer frame would.
+func (s *FaultySink) WrapBatch(inner BatchSink) BatchSink {
+	return func(evs []Eviction) {
+		if s.inject(evs) {
+			return
+		}
+		inner(evs)
+	}
+}
+
+// Failures returns the number of lost deliveries.
+func (s *FaultySink) Failures() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failures
+}
+
+// Delays returns the number of delayed deliveries.
+func (s *FaultySink) Delays() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.delays
+}
+
+// Lost returns the number of evictions lost for one relation and the
+// summed aggregate values they carried (meaningful for additive
+// aggregates such as count and sum).
+func (s *FaultySink) Lost(rel attr.Set) (count uint64, mass []int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lostCount[rel], append([]int64(nil), s.lostMass[rel]...)
+}

@@ -1,0 +1,88 @@
+package lfta
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/attr"
+	"repro/internal/cost"
+	"repro/internal/feedgraph"
+	"repro/internal/stream"
+)
+
+// TestFaultySinkAccounting: delivered mass plus lost mass must equal the
+// mass the runtime transferred — the degradation arithmetic the chaos
+// suite relies on.
+func TestFaultySinkAccounting(t *testing.T) {
+	rel := attr.MustParseSet("A")
+	cfg, err := feedgraph.NewConfig([]attr.Set{rel}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, batch := range []bool{false, true} {
+		faults := NewFaultySink(SinkFaults{FailEvery: 3})
+		var delivered int64
+		var deliveredN uint64
+		count := func(evs []Eviction) {
+			for i := range evs {
+				delivered += evs[i].Aggs[0]
+				deliveredN++
+			}
+		}
+
+		// A tiny table forces steady evictions.
+		var rt *Runtime
+		if batch {
+			rt, err = New(cfg, cost.Alloc{rel: 2}, CountStar, 7, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rt.SetBatchSink(faults.WrapBatch(count), 4)
+		} else {
+			rt, err = New(cfg, cost.Alloc{rel: 2}, CountStar, 7,
+				faults.Wrap(func(ev Eviction) { count([]Eviction{ev}) }))
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 5000; i++ {
+			rt.Process(stream.Record{Attrs: []uint32{uint32(i % 97)}, Time: 0}, 0)
+		}
+		rt.FlushEpoch()
+
+		lostN, lostMass := faults.Lost(rel)
+		totalMass := delivered
+		if len(lostMass) > 0 {
+			totalMass += lostMass[0]
+		}
+		if totalMass != 5000 {
+			t.Errorf("batch=%v: delivered %d + lost %v != 5000 records", batch, delivered, lostMass)
+		}
+		if faults.Failures() == 0 || lostN == 0 {
+			t.Errorf("batch=%v: fault injector never fired (failures=%d lost=%d)", batch, faults.Failures(), lostN)
+		}
+		if deliveredN+lostN != rt.Ops().Transfers {
+			t.Errorf("batch=%v: delivered %d + lost %d evictions != %d transfers", batch, deliveredN, lostN, rt.Ops().Transfers)
+		}
+	}
+}
+
+// TestFaultySinkDelays: injected delays slow delivery but lose nothing.
+func TestFaultySinkDelays(t *testing.T) {
+	faults := NewFaultySink(SinkFaults{DelayEvery: 2, Delay: time.Microsecond})
+	var got int
+	sink := faults.Wrap(func(Eviction) { got++ })
+	for i := 0; i < 10; i++ {
+		sink(Eviction{Rel: attr.MustParseSet("A"), Key: []uint32{1}, Aggs: []int64{1}})
+	}
+	if got != 10 {
+		t.Errorf("delayed sink delivered %d of 10", got)
+	}
+	if faults.Delays() != 5 {
+		t.Errorf("delays = %d; want 5", faults.Delays())
+	}
+	if faults.Failures() != 0 {
+		t.Errorf("failures = %d; want 0", faults.Failures())
+	}
+}

@@ -62,10 +62,12 @@ func (p *Paced) DropRate() float64 {
 }
 
 // Process offers one record. It returns true if the record was dropped.
-// Budget replenishes at each new stream time unit (it does not bank:
+// Budget replenishes only when stream time advances (it does not bank:
 // idle capacity in one tick cannot be spent later, as on real hardware).
+// A timestamp regression does not refill — otherwise an adversarial
+// stream alternating two timestamps would earn unlimited budget.
 func (p *Paced) Process(rec stream.Record, epoch uint32) (dropped bool) {
-	if !p.started || rec.Time != p.tick {
+	if !p.started || rec.Time > p.tick {
 		p.started = true
 		p.tick = rec.Time
 		p.available = p.budget

@@ -77,6 +77,34 @@ func TestPacedBudgetDoesNotBank(t *testing.T) {
 	}
 }
 
+// TestPacedRegressionDoesNotReplenish: the budget refills only when
+// stream time advances. An adversarial stream alternating two timestamps
+// used to refill on every record ("time changed"), earning unlimited
+// budget; now the regressed timestamps draw from the tick already seen.
+func TestPacedRegressionDoesNotReplenish(t *testing.T) {
+	rt := pacedRuntime(t, 1024)
+	p, err := NewPaced(rt, 1, 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Alternate t=5 and t=4: only the first arrival at t=5 replenishes.
+	for i := 0; i < 20; i++ {
+		tick := uint32(5 - i%2)
+		p.Process(stream.Record{Attrs: []uint32{uint32(i)}, Time: tick}, 0)
+	}
+	if p.Processed() != 3 {
+		t.Errorf("alternating timestamps processed %d records; want 3 (one tick's budget)", p.Processed())
+	}
+	if p.Dropped() != 17 {
+		t.Errorf("dropped %d; want 17", p.Dropped())
+	}
+	// Genuine time advance replenishes again.
+	p.Process(stream.Record{Attrs: []uint32{99}, Time: 6}, 0)
+	if p.Processed() != 4 {
+		t.Errorf("record after real advance dropped; processed = %d", p.Processed())
+	}
+}
+
 // TestCheaperConfigurationDropsLess is the paper's motivation end to end:
 // at equal capacity, the configuration with lower per-record cost keeps
 // more of the stream.

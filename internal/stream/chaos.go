@@ -1,0 +1,160 @@
+package stream
+
+// ChaosSource wraps a Source with deterministic, seedable fault
+// injection, so tests can prove the engine degrades gracefully instead of
+// assuming a friendly stream. Every fault is driven by record counters
+// (optionally phase-shifted by the seed), never by wall-clock time or
+// global randomness, so a chaos run replays identically from the same
+// seed — which is what lets the chaos suite assert exact expected
+// answers for the non-faulty part of the stream.
+//
+// Supported faults:
+//
+//   - timestamp regressions: every RegressEvery-th record has its
+//     timestamp pulled back by RegressBy time units (clamped at 0),
+//     simulating merged capture interfaces with skewed clocks;
+//   - duplicates: every DuplicateEvery-th record is emitted twice,
+//     simulating at-least-once upstream delivery;
+//   - bursts: every BurstEvery-th record pins the timestamps of the next
+//     BurstLen records to its own, simulating a line-rate burst that
+//     floods a single stream time unit (the case overload shedding
+//     exists for);
+//   - truncation: after TruncateAfter records the stream ends,
+//     reporting TruncateErr from Err — a mid-epoch connection loss.
+type ChaosSource struct {
+	src  Source
+	opts ChaosOptions
+
+	emitted   uint64 // records drawn from the underlying source
+	burstLeft int
+	burstTime uint32
+	dup       Record
+	dupReady  bool
+	truncated bool
+	err       error
+
+	stats ChaosStats
+
+	regressPhase, dupPhase, burstPhase uint64
+}
+
+// ChaosOptions select which faults to inject. A zero or negative Every
+// disables that fault.
+type ChaosOptions struct {
+	Seed uint64 // phase-shifts the fault counters; same seed = same faults
+
+	RegressEvery int    // every Nth record gets its timestamp pulled back
+	RegressBy    uint32 // regression amount in stream time units
+
+	DuplicateEvery int // every Nth record is emitted twice
+
+	BurstEvery int // every Nth record starts a burst
+	BurstLen   int // records after the burst head pinned to its timestamp
+
+	TruncateAfter int   // stream ends after N records (0 = never)
+	TruncateErr   error // error reported by Err after truncation (may be nil)
+}
+
+// ChaosStats count the injected faults.
+type ChaosStats struct {
+	Emitted    uint64 // records handed to the consumer (duplicates included)
+	Regressed  uint64
+	Duplicated uint64
+	Bursty     uint64 // records whose timestamp was pinned by a burst
+	Truncated  bool
+}
+
+// NewChaosSource wraps src with the configured faults.
+func NewChaosSource(src Source, opts ChaosOptions) *ChaosSource {
+	c := &ChaosSource{src: src, opts: opts}
+	// Derive per-fault phases from the seed so different seeds fault
+	// different records, while any given seed is fully deterministic.
+	s := splitmixChaos(opts.Seed)
+	if opts.RegressEvery > 0 {
+		c.regressPhase = s() % uint64(opts.RegressEvery)
+	}
+	if opts.DuplicateEvery > 0 {
+		c.dupPhase = s() % uint64(opts.DuplicateEvery)
+	}
+	if opts.BurstEvery > 0 {
+		c.burstPhase = s() % uint64(opts.BurstEvery)
+	}
+	return c
+}
+
+// Stats returns the fault counts so far.
+func (c *ChaosSource) Stats() ChaosStats { return c.stats }
+
+// Next implements Source.
+func (c *ChaosSource) Next() (Record, bool) {
+	if c.dupReady {
+		c.dupReady = false
+		c.stats.Emitted++
+		return c.dup, true
+	}
+	if c.truncated {
+		return Record{}, false
+	}
+	if c.opts.TruncateAfter > 0 && c.emitted >= uint64(c.opts.TruncateAfter) {
+		c.truncated = true
+		c.stats.Truncated = true
+		c.err = c.opts.TruncateErr
+		return Record{}, false
+	}
+	rec, ok := c.src.Next()
+	if !ok {
+		return Record{}, false
+	}
+	c.emitted++
+
+	every := func(n int, phase uint64) bool {
+		return n > 0 && c.emitted%uint64(n) == phase
+	}
+	switch {
+	case c.burstLeft > 0:
+		c.burstLeft--
+		rec.Time = c.burstTime
+		c.stats.Bursty++
+	case every(c.opts.BurstEvery, c.burstPhase):
+		c.burstTime = rec.Time
+		c.burstLeft = c.opts.BurstLen
+	}
+	if every(c.opts.RegressEvery, c.regressPhase) {
+		if rec.Time >= c.opts.RegressBy {
+			rec.Time -= c.opts.RegressBy
+		} else {
+			rec.Time = 0
+		}
+		c.stats.Regressed++
+	}
+	if every(c.opts.DuplicateEvery, c.dupPhase) {
+		// The duplicate must be an independent copy: consumers may retain
+		// or mutate the record's attribute slice.
+		c.dup = Record{Attrs: append([]uint32(nil), rec.Attrs...), Time: rec.Time}
+		c.dupReady = true
+		c.stats.Duplicated++
+	}
+	c.stats.Emitted++
+	return rec, true
+}
+
+// Err implements Source: the underlying source's error, or the injected
+// truncation error once the stream has been cut.
+func (c *ChaosSource) Err() error {
+	if c.truncated {
+		return c.err
+	}
+	return c.src.Err()
+}
+
+// splitmixChaos returns a deterministic generator for fault phases.
+func splitmixChaos(seed uint64) func() uint64 {
+	x := seed
+	return func() uint64 {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+}

@@ -19,6 +19,9 @@ func FuzzReadTrace(f *testing.F) {
 	f.Add([]byte("MAGT"))
 	f.Add([]byte{})
 	f.Add([]byte("MAGTxxxxxxxxxxxxxxxxxxxxxxxx"))
+	f.Add(good.Bytes()[:len(good.Bytes())-5])                     // truncated mid-record
+	f.Add([]byte("MAGT\x01\x02\xff\xff\xff\xff\xff\xff\xff\xff")) // forged huge count
+	f.Add([]byte("MAGT\x01\x00\x01\x00\x00\x00\x00\x00\x00\x00")) // zero-attr schema
 	f.Fuzz(func(t *testing.T, data []byte) {
 		schema, recs, err := ReadTrace(bytes.NewReader(data))
 		if err != nil {

@@ -157,10 +157,18 @@ func (e Epoch) Of(t uint32) uint32 {
 
 // Clock tracks epoch boundaries while consuming a stream in arrival order.
 // It is the "time/60 as tb" machinery of the paper's queries.
+//
+// The clock never moves backwards: a timestamp that regresses into an
+// already-closed epoch (possible on unordered streams when no
+// OrderedSource is configured) is clamped to the current epoch and
+// counted in Regressions, instead of rolling the clock back and
+// corrupting epoch assignment. Regressions within the current epoch are
+// harmless and not counted.
 type Clock struct {
-	Length  uint32
-	started bool
-	cur     uint32
+	Length    uint32
+	started   bool
+	cur       uint32
+	regressed uint64
 }
 
 // NewClock returns a clock cutting the stream into epochs of the given
@@ -170,18 +178,47 @@ func NewClock(length uint32) *Clock { return &Clock{Length: length} }
 // Advance feeds the clock the next record timestamp. It returns the
 // epoch index the record belongs to and whether this record starts a new
 // epoch (i.e. an end-of-epoch flush of all previous state is due first).
+// A timestamp regressing into an earlier epoch reports the current epoch
+// with rolled=false; use Observe to detect such late records explicitly.
 func (c *Clock) Advance(t uint32) (epoch uint32, rolled bool) {
+	epoch, rolled, _ = c.Observe(t)
+	return epoch, rolled
+}
+
+// Observe is Advance with an explicit lateness verdict: late is true when
+// the timestamp falls into an epoch earlier than the current one, in
+// which case the record cannot be assigned correctly anymore (its epoch
+// has been flushed) and the returned epoch is the clamped current one.
+func (c *Clock) Observe(t uint32) (epoch uint32, rolled, late bool) {
 	e := Epoch{Length: c.Length}.Of(t)
 	if !c.started {
 		c.started = true
 		c.cur = e
-		return e, false
+		return e, false, false
 	}
-	if e != c.cur {
+	switch {
+	case e > c.cur:
 		c.cur = e
-		return e, true
+		return e, true, false
+	case e < c.cur:
+		c.regressed++
+		return c.cur, false, true
 	}
-	return e, false
+	return e, false, false
+}
+
+// Regressions returns the number of timestamps observed in epochs earlier
+// than the then-current one.
+func (c *Clock) Regressions() uint64 { return c.regressed }
+
+// Snapshot captures the clock state for checkpointing.
+func (c *Clock) Snapshot() (started bool, cur uint32, regressed uint64) {
+	return c.started, c.cur, c.regressed
+}
+
+// RestoreSnapshot resets the clock to a snapshot taken by Snapshot.
+func (c *Clock) RestoreSnapshot(started bool, cur uint32, regressed uint64) {
+	c.started, c.cur, c.regressed = started, cur, regressed
 }
 
 // Current returns the epoch the clock is in; valid after the first Advance.
@@ -189,6 +226,36 @@ func (c *Clock) Current() uint32 { return c.cur }
 
 // Started reports whether the clock has seen any record.
 func (c *Clock) Started() bool { return c.started }
+
+// SkipSource discards the first n records of a source before yielding the
+// rest — the resume path for replaying a trace from a checkpoint's stream
+// position. The skipped prefix is consumed lazily on the first Next call.
+type SkipSource struct {
+	src     Source
+	n       uint64
+	skipped bool
+}
+
+// NewSkipSource wraps src, discarding its first n records.
+func NewSkipSource(src Source, n uint64) *SkipSource {
+	return &SkipSource{src: src, n: n}
+}
+
+// Next implements Source.
+func (s *SkipSource) Next() (Record, bool) {
+	if !s.skipped {
+		s.skipped = true
+		for i := uint64(0); i < s.n; i++ {
+			if _, ok := s.src.Next(); !ok {
+				return Record{}, false
+			}
+		}
+	}
+	return s.src.Next()
+}
+
+// Err implements Source.
+func (s *SkipSource) Err() error { return s.src.Err() }
 
 // Collect drains a source into a slice. It is a convenience for tests and
 // experiment setup.

@@ -254,13 +254,72 @@ func NewOrderedSource(src Source, slack uint32) *stream.OrderedSource {
 	return stream.NewOrderedSource(src, slack)
 }
 
-// ResultHandler receives finalized per-epoch rows; installing one in
-// Options.OnResults bounds the engine's memory.
+// ResultHandler receives finalized per-epoch rows together with the
+// epoch's degradation accounting; installing one in Options.OnResults
+// bounds the engine's memory.
 type ResultHandler = core.ResultHandler
 
 // TableDiagnostic compares a table's modeled and measured behaviour; see
 // Engine.Diagnostics.
 type TableDiagnostic = core.TableDiagnostic
+
+// Diagnostics is the operator's view of a running engine: per-table
+// modeled-vs-measured statistics plus the degradation ledger.
+type Diagnostics = core.Diagnostics
+
+// Degradation is one epoch's overload ledger; the invariant
+// Offered == Processed + Dropped + Late holds at every boundary. See
+// docs/ROBUSTNESS.md.
+type Degradation = core.Degradation
+
+// ShedPolicy decides which records to sacrifice when the engine runs with
+// a processing budget (Options.Budget).
+type ShedPolicy = core.ShedPolicy
+
+// DropTail is the default shedding policy: admit until the time unit's
+// budget is spent, drop the rest.
+type DropTail = core.DropTail
+
+// NewUniformShed returns the EWMA-adaptive uniform-sampling shedding
+// policy: under sustained overload it converges to dropping the
+// unavoidable fraction uniformly across each epoch, keeping per-group
+// aggregates an unbiased downscaling of the true ones.
+func NewUniformShed(alpha float64, seed uint64) *core.UniformShed {
+	return core.NewUniformShed(alpha, seed)
+}
+
+// ChaosSource wraps a Source with deterministic, seedable fault injection
+// (timestamp regressions, duplicates, bursts, truncation) for robustness
+// testing; see ChaosOptions.
+type ChaosSource = stream.ChaosSource
+
+// ChaosOptions select the faults a ChaosSource injects.
+type ChaosOptions = stream.ChaosOptions
+
+// NewChaosSource wraps src with the configured faults.
+func NewChaosSource(src Source, opts ChaosOptions) *ChaosSource {
+	return stream.NewChaosSource(src, opts)
+}
+
+// SinkFaults configure a FaultySink: every FailEvery-th delivery is lost
+// (and accounted), every DelayEvery-th delayed.
+type SinkFaults = lfta.SinkFaults
+
+// NewFaultySink returns a fault-injecting wrapper for LFTA→HFTA sinks;
+// lost deliveries are counted per relation so degradation stays testable
+// as exact arithmetic.
+func NewFaultySink(f SinkFaults) *lfta.FaultySink { return lfta.NewFaultySink(f) }
+
+// NewSkipSource discards the first n records of a source — the resume
+// path for replaying a stream from a checkpoint's recorded position
+// (Engine.RestoreCheckpointFile returns n).
+func NewSkipSource(src Source, n uint64) *stream.SkipSource {
+	return stream.NewSkipSource(src, n)
+}
+
+// ErrBadCheckpoint reports a malformed or workload-mismatched checkpoint
+// on Engine.Restore.
+var ErrBadCheckpoint = core.ErrBadCheckpoint
 
 // EncodePlan serializes a plan (configuration + allocation + modeled
 // cost) as JSON for shipping between the planner and the executing node.
