@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench bench-json
+.PHONY: build test vet race fuzz-short check bench bench-json
 
 build:
 	$(GO) build ./...
@@ -15,13 +15,22 @@ test:
 vet:
 	$(GO) vet ./...
 
-# Race-detect every internal package: the sharded runtime's RunParallel
-# fan-out, the runtime eviction buffers, the lock-sharded HFTA merge, and
-# the core engine's checkpoint/shedding paths on top of them.
+# Race-detect every internal package, then re-run the sharded chaos,
+# equivalence, and checkpoint suites specifically: the sharded runtime's
+# RunParallel fan-out, the runtime eviction buffers, the lock-sharded
+# HFTA merge, and the engine's unified budget / checkpoint-v2 paths on
+# top of them.
 race:
 	$(GO) test -race ./internal/...
+	$(GO) test -race -run 'TestChaos|TestSharded|TestCheckpoint|TestKillRestore' -count=1 ./internal/core
 
-check: build vet test race
+# Replay the checked-in fuzz seed corpora (testdata/fuzz/...) without
+# live fuzzing — what CI runs. Use `go test -fuzz FuzzCheckpointDecode
+# -fuzzminimizetime 50x ./internal/core` for a live session.
+fuzz-short:
+	$(GO) test -run 'Fuzz' ./internal/core ./internal/stream ./internal/feedgraph ./internal/query
+
+check: build vet test race fuzz-short
 
 # Quick perf numbers for the engine hot path (see docs/PERF.md).
 bench:

@@ -18,6 +18,11 @@
 //     weighted operation units per stream time unit and sheds the rest
 //     (-shed droptail|uniform picks the policy); drops are accounted per
 //     epoch and printed in the summary.
+//   - -shards N partitions the LFTA level into N hash-partitioned shards
+//     (Gigascope's one-LFTA-per-interface deployment). -budget stays ONE
+//     global budget, split across shards by measured demand and
+//     reconciled every epoch; the summary prints the per-shard
+//     degradation ledgers, which sum exactly to the global one.
 //   - -checkpoint path makes the engine write a checkpoint at every
 //     epoch boundary; if the file already exists, maggd resumes from it,
 //     skipping the records of all closed epochs and re-processing the
@@ -62,6 +67,7 @@ type runConfig struct {
 	slack      uint32
 	budget     float64
 	shed       string
+	shards     int
 	checkpoint string
 	stop       *atomic.Bool // set externally to request a graceful stop
 }
@@ -79,6 +85,7 @@ func main() {
 		slack      = flag.Uint("slack", 0, "reorder out-of-order records within this many time units")
 		budget     = flag.Float64("budget", 0, "weighted LFTA operation units per stream time unit (0 = unlimited)")
 		shed       = flag.String("shed", "droptail", "shedding policy under -budget: droptail or uniform")
+		shards     = flag.Int("shards", 0, "hash-partitioned LFTA shards under one global budget (0 = single runtime)")
 		checkpoint = flag.String("checkpoint", "", "checkpoint file: written at epoch boundaries, resumed from if present")
 	)
 	flag.Var(&queries, "query", "GSQL query (repeatable)")
@@ -125,6 +132,7 @@ func main() {
 		slack:      uint32(*slack),
 		budget:     *budget,
 		shed:       *shed,
+		shards:     *shards,
 		checkpoint: *checkpoint,
 		stop:       &stop,
 	}
@@ -184,6 +192,7 @@ func run(cfg runConfig) error {
 	opts := core.Options{
 		M:              cfg.m,
 		Budget:         cfg.budget,
+		Shards:         cfg.shards,
 		CheckpointPath: cfg.checkpoint,
 	}
 	if cfg.adaptive {
@@ -282,6 +291,12 @@ func run(cfg runConfig) error {
 	if d.Dropped+d.Late > 0 || cfg.budget > 0 {
 		fmt.Printf("degradation: offered %d = processed %d + dropped %d + late %d (shedding rate %.2f%%)\n",
 			d.Offered, d.Processed, d.Dropped, d.Late, 100*d.SheddingRate())
+	}
+	if eng.NumShards() > 1 && cfg.budget > 0 {
+		for i, sd := range eng.ShardDegradations() {
+			fmt.Printf("  shard %d: offered %d = processed %d + dropped %d + late %d\n",
+				i, sd.Offered, sd.Processed, sd.Dropped, sd.Late)
+		}
 	}
 	if ordered != nil {
 		fmt.Printf("late records dropped by the reorder window: %d\n", ordered.Late())

@@ -46,12 +46,15 @@ func TestRunEngine(t *testing.T) {
 	if err := run(cfg); err != nil {
 		t.Fatal(err)
 	}
-	// Overload control with both shedding policies.
+	// Overload control with both shedding policies, single and sharded:
+	// one global budget either way.
 	for _, shed := range []string{"droptail", "uniform"} {
-		cfg := testConfig(trace, sqls)
-		cfg.budget, cfg.shed = 2.5, shed
-		if err := run(cfg); err != nil {
-			t.Fatalf("%s: %v", shed, err)
+		for _, shards := range []int{0, 4} {
+			cfg := testConfig(trace, sqls)
+			cfg.budget, cfg.shed, cfg.shards = 2.5, shed, shards
+			if err := run(cfg); err != nil {
+				t.Fatalf("%s shards=%d: %v", shed, shards, err)
+			}
 		}
 	}
 }

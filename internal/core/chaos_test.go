@@ -344,6 +344,102 @@ func TestChaosKillRestore(t *testing.T) {
 	}
 }
 
+// assertShardLedgers checks the sharded accounting invariants: every
+// per-shard ledger satisfies the identity on its own, and the per-shard
+// ledgers sum exactly to the global ledger — per closed epoch and
+// cumulatively.
+func assertShardLedgers(t *testing.T, e *Engine) {
+	t.Helper()
+	epochs := e.EpochDegradations()
+	shardEpochs := e.ShardEpochDegradations()
+	if len(shardEpochs) != len(epochs) {
+		t.Fatalf("per-shard history covers %d epochs; global history %d", len(shardEpochs), len(epochs))
+	}
+	for i, global := range epochs {
+		var sum Degradation
+		for _, sd := range shardEpochs[i] {
+			if sd.Offered != sd.Processed+sd.Dropped+sd.Late {
+				t.Errorf("epoch %d shard ledger broken: %+v", global.Epoch, sd)
+			}
+			sum.add(sd)
+		}
+		if sum.Offered != global.Offered || sum.Processed != global.Processed ||
+			sum.Dropped != global.Dropped || sum.Late != global.Late {
+			t.Errorf("epoch %d: shard ledgers sum to %+v; global ledger %+v", global.Epoch, sum, global)
+		}
+	}
+	var cumSum Degradation
+	for _, sd := range e.ShardDegradations() {
+		if sd.Offered != sd.Processed+sd.Dropped+sd.Late {
+			t.Errorf("cumulative shard ledger broken: %+v", sd)
+		}
+		cumSum.add(sd)
+	}
+	total := e.Stats().Degradation
+	if cumSum.Offered != total.Offered || cumSum.Processed != total.Processed ||
+		cumSum.Dropped != total.Dropped || cumSum.Late != total.Late {
+		t.Errorf("cumulative shard ledgers sum to %+v; global %+v", cumSum, total)
+	}
+}
+
+// shedPolicyFor builds a fresh policy instance per engine: stateful
+// policies (UniformShed) must never be shared between runs.
+func shedPolicyFor(name string) ShedPolicy {
+	if name == "uniform" {
+		return NewUniformShed(0.5, 99)
+	}
+	return DropTail{}
+}
+
+// TestChaosShardedLedger extends the chaos suite to the sharded engine:
+// under injected faults (regressions, duplicates, bursts) and overload
+// shedding, at every shard count, the per-shard ledgers must sum to the
+// global ledger and the identity must hold on every epoch.
+func TestChaosShardedLedger(t *testing.T) {
+	recs, groups := testWorkload(t, 30000)
+	src := stream.NewChaosSource(stream.NewSliceSource(recs), stream.ChaosOptions{
+		Seed:         5,
+		RegressEvery: 90, RegressBy: 15,
+		DuplicateEvery: 70,
+		BurstEvery:     150, BurstLen: 40,
+	})
+	chaotic, err := stream.Collect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, policy := range []string{"droptail", "uniform"} {
+		for _, n := range []int{1, 2, 4, 8} {
+			t.Run(fmt.Sprintf("%s/shards=%d", policy, n), func(t *testing.T) {
+				e, err := New(pairSQL, groups, Options{
+					M: 8000, Seed: 3, Shards: n,
+					Budget: 900, Shed: shedPolicyFor(policy),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := e.Run(stream.NewSliceSource(chaotic)); err != nil {
+					t.Fatal(err)
+				}
+				assertLedger(t, e, uint64(len(chaotic)))
+				d := e.Stats().Degradation
+				if d.Dropped == 0 || d.Late == 0 {
+					t.Errorf("chaos run saw no shedding (%d) or no late records (%d)", d.Dropped, d.Late)
+				}
+				if n > 1 {
+					assertShardLedgers(t, e)
+					var routed uint64
+					for _, p := range e.ShardPositions() {
+						routed += p
+					}
+					if routed != uint64(len(chaotic)) {
+						t.Errorf("shard positions sum to %d; %d records offered", routed, len(chaotic))
+					}
+				}
+			})
+		}
+	}
+}
+
 // TestChaosEverything turns every fault on at once — regressions,
 // duplicates, bursts, overload shedding, sink failures, and a mid-epoch
 // kill+restore — and checks the one invariant that must survive all of

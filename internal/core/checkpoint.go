@@ -34,16 +34,29 @@ import (
 // workload hash covers the query relations, epoch length, aggregates, M,
 // and seed, so a checkpoint can only be restored into an engine built
 // for the same workload.
+//
+// Version 2 appends, after the rows: the shed-policy state words (for
+// policies implementing ShedPolicyState — UniformShed's EWMA rate and RNG
+// position), the measured per-relation flow lengths the adaptive planner
+// runs on, and the sharded-deployment state (per-shard budget-split
+// weights, stream positions, cumulative ledgers, and the per-epoch
+// per-shard ledger history). Together these make a killed
+// sharded-and-shedding run resume byte-identically. Version 1 checkpoints
+// still load (the v2 section simply defaults to fresh state); the engine
+// always writes version 2.
 
 const (
-	ckptMagic   = "MAGK"
-	ckptVersion = 1
+	ckptMagic     = "MAGK"
+	ckptVersion   = 2
+	ckptVersionV1 = 1
 
 	// Sanity caps on untrusted length fields: a corrupt header must fail
 	// cleanly, not demand gigabytes.
-	ckptMaxHistory = 1 << 24
-	ckptMaxGroups  = 1 << 20
-	ckptMaxRows    = 1 << 28
+	ckptMaxHistory   = 1 << 24
+	ckptMaxGroups    = 1 << 20
+	ckptMaxRows      = 1 << 28
+	ckptMaxShedWords = 1 << 10
+	ckptMaxShards    = 1 << 16
 )
 
 // ErrBadCheckpoint reports a malformed or mismatched checkpoint.
@@ -68,10 +81,17 @@ func (e *Engine) workloadHash() uint64 {
 	return h.Sum64()
 }
 
-// Checkpoint serializes the engine state. Call only at an epoch boundary
-// (the engine's own CheckpointPath writes satisfy this by construction);
-// mid-epoch LFTA table contents are not captured.
+// Checkpoint serializes the engine state in the current (v2) format.
+// Call only at an epoch boundary (the engine's own CheckpointPath writes
+// satisfy this by construction); mid-epoch LFTA table contents are not
+// captured.
 func (e *Engine) Checkpoint(w io.Writer) error {
+	return e.checkpointVersion(w, ckptVersion)
+}
+
+// checkpointVersion writes the checkpoint in the requested format
+// version; tests use it to produce v1 images for read-compatibility.
+func (e *Engine) checkpointVersion(w io.Writer, version uint8) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(ckptMagic); err != nil {
 		return err
@@ -89,7 +109,7 @@ func (e *Engine) Checkpoint(w io.Writer) error {
 		le(d.Dropped)
 		le(d.Late)
 	}
-	le(uint8(ckptVersion))
+	le(version)
 	le(e.workloadHash())
 	le(e.consumed)
 	le(uint64(e.stats.Epochs))
@@ -133,6 +153,44 @@ func (e *Engine) Checkpoint(w io.Writer) error {
 		le(uint8(len(r.Aggs)))
 		for _, a := range r.Aggs {
 			le(uint64(a))
+		}
+	}
+	if version >= 2 {
+		// Shed-policy state: the mutable words a stateful policy needs to
+		// resume byte-identically (empty for DropTail / no budget).
+		var words []uint64
+		if carrier, ok := e.shedder.(ShedPolicyState); ok {
+			words = carrier.ShedState()
+		}
+		le(uint32(len(words)))
+		for _, wd := range words {
+			le(wd)
+		}
+		// Measured flow lengths (adaptive planning input).
+		flowRels := make([]attr.Set, 0, len(e.flowLens))
+		for rel := range e.flowLens {
+			flowRels = append(flowRels, rel)
+		}
+		attr.SortSets(flowRels)
+		le(uint32(len(flowRels)))
+		for _, rel := range flowRels {
+			le(uint32(rel))
+			le(math.Float64bits(e.flowLens[rel]))
+		}
+		// Sharded-deployment state.
+		le(uint32(e.nShards))
+		if e.nShards > 1 {
+			for i := 0; i < e.nShards; i++ {
+				le(math.Float64bits(e.shardWeight[i]))
+				le(e.shardRouted[i])
+				writeDeg(e.shardCum[i])
+			}
+			le(uint32(len(e.shardHist)))
+			for _, epoch := range e.shardHist {
+				for i := range epoch {
+					writeDeg(epoch[i])
+				}
+			}
 		}
 	}
 	if err != nil {
@@ -198,7 +256,7 @@ func (e *Engine) Restore(r io.Reader) (consumed uint64, err error) {
 	}
 	var version uint8
 	le(&version)
-	if rerr == nil && version != ckptVersion {
+	if rerr == nil && version != ckptVersionV1 && version != ckptVersion {
 		return 0, fmt.Errorf("%w: unsupported version %d", ErrBadCheckpoint, version)
 	}
 	var hash uint64
@@ -264,16 +322,31 @@ func (e *Engine) Restore(r io.Reader) (consumed uint64, err error) {
 		le(&rel)
 		le(&epoch)
 		le(&keyLen)
-		if rerr == nil && int(keyLen) > attr.MaxAttrs {
-			return 0, fmt.Errorf("%w: row key arity %d", ErrBadCheckpoint, keyLen)
+		if rerr == nil {
+			// Rows must belong to the workload with the query's exact
+			// arity: the aggregator's key packing assumes both.
+			rs := attr.Set(rel)
+			known := false
+			for _, q := range e.queries {
+				if q == rs {
+					known = true
+					break
+				}
+			}
+			if !known {
+				return 0, fmt.Errorf("%w: row for %v, not a workload query", ErrBadCheckpoint, rs)
+			}
+			if int(keyLen) != rs.Size() {
+				return 0, fmt.Errorf("%w: row key arity %d for %v", ErrBadCheckpoint, keyLen, rs)
+			}
 		}
 		key := make([]uint32, keyLen)
 		for j := range key {
 			le(&key[j])
 		}
 		le(&aggLen)
-		if rerr == nil && int(aggLen) > 64 {
-			return 0, fmt.Errorf("%w: row aggregate arity %d", ErrBadCheckpoint, aggLen)
+		if rerr == nil && int(aggLen) != len(e.aggs) {
+			return 0, fmt.Errorf("%w: row has %d aggregates, workload has %d", ErrBadCheckpoint, aggLen, len(e.aggs))
 		}
 		aggs := make([]int64, aggLen)
 		for j := range aggs {
@@ -283,20 +356,128 @@ func (e *Engine) Restore(r io.Reader) (consumed uint64, err error) {
 		}
 		rows = append(rows, ckptRow{rel: attr.Set(rel), epoch: epoch, key: key, aggs: aggs})
 	}
+
+	// Version-2 section: shed-policy state, measured flow lengths, and the
+	// sharded-deployment state. A v1 image stops here and every v2 field
+	// defaults to fresh state.
+	var shedWords []uint64
+	flows := map[attr.Set]float64{}
+	var nCkptShards uint32
+	var shardWeights []float64
+	var shardRouted []uint64
+	var shardCum []Degradation
+	var shardHist [][]Degradation
+	if rerr == nil && version >= 2 {
+		var nWords uint32
+		le(&nWords)
+		if rerr == nil && nWords > ckptMaxShedWords {
+			return 0, fmt.Errorf("%w: implausible shed-state size %d", ErrBadCheckpoint, nWords)
+		}
+		for i := uint32(0); rerr == nil && i < nWords; i++ {
+			var wd uint64
+			le(&wd)
+			shedWords = append(shedWords, wd)
+		}
+		var nFlows uint32
+		le(&nFlows)
+		if rerr == nil && nFlows > ckptMaxGroups {
+			return 0, fmt.Errorf("%w: implausible flow-length count %d", ErrBadCheckpoint, nFlows)
+		}
+		for i := uint32(0); rerr == nil && i < nFlows; i++ {
+			var rel uint32
+			var bits uint64
+			le(&rel)
+			le(&bits)
+			l := math.Float64frombits(bits)
+			if rerr == nil && (math.IsNaN(l) || math.IsInf(l, 0) || l < 0) {
+				return 0, fmt.Errorf("%w: flow length %v for %v", ErrBadCheckpoint, l, attr.Set(rel))
+			}
+			flows[attr.Set(rel)] = l
+		}
+		le(&nCkptShards)
+		if rerr == nil && nCkptShards > ckptMaxShards {
+			return 0, fmt.Errorf("%w: implausible shard count %d", ErrBadCheckpoint, nCkptShards)
+		}
+		if rerr == nil && nCkptShards > 1 {
+			for i := uint32(0); rerr == nil && i < nCkptShards; i++ {
+				var bits uint64
+				le(&bits)
+				w := math.Float64frombits(bits)
+				if rerr == nil && (math.IsNaN(w) || math.IsInf(w, 0) || w <= 0 || w > 1) {
+					return 0, fmt.Errorf("%w: shard weight %v out of range", ErrBadCheckpoint, w)
+				}
+				shardWeights = append(shardWeights, w)
+				var routed uint64
+				le(&routed)
+				shardRouted = append(shardRouted, routed)
+				shardCum = append(shardCum, readDeg())
+			}
+			var nShardHist uint32
+			le(&nShardHist)
+			if rerr == nil && nShardHist > ckptMaxHistory {
+				return 0, fmt.Errorf("%w: implausible shard history length %d", ErrBadCheckpoint, nShardHist)
+			}
+			for i := uint32(0); rerr == nil && i < nShardHist; i++ {
+				epoch := make([]Degradation, nCkptShards)
+				for j := range epoch {
+					epoch[j] = readDeg()
+				}
+				shardHist = append(shardHist, epoch)
+			}
+		}
+	}
 	if rerr != nil {
 		return 0, fmt.Errorf("%w: truncated: %v", ErrBadCheckpoint, rerr)
 	}
 
-	// Validate the restored group counts cover the feeding graph, then
-	// rebuild the plan from them.
+	// Cross-checks against the engine's own configuration before any state
+	// is mutated: the group counts must cover (and be sane for) the
+	// feeding graph, the shard count must match the deployment, and a
+	// stateful shed image needs a policy able to absorb it.
 	for _, rel := range e.graph.Relations() {
-		if _, err := groups.Get(rel); err != nil {
+		g, err := groups.Get(rel)
+		if err != nil {
+			return 0, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+		}
+		if math.IsNaN(g) || math.IsInf(g, 0) || g <= 0 {
+			return 0, fmt.Errorf("%w: group count %v for %v", ErrBadCheckpoint, g, rel)
+		}
+	}
+	if version >= 2 && int(nCkptShards) != e.nShards && !(nCkptShards <= 1 && e.nShards <= 1) {
+		return 0, fmt.Errorf("%w: checkpoint has %d shards, engine runs %d", ErrBadCheckpoint, nCkptShards, e.NumShards())
+	}
+	var shedCarrier ShedPolicyState
+	if len(shedWords) > 0 {
+		carrier, ok := e.shedder.(ShedPolicyState)
+		if !ok {
+			return 0, fmt.Errorf("%w: checkpoint carries shed-policy state but the engine's policy is stateless", ErrBadCheckpoint)
+		}
+		shedCarrier = carrier
+	}
+
+	e.groups = groups
+	if len(flows) > 0 {
+		e.installFlowLens(flows)
+	}
+	if err := e.replan(); err != nil {
+		return 0, err
+	}
+	if shedCarrier != nil {
+		if err := shedCarrier.RestoreShedState(shedWords); err != nil {
 			return 0, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
 		}
 	}
-	e.groups = groups
-	if err := e.replan(); err != nil {
-		return 0, err
+	if e.nShards > 1 && len(shardWeights) == e.nShards {
+		// The weights restore bit-exactly (no renormalization): the
+		// resumed run must slice the budget exactly as the crashed run
+		// would have, or the byte-identity of its shed decisions breaks.
+		copy(e.shardWeight, shardWeights)
+		copy(e.shardRouted, shardRouted)
+		copy(e.shardCum, shardCum)
+		e.shardHist = shardHist
+		for i := range e.shardDeg {
+			e.shardDeg[i] = Degradation{}
+		}
 	}
 	e.totalOps = ops // the fresh runtime's counters are zero
 	e.consumed = consumed

@@ -18,6 +18,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/feedgraph"
 	"repro/internal/gen"
+	"repro/internal/hashtab"
 	"repro/internal/hfta"
 	"repro/internal/lfta"
 	"repro/internal/query"
@@ -91,11 +92,27 @@ type Options struct {
 	PeakFix PeakMethod   // repair method when PeakEu is set
 	Adapt   AdaptOptions // adaptive re-planning
 
+	// Shards partitions the LFTA level into this many independent
+	// instances (Gigascope's one-LFTA-per-interface deployment), each
+	// owning its own hash tables sized by the same allocation. Records
+	// route by a hash of their full attribute vector, so all records of a
+	// group land on one shard and the HFTA merge stays exact. 0 or 1 runs
+	// the single-runtime fast path.
+	//
+	// Overload control is unified across shards: Budget is one global
+	// per-time-unit budget whose slices are split across shards
+	// (demand-proportionally, reconciled at every epoch boundary), and the
+	// engine keeps one ledger per shard plus the global one — the
+	// per-shard ledgers sum exactly to the global
+	// Offered == Processed + Dropped + Late identity on every epoch.
+	Shards int
+
 	// Budget enables overload control: the LFTA may spend at most this
 	// many weighted operation units (Params.C1 per probe, Params.C2 per
 	// transfer) per stream time unit; records beyond it are shed by the
 	// Shed policy and counted per epoch. 0 disables overload control and
-	// keeps the hot path untouched.
+	// keeps the hot path untouched. With Shards > 1 the budget is split
+	// across shards and reconciled per epoch; see Shards.
 	Budget float64
 
 	// Shed picks which records to sacrifice under overload; nil with a
@@ -156,8 +173,15 @@ type Engine struct {
 	groups feedgraph.GroupCounts
 	opts   Options
 
+	// flowLens holds the last epoch's measured per-relation flow lengths
+	// (adaptive mode); it backs opts.Params.FlowLen and is carried by
+	// checkpoint format v2 so a restored engine re-plans from the same
+	// measurements the crashed one used.
+	flowLens map[attr.Set]float64
+
 	plan  *choose.Result
-	rt    *lfta.Runtime
+	rt    *lfta.Runtime // single-runtime path (nShards == 0)
+	srt   *lfta.Sharded // sharded path (nShards > 1); exactly one of rt/srt is set
 	agg   *hfta.Aggregator
 	clock *stream.Clock
 
@@ -176,6 +200,20 @@ type Engine struct {
 	shedTick    uint32
 	shedAvail   float64
 	shedStarted bool
+
+	// Sharded deployment state (nShards > 1): the per-shard slices of the
+	// global budget for the current time unit, the demand-proportional
+	// split weights (reconciled at every epoch boundary), the per-shard
+	// ledgers of the open epoch, their cumulative totals, the per-epoch
+	// per-shard ledger history, and the per-shard stream positions
+	// (records routed to each shard since construction or restore).
+	nShards     int
+	shardAvail  []float64
+	shardWeight []float64
+	shardDeg    []Degradation
+	shardCum    []Degradation
+	shardHist   [][]Degradation
+	shardRouted []uint64
 
 	// Degradation accounting: the open epoch's counters, the closed
 	// epochs' history, and the cumulative total.
@@ -264,6 +302,9 @@ func NewFromSpecs(specs []*query.Spec, groups feedgraph.GroupCounts, opts Option
 	if opts.PeakRepairEpochs > 0 && opts.PeakEu <= 0 {
 		return nil, fmt.Errorf("core: PeakRepairEpochs requires a PeakEu constraint")
 	}
+	if opts.Shards < 0 {
+		return nil, fmt.Errorf("core: shard count must be non-negative, got %d", opts.Shards)
+	}
 
 	e := &Engine{
 		specs:     specs,
@@ -273,6 +314,17 @@ func NewFromSpecs(specs []*query.Spec, groups feedgraph.GroupCounts, opts Option
 		opts:      opts,
 		shedder:   opts.Shed,
 		specByRel: make(map[attr.Set]*query.Spec, len(specs)),
+	}
+	if opts.Shards > 1 {
+		e.nShards = opts.Shards
+		e.shardAvail = make([]float64, e.nShards)
+		e.shardWeight = make([]float64, e.nShards)
+		for i := range e.shardWeight {
+			e.shardWeight[i] = 1 / float64(e.nShards)
+		}
+		e.shardDeg = make([]Degradation, e.nShards)
+		e.shardCum = make([]Degradation, e.nShards)
+		e.shardRouted = make([]uint64, e.nShards)
 	}
 	for _, s := range specs {
 		e.queries = append(e.queries, s.GroupBy)
@@ -350,10 +402,6 @@ func (e *Engine) adopt(res *choose.Result) error {
 		}
 		e.agg = agg
 	}
-	rt, err := lfta.New(res.Config, res.Alloc, e.aggs, e.opts.Seed, nil)
-	if err != nil {
-		return err
-	}
 	// Batched transfers: evictions reach the HFTA through the runtime's
 	// arena-backed buffer instead of a per-eviction sink call, keeping the
 	// record hot path allocation-free. FlushEpoch drains the buffer, so
@@ -362,16 +410,72 @@ func (e *Engine) adopt(res *choose.Result) error {
 	if e.opts.WrapBatchSink != nil {
 		sink = e.opts.WrapBatchSink(sink)
 	}
-	rt.SetBatchSink(sink, 0)
-	if e.rt != nil {
-		ops := e.rt.Ops()
-		e.totalOps.Probes += ops.Probes
-		e.totalOps.Transfers += ops.Transfers
-		e.totalOps.Records += ops.Records
+	if e.nShards > 1 {
+		srt, err := lfta.NewSharded(res.Config, res.Alloc, e.aggs, e.opts.Seed, nil, e.nShards)
+		if err != nil {
+			return err
+		}
+		srt.SetBatchSink(sink, 0)
+		e.retireRuntimeOps()
+		e.plan, e.srt = res, srt
+	} else {
+		rt, err := lfta.New(res.Config, res.Alloc, e.aggs, e.opts.Seed, nil)
+		if err != nil {
+			return err
+		}
+		rt.SetBatchSink(sink, 0)
+		e.retireRuntimeOps()
+		e.plan, e.rt = res, rt
 	}
-	e.plan, e.rt = res, rt
 	e.stats.ModeledCost = res.Cost
 	return nil
+}
+
+// retireRuntimeOps folds the outgoing runtime's counters into the
+// cross-replan totals before a new runtime is swapped in.
+func (e *Engine) retireRuntimeOps() {
+	if e.rt == nil && e.srt == nil {
+		return
+	}
+	ops := e.runtimeOps()
+	e.totalOps.Probes += ops.Probes
+	e.totalOps.Transfers += ops.Transfers
+	e.totalOps.Records += ops.Records
+}
+
+// runtimeOps returns the active runtime's cumulative operation counts,
+// whichever level shape is deployed.
+func (e *Engine) runtimeOps() lfta.Ops {
+	if e.srt != nil {
+		return e.srt.Ops()
+	}
+	return e.rt.Ops()
+}
+
+// runtimeFlush flushes the active runtime's tables at an epoch boundary.
+func (e *Engine) runtimeFlush() {
+	if e.srt != nil {
+		e.srt.FlushEpoch()
+		return
+	}
+	e.rt.FlushEpoch()
+}
+
+// runtimeTableStats returns merged per-relation table counters.
+func (e *Engine) runtimeTableStats() map[attr.Set]hashtab.Stats {
+	if e.srt != nil {
+		return e.srt.TableStats()
+	}
+	return e.rt.TableStats()
+}
+
+// runtimeResetTableStats zeroes the per-table counters.
+func (e *Engine) runtimeResetTableStats() {
+	if e.srt != nil {
+		e.srt.ResetTableStats()
+		return
+	}
+	e.rt.ResetTableStats()
 }
 
 // replan plans and adopts unconditionally (initial setup).
@@ -412,6 +516,12 @@ func (e *Engine) Process(rec stream.Record) error {
 		e.consumed++
 		e.deg.Offered++
 		e.deg.Late++
+		if e.srt != nil {
+			s := e.srt.ShardOf(&rec)
+			e.shardRouted[s]++
+			e.shardDeg[s].Offered++
+			e.shardDeg[s].Late++
+		}
 		return nil
 	}
 	if rolled {
@@ -425,7 +535,11 @@ func (e *Engine) Process(rec stream.Record) error {
 	}
 	e.consumed++
 	e.deg.Offered++
-	if e.opts.Budget > 0 {
+	if e.srt != nil {
+		if !e.processSharded(rec, epoch) {
+			return nil
+		}
+	} else if e.opts.Budget > 0 {
 		if !e.admit(rec) {
 			e.deg.Dropped++
 			return nil
@@ -435,15 +549,59 @@ func (e *Engine) Process(rec stream.Record) error {
 		after := e.rt.Ops()
 		e.shedAvail -= float64(after.Probes-before.Probes)*e.opts.Params.C1 +
 			float64(after.Transfers-before.Transfers)*e.opts.Params.C2
+		e.deg.Processed++
 	} else {
 		e.rt.Process(rec, epoch)
+		e.deg.Processed++
 	}
-	e.deg.Processed++
 	for rel, h := range e.sketches {
 		e.sketchBuf = rel.Project(rec.Attrs, e.sketchBuf)
 		h.AddKey(e.sketchBuf)
 	}
 	return nil
+}
+
+// processSharded routes one on-time record to its shard, charging the
+// shard's slice of the global budget and keeping the per-shard ledger in
+// lockstep with the global one. It reports whether the record was
+// processed (false = shed, already counted as Dropped in both ledgers).
+//
+// Admission runs in the single-threaded routing path, in stream order, so
+// a stateful shed policy (UniformShed's RNG) draws in a deterministic
+// sequence regardless of shard count — the property the checkpoint-v2
+// byte-identical resume guarantee rests on.
+func (e *Engine) processSharded(rec stream.Record, epoch uint32) bool {
+	s := e.srt.ShardOf(&rec)
+	e.shardRouted[s]++
+	sd := &e.shardDeg[s]
+	sd.Offered++
+	if e.opts.Budget > 0 {
+		// Replenish every shard's slice when stream time advances (never
+		// on a regression; see admit).
+		if !e.shedStarted || rec.Time > e.shedTick {
+			e.shedStarted = true
+			e.shedTick = rec.Time
+			for i := range e.shardAvail {
+				e.shardAvail[i] = e.opts.Budget * e.shardWeight[i]
+			}
+		}
+		if !e.shedder.Admit(rec, e.shardAvail[s] <= 0) {
+			e.deg.Dropped++
+			sd.Dropped++
+			return false
+		}
+		rt := e.srt.Shard(s)
+		before := rt.Ops()
+		rt.Process(rec, epoch)
+		after := rt.Ops()
+		e.shardAvail[s] -= float64(after.Probes-before.Probes)*e.opts.Params.C1 +
+			float64(after.Transfers-before.Transfers)*e.opts.Params.C2
+	} else {
+		e.srt.Shard(s).Process(rec, epoch)
+	}
+	e.deg.Processed++
+	sd.Processed++
+	return true
 }
 
 // admit replenishes the per-time-unit budget when stream time advances
@@ -487,19 +645,75 @@ func (e *Engine) closeEpochState() Degradation {
 	closed := e.deg
 	e.deg = Degradation{}
 	e.degInit = false
-	flushBefore := e.rt.Ops()
-	e.rt.FlushEpoch()
-	flushAfter := e.rt.Ops()
+	flushBefore := e.runtimeOps()
+	e.runtimeFlush()
+	flushAfter := e.runtimeOps()
 	e.lastFlushCost = float64(flushAfter.Probes-flushBefore.Probes)*e.opts.Params.C1 +
 		float64(flushAfter.Transfers-flushBefore.Transfers)*e.opts.Params.C2
 	e.stats.Epochs++
 	e.degHist = append(e.degHist, closed)
 	e.cumDeg.add(closed)
+	if e.srt != nil {
+		e.closeShardEpoch(closed.Epoch)
+	}
 	if e.shedder != nil {
 		e.shedder.EpochEnd(closed)
 	}
 	e.emitEpoch(closed)
 	return closed
+}
+
+// closeShardEpoch closes the per-shard ledgers alongside the global one:
+// each shard's open counters are stamped with the closed epoch, appended
+// to the per-shard history, folded into the cumulative per-shard totals,
+// and reset — then the budget split is reconciled against the epoch's
+// measured per-shard demand. The per-shard ledgers always sum to the
+// global ledger, per epoch and cumulatively.
+func (e *Engine) closeShardEpoch(epoch uint32) {
+	epochShards := make([]Degradation, e.nShards)
+	for i := range e.shardDeg {
+		e.shardDeg[i].Epoch = epoch
+		epochShards[i] = e.shardDeg[i]
+		e.shardCum[i].add(e.shardDeg[i])
+		e.shardCum[i].Epoch = epoch
+		e.shardDeg[i] = Degradation{}
+	}
+	e.shardHist = append(e.shardHist, epochShards)
+	e.reconcileBudget(epochShards)
+}
+
+// reconcileBudget re-splits the global per-time-unit budget across shards
+// in proportion to the closed epoch's measured per-shard demand (EWMA
+// over offered records, floored so no shard starves). A skewed partition
+// therefore stops wasting budget on idle shards after one epoch, while a
+// uniform stream keeps the even split. Deterministic: the weights are a
+// pure function of the stream, so they replay identically and are carried
+// by checkpoint format v2.
+func (e *Engine) reconcileBudget(epochShards []Degradation) {
+	if e.opts.Budget <= 0 {
+		return
+	}
+	var total float64
+	for i := range epochShards {
+		total += float64(epochShards[i].Offered)
+	}
+	if total == 0 {
+		return
+	}
+	const alpha = 0.5 // EWMA weight of the newest epoch's demand
+	floor := 0.1 / float64(e.nShards)
+	var sum float64
+	for i := range e.shardWeight {
+		w := alpha*(float64(epochShards[i].Offered)/total) + (1-alpha)*e.shardWeight[i]
+		if w < floor {
+			w = floor
+		}
+		e.shardWeight[i] = w
+		sum += w
+	}
+	for i := range e.shardWeight {
+		e.shardWeight[i] /= sum
+	}
 }
 
 // maybePeakRepair applies the configured peak-load repair to the live
@@ -616,12 +830,20 @@ func (e *Engine) refreshGroupEstimates(epoch uint32) {
 	// Flow lengths measured per raw relation feed the rate model. The
 	// table counters are reset afterwards so the next measurement covers
 	// one epoch, not the whole history.
-	stats := e.rt.TableStats()
+	stats := e.runtimeTableStats()
 	flow := make(map[attr.Set]float64, len(stats))
 	for rel, st := range stats {
 		flow[rel] = st.AvgFlowLength()
 	}
-	e.rt.ResetTableStats()
+	e.runtimeResetTableStats()
+	e.installFlowLens(flow)
+}
+
+// installFlowLens records measured flow lengths and wires them into the
+// cost model; checkpoint format v2 carries the map so a restored engine
+// re-plans from the same measurements.
+func (e *Engine) installFlowLens(flow map[attr.Set]float64) {
+	e.flowLens = flow
 	e.opts.Params.FlowLen = func(rel attr.Set) float64 {
 		if l, ok := flow[rel]; ok {
 			return l
@@ -737,14 +959,64 @@ func (e *Engine) AllResults() []hfta.Row {
 // Epochs lists the epochs with results for a query.
 func (e *Engine) Epochs(rel attr.Set) []uint32 { return e.agg.Epochs(rel) }
 
-// Ops returns cumulative LFTA operation counts, across re-plans.
+// Ops returns cumulative LFTA operation counts, across re-plans and
+// summed over shards.
 func (e *Engine) Ops() lfta.Ops {
-	ops := e.rt.Ops()
+	ops := e.runtimeOps()
 	return lfta.Ops{
 		Probes:    e.totalOps.Probes + ops.Probes,
 		Transfers: e.totalOps.Transfers + ops.Transfers,
 		Records:   e.totalOps.Records + ops.Records,
 	}
+}
+
+// NumShards returns the number of LFTA shards the engine runs (1 for the
+// single-runtime deployment).
+func (e *Engine) NumShards() int {
+	if e.nShards > 1 {
+		return e.nShards
+	}
+	return 1
+}
+
+// ShardDegradations returns each shard's cumulative overload accounting —
+// closed epochs plus the open one. The entries sum to Stats().Degradation.
+// Nil when the engine runs unsharded.
+func (e *Engine) ShardDegradations() []Degradation {
+	if e.nShards <= 1 {
+		return nil
+	}
+	out := make([]Degradation, e.nShards)
+	for i := range out {
+		out[i] = e.shardCum[i]
+		out[i].add(e.shardDeg[i])
+	}
+	return out
+}
+
+// ShardEpochDegradations returns the per-shard ledgers of every closed
+// epoch, oldest first; each inner slice has one entry per shard and sums
+// exactly to the corresponding EpochDegradations entry. Nil when the
+// engine runs unsharded.
+func (e *Engine) ShardEpochDegradations() [][]Degradation {
+	if e.nShards <= 1 {
+		return nil
+	}
+	out := make([][]Degradation, len(e.shardHist))
+	for i, epoch := range e.shardHist {
+		out[i] = append([]Degradation(nil), epoch...)
+	}
+	return out
+}
+
+// ShardPositions returns the number of records routed to each shard since
+// construction or restore (including late and shed ones) — the per-shard
+// stream positions checkpoint format v2 records. Nil when unsharded.
+func (e *Engine) ShardPositions() []uint64 {
+	if e.nShards <= 1 {
+		return nil
+	}
+	return append([]uint64(nil), e.shardRouted...)
 }
 
 // Stats returns execution statistics. Stats.Degradation is cumulative
@@ -802,7 +1074,7 @@ func (e *Engine) Diagnostics() (*Diagnostics, error) {
 	if err != nil {
 		return nil, err
 	}
-	stats := e.rt.TableStats()
+	stats := e.runtimeTableStats()
 	var out []TableDiagnostic
 	for _, r := range e.plan.Config.Rels {
 		st := stats[r]

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/feedgraph"
+	"repro/internal/gen"
+	"repro/internal/stream"
+)
+
+// The checkpoint decoder parses machine state from a file that may be
+// truncated, corrupted, or adversarial. Arbitrary bytes must never panic
+// it: they either restore cleanly or fail with ErrBadCheckpoint.
+
+// fuzzSQL is a deliberately tiny workload so the fuzzer can construct a
+// fresh engine per input cheaply.
+var fuzzSQL = []string{
+	"select A, B, count(*) as cnt from R group by A, B, time/10",
+	"select B, C, count(*) as cnt from R group by B, C, time/10",
+}
+
+func fuzzWorkload(tb testing.TB) ([]stream.Record, feedgraph.GroupCounts) {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(7))
+	schema := stream.MustSchema(3)
+	u, err := gen.UniformUniverse(rng, schema, 60, 12)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	recs := gen.Uniform(rng, u, 2000, 50)
+	queries := []attr.Set{attr.MustParseSet("AB"), attr.MustParseSet("BC")}
+	groups, err := EstimateGroups(recs, queries)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return recs, groups
+}
+
+// fuzzOptions configures the engine whose workload hash the images carry:
+// sharded and shedding with a stateful policy, so the full v2 section
+// (shed words, shard weights, ledgers, history) is exercised.
+func fuzzOptions() Options {
+	return Options{M: 600, Seed: 3, Shards: 2, Budget: 400, Shed: NewUniformShed(0.5, 7)}
+}
+
+// fuzzImages runs the workload and returns a matching v2 and v1 image
+// written at the same state.
+func fuzzImages(tb testing.TB) (v2, v1 []byte) {
+	tb.Helper()
+	recs, groups := fuzzWorkload(tb)
+	e, err := New(fuzzSQL, groups, fuzzOptions())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := e.Process(r); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	var b2, b1 bytes.Buffer
+	if err := e.Checkpoint(&b2); err != nil {
+		tb.Fatal(err)
+	}
+	if err := e.checkpointVersion(&b1, ckptVersionV1); err != nil {
+		tb.Fatal(err)
+	}
+	return b2.Bytes(), b1.Bytes()
+}
+
+// fuzzSeeds enumerates the seed inputs shared by the fuzz target and the
+// checked-in corpus generator.
+func fuzzSeeds(tb testing.TB) [][]byte {
+	tb.Helper()
+	v2, v1 := fuzzImages(tb)
+	flip := func(img []byte, off int, xor byte) []byte {
+		b := append([]byte(nil), img...)
+		b[off] ^= xor
+		return b
+	}
+	return [][]byte{
+		v2,
+		v1,
+		nil,
+		[]byte(ckptMagic),
+		[]byte("XXXX"),
+		v2[:10],                 // truncated header
+		v2[:len(v2)-5],          // truncated v2 tail
+		v1[:len(v1)-5],          // truncated v1 body
+		v2[:len(v1)],            // v2 header with the v2 section sheared off
+		flip(v2, 4, 0xff),       // mangled version byte
+		flip(v2, 5, 0xff),       // flipped workload hash
+		flip(v1, 4, 3),          // v1 image relabeled as an unknown version
+		flip(v2, len(v1), 0xff), // corrupted shed-word count
+	}
+}
+
+// FuzzCheckpointDecode: arbitrary bytes fed to Restore must never panic.
+// They either fail (with ErrBadCheckpoint for anything malformed) or
+// restore an engine that can keep processing records.
+func FuzzCheckpointDecode(f *testing.F) {
+	for _, seed := range fuzzSeeds(f) {
+		f.Add(seed)
+	}
+	recs, groups := fuzzWorkload(f)
+	probe := recs[:50]
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := New(fuzzSQL, groups, fuzzOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Restore(bytes.NewReader(data)); err != nil {
+			return
+		}
+		// Whatever the decoder accepted must leave a usable engine: feed
+		// it records and drain results without panicking.
+		for _, r := range probe {
+			if err := e.Process(r); err != nil {
+				t.Fatalf("restored engine cannot process: %v", err)
+			}
+		}
+		if err := e.Finish(); err != nil {
+			t.Fatalf("restored engine cannot finish: %v", err)
+		}
+		_ = e.AllResults()
+		_ = e.Stats()
+	})
+}
+
+// TestRestoreRejectsCorruptV2 covers the v2 framing the generic corrupt
+// table (checkpoint_test.go) does not reach: the shed-state, flow-length,
+// and shard sections, plus a prefix sweep across the whole image.
+func TestRestoreRejectsCorruptV2(t *testing.T) {
+	v2, v1 := fuzzImages(t)
+	_, groups := fuzzWorkload(t)
+	fresh := func() *Engine {
+		e, err := New(fuzzSQL, groups, fuzzOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	mustReject := func(t *testing.T, data []byte) {
+		t.Helper()
+		if _, err := fresh().Restore(bytes.NewReader(data)); !errors.Is(err, ErrBadCheckpoint) {
+			t.Errorf("err = %v; want ErrBadCheckpoint", err)
+		}
+	}
+
+	// The v2 section starts where the v1 payload ends (same engine state,
+	// same prefix). Locate its fields from the known section layout.
+	v2Off := len(v1)
+	nWords := binary.LittleEndian.Uint32(v2[v2Off:])
+	if nWords != 2 {
+		t.Fatalf("expected 2 shed words (UniformShed), image has %d; update the offsets", nWords)
+	}
+	flowOff := v2Off + 4 + int(nWords)*8
+	nFlows := binary.LittleEndian.Uint32(v2[flowOff:])
+	shardOff := flowOff + 4 + int(nFlows)*12
+
+	put32 := func(img []byte, off int, v uint32) []byte {
+		b := append([]byte(nil), img...)
+		binary.LittleEndian.PutUint32(b[off:], v)
+		return b
+	}
+	put64 := func(img []byte, off int, v uint64) []byte {
+		b := append([]byte(nil), img...)
+		binary.LittleEndian.PutUint64(b[off:], v)
+		return b
+	}
+
+	t.Run("huge shed-word count", func(t *testing.T) {
+		mustReject(t, put32(v2, v2Off, 1<<31))
+	})
+	t.Run("huge flow count", func(t *testing.T) {
+		mustReject(t, put32(v2, flowOff, 1<<31))
+	})
+	t.Run("huge shard count", func(t *testing.T) {
+		mustReject(t, put32(v2, shardOff, 1<<31))
+	})
+	t.Run("shard count mismatch", func(t *testing.T) {
+		// 0 shards parses but contradicts the 2-shard engine.
+		mustReject(t, put32(v2, shardOff, 0))
+	})
+	t.Run("shard weight NaN", func(t *testing.T) {
+		mustReject(t, put64(v2, shardOff+4, math.Float64bits(math.NaN())))
+	})
+	t.Run("shed rate out of range", func(t *testing.T) {
+		// First shed word is the UniformShed rate; 2.0 is not a probability.
+		mustReject(t, put64(v2, v2Off+4, math.Float64bits(2.0)))
+	})
+	t.Run("v1 payload relabeled v2", func(t *testing.T) {
+		// Claiming version 2 obliges the image to carry the v2 section.
+		b := append([]byte(nil), v1...)
+		b[4] = ckptVersion
+		mustReject(t, b)
+	})
+
+	t.Run("prefix sweep", func(t *testing.T) {
+		// Every strict prefix is a truncation and must be rejected. Sample
+		// with a stride (plus the section boundaries) to keep it fast; the
+		// fuzz target covers the space continuously.
+		offsets := []int{0, 1, 4, 5, 12, v2Off - 1, v2Off, flowOff, shardOff, len(v2) - 1}
+		for off := 13; off < len(v2); off += 97 {
+			offsets = append(offsets, off)
+		}
+		for _, off := range offsets {
+			if off < 0 || off >= len(v2) {
+				continue
+			}
+			mustReject(t, v2[:off])
+		}
+	})
+}
+
+// TestWriteFuzzCorpus regenerates the checked-in seed corpus for
+// FuzzCheckpointDecode when run with MAGG_WRITE_CORPUS=1. The files give
+// CI's short-mode fuzz run real checkpoint framing to start from without
+// having to fuzz from scratch.
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("MAGG_WRITE_CORPUS") == "" {
+		t.Skip("set MAGG_WRITE_CORPUS=1 to regenerate the seed corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzCheckpointDecode")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, seed := range fuzzSeeds(t) {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(seed)))
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"fmt"
+	"math"
+
 	"repro/internal/stream"
 )
 
@@ -50,6 +53,20 @@ type ShedPolicy interface {
 	EpochEnd(d Degradation)
 }
 
+// ShedPolicyState is optionally implemented by shed policies whose
+// admission decisions depend on mutable state. Checkpoint format v2
+// carries the state words across a crash, so a killed-and-restored run
+// sheds exactly the records the uninterrupted run would have shed
+// (byte-identical resume). Stateless policies (DropTail) need not
+// implement it.
+type ShedPolicyState interface {
+	// ShedState returns the policy's mutable state as opaque words.
+	ShedState() []uint64
+	// RestoreShedState resets the policy to a state previously returned
+	// by ShedState; it rejects words it cannot interpret.
+	RestoreShedState(words []uint64) error
+}
+
 // DropTail is the default policy and what a NIC does at line rate: every
 // record is admitted while budget remains, and everything after
 // exhaustion is dropped. Drops concentrate at the tail of each time unit,
@@ -73,7 +90,7 @@ func (DropTail) EpochEnd(Degradation) {}
 type UniformShed struct {
 	rate  float64 // current proactive shed probability in [0, 1)
 	alpha float64 // EWMA weight of the newest epoch's observation
-	rng   func() uint64
+	x     uint64  // splitmix64 RNG position
 }
 
 // NewUniformShed returns a uniform shedder with the given EWMA weight
@@ -82,17 +99,16 @@ func NewUniformShed(alpha float64, seed uint64) *UniformShed {
 	if alpha <= 0 || alpha > 1 {
 		alpha = 0.5
 	}
-	x := seed ^ 0x5851f42d4c957f2d
-	return &UniformShed{
-		alpha: alpha,
-		rng: func() uint64 {
-			x += 0x9e3779b97f4a7c15
-			z := x
-			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-			z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-			return z ^ (z >> 31)
-		},
-	}
+	return &UniformShed{alpha: alpha, x: seed ^ 0x5851f42d4c957f2d}
+}
+
+// next advances the splitmix64 stream one step.
+func (u *UniformShed) next() uint64 {
+	u.x += 0x9e3779b97f4a7c15
+	z := u.x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 // Rate returns the current proactive shedding probability.
@@ -107,7 +123,26 @@ func (u *UniformShed) Admit(_ stream.Record, exhausted bool) bool {
 		return true
 	}
 	const scale = 1 << 53
-	return float64(u.rng()>>11)/scale >= u.rate
+	return float64(u.next()>>11)/scale >= u.rate
+}
+
+// ShedState implements ShedPolicyState: the EWMA rate and RNG position.
+func (u *UniformShed) ShedState() []uint64 {
+	return []uint64{math.Float64bits(u.rate), u.x}
+}
+
+// RestoreShedState implements ShedPolicyState.
+func (u *UniformShed) RestoreShedState(words []uint64) error {
+	if len(words) != 2 {
+		return fmt.Errorf("core: UniformShed state has %d words, want 2", len(words))
+	}
+	rate := math.Float64frombits(words[0])
+	if math.IsNaN(rate) || rate < 0 || rate > 1 {
+		return fmt.Errorf("core: UniformShed rate %v out of range", rate)
+	}
+	u.rate = rate
+	u.x = words[1]
+	return nil
 }
 
 // EpochEnd implements ShedPolicy: steer the proactive rate toward the

@@ -6,9 +6,10 @@ import (
 
 	"repro/internal/attr"
 	"repro/internal/choose"
+	"repro/internal/core"
+	"repro/internal/cost"
 	"repro/internal/feedgraph"
 	"repro/internal/gen"
-	"repro/internal/lfta"
 	"repro/internal/stream"
 )
 
@@ -32,7 +33,9 @@ func init() {
 
 // ExtDrops compares drop rates of the GCSL plan and the no-phantom plan
 // under a sweep of LFTA capacities (weighted operations per stream
-// second).
+// second), using the engine's unified budget path (the same overload
+// control production runs use, single or sharded) instead of the
+// deprecated lfta.Paced wrapper.
 func ExtDrops(ctx *Context) (*Table, error) {
 	u, recs, err := ctx.synthData()
 	if err != nil {
@@ -55,6 +58,20 @@ func ExtDrops(ctx *Context) (*Table, error) {
 		return nil, err
 	}
 
+	// One epoch spanning the whole trace: drop behaviour under a pure
+	// intra-epoch budget, comparable across plans.
+	sqls := []string{
+		"select A, count(*) as cnt from R group by A, time/1000000",
+		"select B, count(*) as cnt from R group by B, time/1000000",
+		"select C, count(*) as cnt from R group by C, time/1000000",
+		"select D, count(*) as cnt from R group by D, time/1000000",
+	}
+	fixed := func(res *choose.Result) core.Planner {
+		return func(*feedgraph.Graph, feedgraph.GroupCounts, int, cost.Params) (*choose.Result, error) {
+			return res, nil
+		}
+	}
+
 	// Arrival rate of the synthetic trace (records per stream second).
 	duration := recs[len(recs)-1].Time + 1
 	rate := float64(len(recs)) / float64(duration)
@@ -72,18 +89,19 @@ func ExtDrops(ctx *Context) (*Table, error) {
 		budget := rate * mult
 		row := []string{fmtF(mult)}
 		for _, plan := range []*choose.Result{gcsl, noPh} {
-			rt, err := lfta.New(plan.Config, plan.Alloc, lfta.CountStar, 71, nil)
+			eng, err := core.New(sqls, groups, core.Options{
+				M: m, Params: p, Seed: 71,
+				Planner: fixed(plan),
+				Budget:  budget,
+			})
 			if err != nil {
 				return nil, err
 			}
-			paced, err := lfta.NewPaced(rt, p.C1, p.C2, budget)
-			if err != nil {
+			if err := eng.Run(stream.NewSliceSource(recs)); err != nil {
 				return nil, err
 			}
-			if err := paced.Run(stream.NewSliceSource(recs), 0); err != nil {
-				return nil, err
-			}
-			row = append(row, fmtPct(paced.DropRate()))
+			d := eng.Stats().Degradation
+			row = append(row, fmtPct(float64(d.Dropped)/float64(d.Offered)))
 		}
 		t.Rows = append(t.Rows, row)
 	}

@@ -18,6 +18,13 @@ import (
 // exactly what a NIC-resident LFTA does at line rate. Cheaper
 // configurations therefore drop fewer records; the ext-drops experiment
 // quantifies this.
+//
+// Deprecated: the engine (internal/core) unifies overload control across
+// single and sharded runtimes: set core.Options.Budget, optionally with a
+// core.ShedPolicy and core.Options.Shards. The engine keeps per-epoch and
+// per-shard degradation ledgers and checkpoints its shedding state, none
+// of which Paced does. Paced remains only for low-level single-runtime
+// pacing.
 type Paced struct {
 	rt     *Runtime
 	c1, c2 float64
@@ -33,6 +40,8 @@ type Paced struct {
 
 // NewPaced wraps rt with a budget of weighted operations per stream time
 // unit.
+//
+// Deprecated: use the engine's core.Options.Budget; see Paced.
 func NewPaced(rt *Runtime, c1, c2, budgetPerTick float64) (*Paced, error) {
 	if rt == nil {
 		return nil, fmt.Errorf("lfta: nil runtime")

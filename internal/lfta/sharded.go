@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/attr"
 	"repro/internal/cost"
 	"repro/internal/feedgraph"
+	"repro/internal/hashtab"
 	"repro/internal/stream"
 )
 
@@ -77,8 +79,10 @@ func (s *Sharded) NumShards() int { return len(s.shards) }
 // Shard exposes one underlying runtime (for stats inspection).
 func (s *Sharded) Shard(i int) *Runtime { return s.shards[i] }
 
-// shardOf hashes the full attribute vector to a shard index.
-func (s *Sharded) shardOf(rec *stream.Record) int {
+// ShardOf hashes the full attribute vector to the index of the shard the
+// record routes to. Exposed so engine-level overload control can charge
+// each record against the budget slice of the shard doing the work.
+func (s *Sharded) ShardOf(rec *stream.Record) int {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
@@ -93,13 +97,42 @@ func (s *Sharded) shardOf(rec *stream.Record) int {
 
 // Process routes one record to its shard.
 func (s *Sharded) Process(rec stream.Record, epoch uint32) {
-	s.shards[s.shardOf(&rec)].Process(rec, epoch)
+	s.shards[s.ShardOf(&rec)].Process(rec, epoch)
 }
 
 // FlushEpoch flushes every shard.
 func (s *Sharded) FlushEpoch() {
 	for _, rt := range s.shards {
 		rt.FlushEpoch()
+	}
+}
+
+// TableStats merges the per-shard hashtab counters into one per-relation
+// view, so the engine's diagnostics and adaptive flow-length estimation
+// see the deployment as a whole. Call only while no shard is processing
+// (e.g. between epochs, or from the single-threaded routing loop).
+func (s *Sharded) TableStats() map[attr.Set]hashtab.Stats {
+	out := make(map[attr.Set]hashtab.Stats)
+	for _, rt := range s.shards {
+		for rel, st := range rt.TableStats() {
+			m := out[rel]
+			m.Probes += st.Probes
+			m.Hits += st.Hits
+			m.Inserts += st.Inserts
+			m.Collisions += st.Collisions
+			m.Flushes += st.Flushes
+			m.EvictedUpdates += st.EvictedUpdates
+			m.EvictedEntries += st.EvictedEntries
+			out[rel] = m
+		}
+	}
+	return out
+}
+
+// ResetTableStats zeroes every shard's per-table counters (not contents).
+func (s *Sharded) ResetTableStats() {
+	for _, rt := range s.shards {
+		rt.ResetTableStats()
 	}
 }
 
@@ -200,7 +233,7 @@ func (s *Sharded) RunParallel(src stream.Source, epochLen uint32) (Ops, error) {
 			srcErr = src.Err()
 			break
 		}
-		i := s.shardOf(&rec)
+		i := s.ShardOf(&rec)
 		pending[i] = append(pending[i], rec)
 		if len(pending[i]) >= parallelBatchSize {
 			work[i] <- pending[i]
