@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race fuzz-short check bench bench-json
+.PHONY: build test vet race fuzz-short check bench bench-json bench-compare
 
 build:
 	$(GO) build ./...
@@ -38,4 +38,9 @@ bench:
 
 # Machine-readable summary, the BENCH_PR<N>.json trajectory format.
 bench-json:
-	$(GO) run ./cmd/maggbench -json BENCH_PR1.json
+	$(GO) run ./cmd/maggbench -json BENCH_PR4.json
+
+# Diff two bench-json reports; fails on a >10% ns/op regression.
+# Usage: make bench-compare OLD=BENCH_PR1.json NEW=BENCH_PR4.json
+bench-compare:
+	$(GO) run ./cmd/maggbench -compare $(OLD) $(NEW)

@@ -41,14 +41,30 @@ type benchResult struct {
 	Iterations    int     `json:"iterations"`
 }
 
+// shardScalePoint is one shard-count measurement of the sharded ingest
+// path: the same trace routed through n shards sequentially and through
+// the pipelined parallel path, with the parallel speedup (sequential
+// wall time / parallel wall time; >1 means the pipeline wins). On a
+// single-CPU host the speedup hovers near or below 1 — the point of the
+// series is the trajectory across shard counts on multicore hosts.
+type shardScalePoint struct {
+	Shards            int     `json:"shards"`
+	SequentialNsPerOp float64 `json:"sequential_ns_per_op"`
+	ParallelNsPerOp   float64 `json:"parallel_ns_per_op"`
+	SeqRecordsPerSec  float64 `json:"sequential_records_per_sec"`
+	ParRecordsPerSec  float64 `json:"parallel_records_per_sec"`
+	ParallelSpeedup   float64 `json:"parallel_speedup"`
+}
+
 // benchReport is the file-level JSON document.
 type benchReport struct {
-	Generated  string        `json:"generated"`
-	GoVersion  string        `json:"go_version"`
-	GOOS       string        `json:"goos"`
-	GOARCH     string        `json:"goarch"`
-	NumCPU     int           `json:"num_cpu"`
-	Benchmarks []benchResult `json:"benchmarks"`
+	Generated    string            `json:"generated"`
+	GoVersion    string            `json:"go_version"`
+	GOOS         string            `json:"goos"`
+	GOARCH       string            `json:"goarch"`
+	NumCPU       int               `json:"num_cpu"`
+	Benchmarks   []benchResult     `json:"benchmarks"`
+	ShardScaling []shardScalePoint `json:"shard_scaling,omitempty"`
 }
 
 // namedBench couples a benchmark body with its report entry. recordsPerOp
@@ -102,6 +118,7 @@ func runBenchSuite(path string, log io.Writer) error {
 		}
 		fmt.Fprintln(log)
 	}
+	report.ShardScaling = runShardScaling(log)
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -222,50 +239,118 @@ func benchHFTAMerge(b *testing.B) {
 // benchmark op runs the whole trace.
 const shardedBenchRecords = 200000
 
+// shardedFixture is a reusable planned n-shard deployment over a fixed
+// trace. Construction happens once; each benchmark op resets the pooled
+// state and replays the trace, so the measurement is the steady state of
+// the ingest path rather than per-iteration fixture construction.
+type shardedFixture struct {
+	src *stream.SliceSource
+	agg *hfta.Aggregator
+	s   *lfta.Sharded
+}
+
+func newShardedFixture(shards int) (*shardedFixture, error) {
+	rng := rand.New(rand.NewSource(4))
+	schema := stream.MustSchema(4)
+	u, err := gen.UniformUniverse(rng, schema, 2000, 0)
+	if err != nil {
+		return nil, err
+	}
+	recs := gen.Uniform(rng, u, shardedBenchRecords, 50)
+	queries := []attr.Set{attr.MustParseSet("AB"), attr.MustParseSet("BC"), attr.MustParseSet("CD")}
+	groups, err := core.EstimateGroups(recs[:20000], queries)
+	if err != nil {
+		return nil, err
+	}
+	g, err := feedgraph.New(queries)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := choose.GCSL(g, groups, 20000, cost.DefaultParams())
+	if err != nil {
+		return nil, err
+	}
+	agg, err := hfta.New(queries, lfta.CountStar)
+	if err != nil {
+		return nil, err
+	}
+	s, err := lfta.NewSharded(plan.Config, plan.Alloc, lfta.CountStar, 5, nil, shards)
+	if err != nil {
+		return nil, err
+	}
+	s.SetBatchSink(agg.ConsumeBatch, 0)
+	return &shardedFixture{src: stream.NewSliceSource(recs), agg: agg, s: s}, nil
+}
+
+// run replays the trace once from clean (but pre-sized) state.
+func (f *shardedFixture) run(parallel bool) error {
+	f.agg.Reset()
+	f.s.Reset()
+	f.src.Reset()
+	if parallel {
+		_, err := f.s.RunParallel(f.src, 10)
+		return err
+	}
+	_, err := f.s.Run(f.src, 10)
+	return err
+}
+
 // shardedBench runs a planned 4-shard LFTA deployment over a fixed trace
 // with the batched eviction path, sequentially or in parallel.
 func shardedBench(parallel bool) func(b *testing.B) {
 	return func(b *testing.B) {
-		rng := rand.New(rand.NewSource(4))
-		schema := stream.MustSchema(4)
-		u, err := gen.UniformUniverse(rng, schema, 2000, 0)
-		if err != nil {
-			b.Fatal(err)
-		}
-		recs := gen.Uniform(rng, u, shardedBenchRecords, 50)
-		queries := []attr.Set{attr.MustParseSet("AB"), attr.MustParseSet("BC"), attr.MustParseSet("CD")}
-		groups, err := core.EstimateGroups(recs[:20000], queries)
-		if err != nil {
-			b.Fatal(err)
-		}
-		g, err := feedgraph.New(queries)
-		if err != nil {
-			b.Fatal(err)
-		}
-		plan, err := choose.GCSL(g, groups, 20000, cost.DefaultParams())
+		f, err := newShardedFixture(4)
 		if err != nil {
 			b.Fatal(err)
 		}
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			agg, err := hfta.New(queries, lfta.CountStar)
-			if err != nil {
-				b.Fatal(err)
-			}
-			s, err := lfta.NewSharded(plan.Config, plan.Alloc, lfta.CountStar, 5, nil, 4)
-			if err != nil {
-				b.Fatal(err)
-			}
-			s.SetBatchSink(agg.ConsumeBatch, 0)
-			if parallel {
-				_, err = s.RunParallel(stream.NewSliceSource(recs), 10)
-			} else {
-				_, err = s.Run(stream.NewSliceSource(recs), 10)
-			}
-			if err != nil {
+			if err := f.run(parallel); err != nil {
 				b.Fatal(err)
 			}
 		}
 	}
+}
+
+// runShardScaling measures the sharded ingest path at 1, 2, 4 and 8
+// shards — sequential routing vs the pipelined parallel path — and
+// reports per-shard-count throughput plus the parallel speedup.
+func runShardScaling(log io.Writer) []shardScalePoint {
+	var out []shardScalePoint
+	for _, n := range []int{1, 2, 4, 8} {
+		n := n
+		measure := func(parallel bool) testing.BenchmarkResult {
+			return testing.Benchmark(func(b *testing.B) {
+				f, err := newShardedFixture(n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := f.run(parallel); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+		seq := measure(false)
+		par := measure(true)
+		p := shardScalePoint{
+			Shards:            n,
+			SequentialNsPerOp: float64(seq.T.Nanoseconds()) / float64(seq.N),
+			ParallelNsPerOp:   float64(par.T.Nanoseconds()) / float64(par.N),
+		}
+		if p.SequentialNsPerOp > 0 {
+			p.SeqRecordsPerSec = shardedBenchRecords * 1e9 / p.SequentialNsPerOp
+		}
+		if p.ParallelNsPerOp > 0 {
+			p.ParRecordsPerSec = shardedBenchRecords * 1e9 / p.ParallelNsPerOp
+			p.ParallelSpeedup = p.SequentialNsPerOp / p.ParallelNsPerOp
+		}
+		out = append(out, p)
+		fmt.Fprintf(log, "shard-scaling n=%d   %12.0f rec/s seq %12.0f rec/s par  speedup %.2fx\n",
+			n, p.SeqRecordsPerSec, p.ParRecordsPerSec, p.ParallelSpeedup)
+	}
+	return out
 }

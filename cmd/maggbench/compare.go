@@ -1,0 +1,89 @@
+package main
+
+// Benchmark-report comparison (-compare): reads two JSON reports written
+// by -json (e.g. BENCH_PR1.json and a fresh run) and prints per-benchmark
+// deltas. A ns/op regression beyond the threshold on any benchmark makes
+// the comparison fail, so `make bench-compare` can gate a PR on the perf
+// trajectory.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// regressionThreshold is the tolerated ns/op growth before a benchmark
+// counts as regressed: benchmarks on shared CI hosts jitter by a few
+// percent, so the gate fires only on a >10% slowdown.
+const regressionThreshold = 0.10
+
+// readBenchReport loads one -json report file.
+func readBenchReport(path string) (*benchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r benchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// compareBenchReports prints a delta table between two report files and
+// returns an error naming every benchmark whose ns/op regressed by more
+// than regressionThreshold. Benchmarks present in only one file are
+// reported but never fail the comparison (the suite grows across PRs).
+func compareBenchReports(oldPath, newPath string, w io.Writer) error {
+	oldR, err := readBenchReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newR, err := readBenchReport(newPath)
+	if err != nil {
+		return err
+	}
+	oldBy := make(map[string]benchResult, len(oldR.Benchmarks))
+	for _, b := range oldR.Benchmarks {
+		oldBy[b.Name] = b
+	}
+
+	fmt.Fprintf(w, "%-20s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	var regressed []string
+	seen := make(map[string]bool, len(newR.Benchmarks))
+	for _, nb := range newR.Benchmarks {
+		seen[nb.Name] = true
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-20s %14s %14.1f %9s\n", nb.Name, "-", nb.NsPerOp, "new")
+			continue
+		}
+		delta := 0.0
+		if ob.NsPerOp > 0 {
+			delta = (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp
+		}
+		mark := ""
+		if delta > regressionThreshold {
+			mark = "  << REGRESSION"
+			regressed = append(regressed, nb.Name)
+		}
+		fmt.Fprintf(w, "%-20s %14.1f %14.1f %+8.1f%%%s\n", nb.Name, ob.NsPerOp, nb.NsPerOp, delta*100, mark)
+		if ob.AllocsPerOp != nb.AllocsPerOp {
+			fmt.Fprintf(w, "%-20s %14d %14d allocs/op\n", "", ob.AllocsPerOp, nb.AllocsPerOp)
+		}
+	}
+	for _, ob := range oldR.Benchmarks {
+		if !seen[ob.Name] {
+			fmt.Fprintf(w, "%-20s %14.1f %14s %9s\n", ob.Name, ob.NsPerOp, "-", "removed")
+		}
+	}
+	for _, p := range newR.ShardScaling {
+		fmt.Fprintf(w, "shard-scaling n=%-3d %14.0f rec/s par  speedup %.2fx\n",
+			p.Shards, p.ParRecordsPerSec, p.ParallelSpeedup)
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("ns/op regressed more than %.0f%% on: %v", regressionThreshold*100, regressed)
+	}
+	return nil
+}

@@ -3,6 +3,7 @@
 // Usage:
 //
 //	maggbench [-run id[,id...]] [-quick] [-seed n] [-list] [-json path]
+//	maggbench -compare OLD.json NEW.json
 //
 // Without -run it executes every experiment in paper order. Experiment
 // ids are fig5..fig15 and table1..table3. -quick shrinks datasets and
@@ -11,8 +12,12 @@
 //
 // -json runs the engine performance suite instead of the paper
 // experiments and writes a machine-readable summary (records/sec,
-// allocs/op, ns/op per benchmark) to the given path ("-" for stdout) —
-// the BENCH_PR1.json format tracking the perf trajectory across PRs.
+// allocs/op, ns/op per benchmark, shard-scaling sweep) to the given path
+// ("-" for stdout) — the BENCH_PR1.json format tracking the perf
+// trajectory across PRs.
+//
+// -compare diffs two such reports, printing per-benchmark deltas, and
+// exits non-zero if any benchmark's ns/op regressed by more than 10%.
 package main
 
 import (
@@ -33,8 +38,21 @@ func main() {
 		seed  = flag.Int64("seed", 42, "seed for the synthetic datasets")
 		list  = flag.Bool("list", false, "list experiment ids and exit")
 		jsonP = flag.String("json", "", "run the perf benchmark suite and write a JSON summary to this path (\"-\" for stdout)")
+		comp  = flag.Bool("compare", false, "compare two -json reports (args: OLD.json NEW.json); exit non-zero on >10% ns/op regression")
 	)
 	flag.Parse()
+
+	if *comp {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "maggbench: -compare needs exactly two report paths (old new)")
+			os.Exit(2)
+		}
+		if err := compareBenchReports(flag.Arg(0), flag.Arg(1), os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "maggbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *jsonP != "" {
 		if err := runBenchSuite(*jsonP, os.Stderr); err != nil {

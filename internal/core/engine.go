@@ -554,9 +554,11 @@ func (e *Engine) Process(rec stream.Record) error {
 		e.rt.Process(rec, epoch)
 		e.deg.Processed++
 	}
-	for rel, h := range e.sketches {
-		e.sketchBuf = rel.Project(rec.Attrs, e.sketchBuf)
-		h.AddKey(e.sketchBuf)
+	if len(e.sketches) != 0 {
+		for rel, h := range e.sketches {
+			e.sketchBuf = rel.Project(rec.Attrs, e.sketchBuf)
+			h.AddKey(e.sketchBuf)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,83 @@
+package hashtab
+
+import (
+	"math/bits"
+	"testing"
+)
+
+// The per-arity specializations in Table.hash must agree bit-for-bit
+// with the generic HashWords kernel — they are one hash function, not
+// four similar ones.
+func TestHashMatchesHashWords(t *testing.T) {
+	rels := []string{"A", "AB", "ABC", "ABCD", "ABCDE", "ABCDEF"}
+	for _, rel := range rels {
+		tab := counter(t, rel, 97)
+		key := make([]uint32, tab.Arity())
+		for trial := 0; trial < 1000; trial++ {
+			x := uint64(trial) * 0x9e3779b97f4a7c15
+			for i := range key {
+				x = mixWord(x, uint64(i))
+				key[i] = uint32(x)
+			}
+			if got, want := tab.hash(key), HashWords(tab.seed, key); got != want {
+				t.Fatalf("%s arity %d: hash(%v) = %#x, HashWords = %#x",
+					rel, tab.Arity(), key, got, want)
+			}
+		}
+	}
+}
+
+// Seed mixing: the same key under nearby seeds must produce hashes that
+// differ in roughly half their bits — the property that makes per-table
+// (and per-shard) hash functions independent, as the paper's random-hash
+// assumption across tables requires.
+func TestHashWordsSeedMixing(t *testing.T) {
+	key := []uint32{12345, 67890, 424242}
+	var prev uint64
+	for seed := uint64(0); seed < 256; seed++ {
+		h := HashWords(seed, key)
+		if seed > 0 {
+			d := bits.OnesCount64(h ^ prev)
+			if d < 16 || d > 48 {
+				t.Errorf("seeds %d/%d: hashes differ in %d bits, want ~32", seed-1, seed, d)
+			}
+		}
+		prev = h
+	}
+}
+
+// Keys that differ only by trailing zero words must not collide: the
+// length is folded into the initial state.
+func TestHashWordsLengthSeparation(t *testing.T) {
+	a := HashWords(7, []uint32{42})
+	b := HashWords(7, []uint32{42, 0})
+	c := HashWords(7, []uint32{42, 0, 0})
+	if a == b || b == c || a == c {
+		t.Errorf("trailing-zero keys collide: %#x %#x %#x", a, b, c)
+	}
+}
+
+// Reduce must cover the full bucket range and stay in bounds for
+// arbitrary (non-power-of-two) bucket counts.
+func TestReduceRange(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 97, 1000, 1 << 20} {
+		seen := 0
+		last := -1
+		for i := 0; i < 4096; i++ {
+			b := Reduce(HashWords(9, []uint32{uint32(i)}), n)
+			if b < 0 || b >= n {
+				t.Fatalf("Reduce out of range: %d not in [0,%d)", b, n)
+			}
+			if b != last {
+				seen++
+				last = b
+			}
+		}
+		if n > 1 && seen < 2 {
+			t.Errorf("n=%d: all hashes reduced to one bucket", n)
+		}
+	}
+	if got := Reduce(^uint64(0), 10); got != 9 {
+		t.Errorf("Reduce(max, 10) = %d, want 9", got)
+	}
+}

@@ -125,17 +125,26 @@ func (s Stats) AvgFlowLength() float64 {
 }
 
 // Table is a single LFTA hash table.
+//
+// Bucket state lives in flat parallel arrays sized at construction. A
+// bucket's occupancy is encoded in its update count (updates[i] == 0 ⟺
+// empty; a resident entry always has at least the installing record
+// folded in), so the hit path touches exactly three cache lines per
+// probe — update count, key words, aggregate words — instead of the four
+// a separate occupancy array would cost. The count saturates at 2³²-1
+// rather than wrapping to 0, so occupancy can never be forged by
+// overflow.
 type Table struct {
-	rel   attr.Set
-	arity int
-	ops   []AggOp
-	b     int
-	seed  uint64
+	rel     attr.Set
+	arity   int
+	ops     []AggOp
+	sumOnly bool // exactly one aggregate slot with op Sum (count(*)/sum tables)
+	b       int
+	seed    uint64
 
-	occupied []bool
-	keys     []uint32 // b × arity, flat
-	aggs     []int64  // b × len(ops), flat
-	updates  []uint32 // records folded into each resident entry
+	keys    []uint32 // b × arity, flat
+	aggs    []int64  // b × len(ops), flat
+	updates []uint32 // records folded into each resident entry; 0 = empty bucket
 
 	live  int
 	stats Stats
@@ -157,15 +166,15 @@ func New(rel attr.Set, b int, ops []AggOp, seed uint64) (*Table, error) {
 	}
 	arity := rel.Size()
 	return &Table{
-		rel:      rel,
-		arity:    arity,
-		ops:      append([]AggOp(nil), ops...),
-		b:        b,
-		seed:     seed,
-		occupied: make([]bool, b),
-		keys:     make([]uint32, b*arity),
-		aggs:     make([]int64, b*len(ops)),
-		updates:  make([]uint32, b),
+		rel:     rel,
+		arity:   arity,
+		ops:     append([]AggOp(nil), ops...),
+		sumOnly: len(ops) == 1 && ops[0] == Sum,
+		b:       b,
+		seed:    seed,
+		keys:    make([]uint32, b*arity),
+		aggs:    make([]int64, b*len(ops)),
+		updates: make([]uint32, b),
 	}, nil
 }
 
@@ -210,39 +219,6 @@ func (t *Table) Stats() Stats { return t.stats }
 // ResetStats zeroes the operation counters without touching contents.
 func (t *Table) ResetStats() { t.stats = Stats{} }
 
-// hash mixes the key with the table seed. It is a 64-bit FNV-1a variant
-// over the 4-byte words of the key; good avalanche behaviour approximates
-// the paper's "random hash" assumption well (validated in package tests
-// against the binomial occupancy model).
-func (t *Table) hash(key []uint32) uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64) ^ t.seed
-	for _, w := range key {
-		h ^= uint64(w & 0xff)
-		h *= prime64
-		h ^= uint64((w >> 8) & 0xff)
-		h *= prime64
-		h ^= uint64((w >> 16) & 0xff)
-		h *= prime64
-		h ^= uint64(w >> 24)
-		h *= prime64
-	}
-	// Final mix so that low bits depend on all input bits before the
-	// modulo reduction.
-	h ^= h >> 33
-	h *= 0xff51afd7ed558ccd
-	h ^= h >> 33
-	return h
-}
-
-// Bucket returns the bucket index the key hashes to.
-func (t *Table) Bucket(key []uint32) int {
-	return int(t.hash(key) % uint64(t.b))
-}
-
 // Probe folds one observation of the group identified by key into the
 // table, applying deltas (one per aggregate slot) under the table's ops.
 // If the bucket holds a different group, that entry is evicted: Probe
@@ -261,19 +237,18 @@ func (t *Table) Probe(key []uint32, deltas []int64) (evicted Entry, collided boo
 	}
 	t.stats.Probes++
 	i := t.Bucket(key)
+	up := t.updates[i]
 	ks := t.keys[i*t.arity : (i+1)*t.arity]
 	as := t.aggs[i*len(t.ops) : (i+1)*len(t.ops)]
 
-	if !t.occupied[i] {
+	if up == 0 {
 		t.install(i, ks, as, key, deltas)
+		t.live++
 		t.stats.Inserts++
 		return Entry{}, false
 	}
 	if equalKeys(ks, key) {
-		for j, op := range t.ops {
-			as[j] = op.Combine(as[j], deltas[j])
-		}
-		t.updates[i]++
+		t.fold(i, as, deltas, up)
 		t.stats.Hits++
 		return Entry{}, false
 	}
@@ -281,10 +256,10 @@ func (t *Table) Probe(key []uint32, deltas []int64) (evicted Entry, collided boo
 	evicted = Entry{
 		Key:     append([]uint32(nil), ks...),
 		Aggs:    append([]int64(nil), as...),
-		Updates: t.updates[i],
+		Updates: up,
 	}
 	t.stats.Collisions++
-	t.stats.EvictedUpdates += uint64(t.updates[i])
+	t.stats.EvictedUpdates += uint64(up)
 	t.stats.EvictedEntries++
 	t.install(i, ks, as, key, deltas)
 	return evicted, true
@@ -303,45 +278,93 @@ func (t *Table) ProbeInto(key []uint32, deltas []int64, victim *Entry) (collided
 	}
 	t.stats.Probes++
 	i := t.Bucket(key)
-	ks := t.keys[i*t.arity : (i+1)*t.arity]
-	as := t.aggs[i*len(t.ops) : (i+1)*len(t.ops)]
+	up := t.updates[i]
+	a := t.arity
+	ks := t.keys[i*a : i*a+a : i*a+a]
 
-	if !t.occupied[i] {
-		t.install(i, ks, as, key, deltas)
-		t.stats.Inserts++
+	// Key comparison is open-coded: equalKeys is beyond the inlining
+	// budget, and a call per probe costs more than the compare itself.
+	match := up != 0
+	for j := 0; j < a; j++ {
+		if ks[j] != key[j] {
+			match = false
+			break
+		}
+	}
+	if match {
+		// Hit — the steady-state common case (1-x of probes): fold the
+		// deltas into the resident aggregates.
+		if t.sumOnly {
+			t.aggs[i] += deltas[0]
+			if up != ^uint32(0) {
+				t.updates[i] = up + 1
+			}
+		} else {
+			as := t.aggs[i*len(t.ops) : (i+1)*len(t.ops)]
+			t.fold(i, as, deltas, up)
+		}
+		t.stats.Hits++
 		return false
 	}
-	if equalKeys(ks, key) {
-		for j, op := range t.ops {
-			as[j] = op.Combine(as[j], deltas[j])
-		}
-		t.updates[i]++
-		t.stats.Hits++
+	as := t.aggs[i*len(t.ops) : (i+1)*len(t.ops)]
+	if up == 0 {
+		t.install(i, ks, as, key, deltas)
+		t.live++
+		t.stats.Inserts++
 		return false
 	}
 	victim.Key = append(victim.Key[:0], ks...)
 	victim.Aggs = append(victim.Aggs[:0], as...)
-	victim.Updates = t.updates[i]
+	victim.Updates = up
 	t.stats.Collisions++
-	t.stats.EvictedUpdates += uint64(t.updates[i])
+	t.stats.EvictedUpdates += uint64(up)
 	t.stats.EvictedEntries++
 	t.install(i, ks, as, key, deltas)
 	return true
 }
 
+// fold merges deltas into a resident entry's aggregates and bumps its
+// update count (saturating so it can never wrap to the empty marker 0).
+func (t *Table) fold(i int, as, deltas []int64, up uint32) {
+	for j, op := range t.ops {
+		as[j] = op.Combine(as[j], deltas[j])
+	}
+	if up != ^uint32(0) {
+		t.updates[i] = up + 1
+	}
+}
+
+// install writes (key, deltas) into bucket i's storage slices. The caller
+// adjusts live when the bucket was empty.
 func (t *Table) install(i int, ks []uint32, as []int64, key []uint32, deltas []int64) {
 	copy(ks, key)
-	for j, op := range t.ops {
-		as[j] = op.Combine(op.Identity(), deltas[j])
-	}
-	if !t.occupied[i] {
-		t.occupied[i] = true
-		t.live++
+	if t.sumOnly {
+		as[0] = deltas[0]
+	} else {
+		for j, op := range t.ops {
+			as[j] = op.Combine(op.Identity(), deltas[j])
+		}
 	}
 	t.updates[i] = 1
 }
 
+// equalKeys compares two keys of equal arity, unrolled for the short
+// keys (arity 1-4) the paper's workloads probe so the resident-group
+// fast path pays no loop overhead.
 func equalKeys(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	switch len(a) {
+	case 1:
+		return a[0] == b[0]
+	case 2:
+		return a[0] == b[0] && a[1] == b[1]
+	case 3:
+		return a[0] == b[0] && a[1] == b[1] && a[2] == b[2]
+	case 4:
+		return a[0] == b[0] && a[1] == b[1] && a[2] == b[2] && a[3] == b[3]
+	}
 	for i := range a {
 		if a[i] != b[i] {
 			return false
@@ -357,7 +380,7 @@ func (t *Table) Get(key []uint32) (Entry, bool) {
 		return Entry{}, false
 	}
 	i := t.Bucket(key)
-	if !t.occupied[i] {
+	if t.updates[i] == 0 {
 		return Entry{}, false
 	}
 	ks := t.keys[i*t.arity : (i+1)*t.arity]
@@ -376,7 +399,7 @@ func (t *Table) Get(key []uint32) (Entry, bool) {
 // must not be retained across calls.
 func (t *Table) Scan(fn func(Entry)) {
 	for i := 0; i < t.b; i++ {
-		if !t.occupied[i] {
+		if t.updates[i] == 0 {
 			continue
 		}
 		fn(Entry{
@@ -393,7 +416,7 @@ func (t *Table) Scan(fn func(Entry)) {
 func (t *Table) Flush(fn func(Entry)) int {
 	n := 0
 	for i := 0; i < t.b; i++ {
-		if !t.occupied[i] {
+		if t.updates[i] == 0 {
 			continue
 		}
 		e := Entry{
@@ -401,7 +424,7 @@ func (t *Table) Flush(fn func(Entry)) int {
 			Aggs:    append([]int64(nil), t.aggs[i*len(t.ops):(i+1)*len(t.ops)]...),
 			Updates: t.updates[i],
 		}
-		t.occupied[i] = false
+		t.updates[i] = 0
 		t.stats.Flushes++
 		t.stats.EvictedUpdates += uint64(e.Updates)
 		t.stats.EvictedEntries++
@@ -420,18 +443,19 @@ func (t *Table) Flush(fn func(Entry)) int {
 func (t *Table) Drain(fn func(Entry)) int {
 	n := 0
 	for i := 0; i < t.b; i++ {
-		if !t.occupied[i] {
+		up := t.updates[i]
+		if up == 0 {
 			continue
 		}
-		t.occupied[i] = false
+		t.updates[i] = 0
 		t.stats.Flushes++
-		t.stats.EvictedUpdates += uint64(t.updates[i])
+		t.stats.EvictedUpdates += uint64(up)
 		t.stats.EvictedEntries++
 		n++
 		fn(Entry{
 			Key:     t.keys[i*t.arity : (i+1)*t.arity],
 			Aggs:    t.aggs[i*len(t.ops) : (i+1)*len(t.ops)],
-			Updates: t.updates[i],
+			Updates: up,
 		})
 	}
 	t.live = 0
@@ -440,8 +464,8 @@ func (t *Table) Drain(fn func(Entry)) int {
 
 // Clear empties the table without emitting entries or touching stats.
 func (t *Table) Clear() {
-	for i := range t.occupied {
-		t.occupied[i] = false
+	for i := range t.updates {
+		t.updates[i] = 0
 	}
 	t.live = 0
 }

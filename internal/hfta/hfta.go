@@ -58,6 +58,20 @@ func newGroupMap(arity int) *groupMap {
 	}
 }
 
+// clear empties the group map for reuse. The builtin keeps the map's
+// bucket storage, so a recycled groupMap absorbs a same-sized epoch
+// without growing — the core of the per-epoch allocation pooling.
+func (gm *groupMap) clear() {
+	switch {
+	case gm.small != nil:
+		clear(gm.small)
+	case gm.wide != nil:
+		clear(gm.wide)
+	default:
+		clear(gm.jumbo)
+	}
+}
+
 func (gm *groupMap) len() int {
 	switch {
 	case gm.small != nil:
@@ -97,7 +111,20 @@ func (gm *groupMap) each(arity int, fn func(key []uint32, acc []int64)) {
 type relShard struct {
 	mu     sync.Mutex
 	epochs map[uint32]*groupMap
+	pool   []*groupMap // cleared maps from dropped epochs, ready for reuse
 	arena  []int64
+}
+
+// take returns a group map for a new epoch, recycling a dropped epoch's
+// cleared map when one is pooled. Caller holds the shard lock.
+func (sh *relShard) take(arity int) *groupMap {
+	if n := len(sh.pool); n > 0 {
+		gm := sh.pool[n-1]
+		sh.pool[n-1] = nil
+		sh.pool = sh.pool[:n-1]
+		return gm
+	}
+	return newGroupMap(arity)
 }
 
 // alloc carves a fresh accumulator (initialized to the aggregate
@@ -150,7 +177,7 @@ func (rs *relState) merge(key []uint32, deltas []int64, epoch uint32, aggs []lft
 	sh.mu.Lock()
 	gm := sh.epochs[epoch]
 	if gm == nil {
-		gm = newGroupMap(rs.arity)
+		gm = sh.take(rs.arity)
 		sh.epochs[epoch] = gm
 	}
 	var acc []int64
@@ -328,13 +355,42 @@ func (a *Aggregator) Epochs(rel attr.Set) []uint32 {
 	return out
 }
 
-// Drop releases the state of one epoch across all queries.
+// Drop releases the state of one epoch across all queries. The epoch's
+// group maps are cleared and pooled for reuse by later epochs, so a
+// steady Drop-after-emit cadence stops allocating once map capacities
+// reach the per-epoch group count.
 func (a *Aggregator) Drop(epoch uint32) {
 	for _, rs := range a.state {
 		for i := range rs.shards {
 			sh := &rs.shards[i]
 			sh.mu.Lock()
-			delete(sh.epochs, epoch)
+			if gm := sh.epochs[epoch]; gm != nil {
+				gm.clear()
+				sh.pool = append(sh.pool, gm)
+				delete(sh.epochs, epoch)
+			}
+			sh.mu.Unlock()
+		}
+	}
+}
+
+// Reset drops all epochs of all queries, keeping the allocated group
+// maps (pooled) and arena blocks for reuse: the aggregator behaves as
+// freshly constructed but a subsequent same-shaped workload allocates
+// almost nothing. Not safe to call concurrently with merges.
+func (a *Aggregator) Reset() {
+	for _, rs := range a.state {
+		for i := range rs.shards {
+			sh := &rs.shards[i]
+			sh.mu.Lock()
+			for e, gm := range sh.epochs {
+				gm.clear()
+				sh.pool = append(sh.pool, gm)
+				delete(sh.epochs, e)
+			}
+			// All accumulators are dropped with their epochs, so the
+			// current arena block can be rewound and re-carved.
+			sh.arena = sh.arena[:0]
 			sh.mu.Unlock()
 		}
 	}

@@ -1,0 +1,252 @@
+package lfta
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/spsc"
+	"repro/internal/stream"
+)
+
+// Pipelined sharded ingest: router → SPSC rings → shard workers.
+//
+// The previous RunParallel routed one record at a time and handed
+// batches to shards over buffered channels; at the measured probe costs
+// the per-record routing and channel synchronization exceeded the LFTA
+// work itself, so the "parallel" path ran slower than sequential
+// routing — the shared-queue contention Xue & Marcus ("Global Hash
+// Tables Strike Back!") and Gulisano et al. identify as the scaling
+// killer for exactly this workload shape. The rebuild follows their
+// resolution: partitioned batches over lock-free SPSC structures.
+//
+//	source ──ReadBatch──► router ──runs──► work ring ──► shard worker ──► HFTA
+//	                        ▲                                 │
+//	                        └───────────── freelist ◄─────────┘
+//
+//   - The router pulls records from the source in batches
+//     (routerBatch), hash-partitions each batch into per-shard staging
+//     runs (runCapacity records, all of one epoch), and publishes full
+//     runs to the shard's fixed-capacity work ring. No channels, no
+//     locks, no allocation: run buffers recycle through a per-shard
+//     freelist ring, so steady state is zero allocations per record.
+//   - Epoch boundaries travel in-band: when the router's clock rolls it
+//     seals every shard's staging run (tagged with the closing epoch)
+//     and enqueues an epoch marker, so each shard flushes exactly when
+//     the boundary reaches it in stream order. Shard flush and the HFTA
+//     merge of epoch e therefore overlap with the router's partitioning
+//     of epoch e+1 instead of meeting at a barrier.
+//   - Backpressure is natural: a router ahead of a slow shard runs out
+//     of free buffers for that shard and waits on its freelist, leaving
+//     the other shards' rings draining meanwhile.
+type pipeline struct {
+	work    []*spsc.Ring[run]
+	free    []*spsc.Ring[[]stream.Record]
+	staging [][]stream.Record // router-side current run per shard
+	batch   []stream.Record   // router's source pull buffer
+}
+
+// run is one ring element: a staging run of records sharing an epoch, an
+// in-band epoch marker, or the end-of-stream signal.
+type run struct {
+	recs  []stream.Record // nil for markers and stop
+	epoch uint32
+	kind  runKind
+}
+
+type runKind uint8
+
+const (
+	runRecords runKind = iota
+	runEpoch           // epoch boundary: flush state tagged < epoch, then open epoch
+	runStop            // stream end: final flush, then exit
+)
+
+// Pipeline tuning (see docs/PERF.md for the reasoning behind the
+// defaults).
+const (
+	// routerBatch is how many records one ReadBatch pulls from the
+	// source: large enough to amortize the Source interface dispatch,
+	// small enough to stay resident in L1 while being partitioned.
+	routerBatch = 1024
+	// runCapacity is the records per staging run — the unit of
+	// cross-goroutine hand-off. At ~28 bytes/record a run is ~14 KB,
+	// big enough that ring synchronization amortizes to <0.1 ns/record,
+	// small enough that a run is still warm when the worker probes it.
+	runCapacity = 512
+	// ringRuns is the work-ring depth per shard: the router can run this
+	// many runs ahead of a shard before backpressure stalls it.
+	ringRuns = 8
+)
+
+// newPipeline sizes rings and pre-allocates every run buffer a steady
+// state can have in flight: ringRuns in the work ring, one in the
+// worker, one staging with the router.
+func newPipeline(nShards int) *pipeline {
+	p := &pipeline{
+		work:    make([]*spsc.Ring[run], nShards),
+		free:    make([]*spsc.Ring[[]stream.Record], nShards),
+		staging: make([][]stream.Record, nShards),
+		batch:   make([]stream.Record, routerBatch),
+	}
+	for i := 0; i < nShards; i++ {
+		p.work[i] = spsc.New[run](ringRuns)
+		// The freelist must be able to hold every buffer at once (so
+		// worker returns never block) and seeds enough buffers that the
+		// router can fill the whole work ring plus its own staging run
+		// while the worker still holds one.
+		p.free[i] = spsc.New[[]stream.Record](2 * (ringRuns + 2))
+		for j := 0; j < ringRuns+2; j++ {
+			p.free[i].Push(make([]stream.Record, 0, runCapacity))
+		}
+	}
+	return p
+}
+
+// spinYield is the wait policy of both ring sides: burn a few probes
+// first (the common case resolves in nanoseconds), yield the processor
+// while the peer is scheduled, and back off to short sleeps only when
+// the peer has been unresponsive long enough that latency no longer
+// matters (for example a sink blocked on I/O). Keeping the policy here,
+// outside spsc, lets the ring stay non-blocking.
+func spinYield(try int) {
+	switch {
+	case try < 64:
+		// busy-spin
+	case try < 1<<14:
+		runtime.Gosched()
+	default:
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// pushRun publishes r to shard i's work ring, waiting out backpressure.
+func (p *pipeline) pushRun(i int, r run) {
+	for try := 0; !p.work[i].Push(r); try++ {
+		spinYield(try)
+	}
+}
+
+// nextStaging hands the router a fresh (empty) run buffer for shard i.
+func (p *pipeline) nextStaging(i int) []stream.Record {
+	for try := 0; ; try++ {
+		if buf, ok := p.free[i].Pop(); ok {
+			return buf
+		}
+		spinYield(try)
+	}
+}
+
+// sealStaging publishes shard i's staging run under the given epoch and
+// replaces it with a fresh buffer from the freelist.
+func (p *pipeline) sealStaging(i int, epoch uint32) {
+	p.pushRun(i, run{recs: p.staging[i], epoch: epoch, kind: runRecords})
+	p.staging[i] = p.nextStaging(i)
+}
+
+// worker drains one shard's work ring: processing runs, flushing at
+// in-band epoch markers, and recycling run buffers to the freelist.
+func (p *pipeline) worker(rt *Runtime, i int, wg *sync.WaitGroup) {
+	defer wg.Done()
+	work, free := p.work[i], p.free[i]
+	started := false
+	for {
+		r, ok := work.Pop()
+		if !ok {
+			for try := 0; ; try++ {
+				spinYield(try)
+				if r, ok = work.Pop(); ok {
+					break
+				}
+			}
+		}
+		switch r.kind {
+		case runRecords:
+			if len(r.recs) > 0 {
+				rt.ProcessBatch(r.recs, r.epoch)
+				started = true
+			}
+			// Return the buffer; the freelist holds all buffers, so
+			// this cannot block.
+			free.Push(r.recs[:0])
+		case runEpoch:
+			// Flush the state accumulated before the boundary; the
+			// marker's epoch is the one now opening. A shard that saw
+			// no records has nothing to flush.
+			if started {
+				rt.FlushEpoch()
+			}
+		case runStop:
+			if started {
+				rt.FlushEpoch()
+			}
+			return
+		}
+	}
+}
+
+// RunParallel consumes the source with one goroutine per shard behind a
+// pipelined router. Records are pulled in batches, hash-partitioned into
+// per-shard runs, and handed over lock-free SPSC rings; epoch boundaries
+// propagate as in-band markers so per-shard flushes and the HFTA merge
+// overlap the next epoch's routing. The sink passed at construction (or
+// SetBatchSink) must be concurrency-safe
+// (hfta.(*Aggregator).ConsumeBatch and Consume both are).
+//
+// The router's single clock defines epoch boundaries in stream arrival
+// order — exactly the sequential Run semantics, including the clamping
+// of late records into the open epoch.
+func (s *Sharded) RunParallel(src stream.Source, epochLen uint32) (Ops, error) {
+	n := len(s.shards)
+	if s.pipe == nil {
+		s.pipe = newPipeline(n)
+	}
+	p := s.pipe
+	for i := 0; i < n; i++ {
+		if p.staging[i] == nil {
+			p.staging[i] = p.nextStaging(i)
+		}
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i, rt := range s.shards {
+		go p.worker(rt, i, &wg)
+	}
+
+	clock := stream.NewClock(epochLen)
+	for {
+		m := stream.ReadBatch(src, p.batch)
+		if m == 0 {
+			break
+		}
+		for k := 0; k < m; k++ {
+			rec := &p.batch[k]
+			epoch, rolled := clock.Advance(rec.Time)
+			if rolled {
+				// Seal every shard's open run under the closing epoch
+				// and propagate the boundary in-band.
+				for i := 0; i < n; i++ {
+					if len(p.staging[i]) > 0 {
+						p.pushRun(i, run{recs: p.staging[i], epoch: epoch - 1, kind: runRecords})
+						p.staging[i] = p.nextStaging(i)
+					}
+					p.pushRun(i, run{epoch: epoch, kind: runEpoch})
+				}
+			}
+			i := s.ShardOf(rec)
+			p.staging[i] = append(p.staging[i], *rec)
+			if len(p.staging[i]) == runCapacity {
+				p.sealStaging(i, epoch)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if len(p.staging[i]) > 0 {
+			p.sealStaging(i, clock.Current())
+		}
+		p.pushRun(i, run{kind: runStop})
+	}
+	wg.Wait()
+	return s.Ops(), src.Err()
+}

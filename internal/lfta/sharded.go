@@ -2,7 +2,6 @@ package lfta
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/attr"
 	"repro/internal/cost"
@@ -28,6 +27,11 @@ import (
 // concurrent use (hfta.(*Aggregator).ConsumeBatch and Consume both are).
 type Sharded struct {
 	shards []*Runtime
+
+	// pipe is the pipelined RunParallel's routing state (SPSC rings and
+	// recycled staging runs), built on first use and reused across runs
+	// so steady-state ingest allocates nothing.
+	pipe *pipeline
 }
 
 // shardSeed derives the hash seed of one shard from the base seed via a
@@ -79,25 +83,26 @@ func (s *Sharded) NumShards() int { return len(s.shards) }
 // Shard exposes one underlying runtime (for stats inspection).
 func (s *Sharded) Shard(i int) *Runtime { return s.shards[i] }
 
+// shardRouteSeed keys the routing hash. It must differ from every table
+// seed (those derive from the user seed via shardSeed) so routing is not
+// correlated with any table's bucket placement; a fixed constant keeps
+// routing stable across runs, which checkpoint resume relies on.
+const shardRouteSeed = 0x5bd1e995bc9e3779
+
 // ShardOf hashes the full attribute vector to the index of the shard the
-// record routes to. Exposed so engine-level overload control can charge
-// each record against the budget slice of the shard doing the work.
+// record routes to, using the same word-at-a-time mixing kernel as the
+// hash tables (hashtab.HashWords) with a fastrange reduction. Exposed so
+// engine-level overload control can charge each record against the
+// budget slice of the shard doing the work.
 func (s *Sharded) ShardOf(rec *stream.Record) int {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	for _, v := range rec.Attrs {
-		h ^= uint64(v)
-		h *= prime64
-	}
-	return int(h % uint64(len(s.shards)))
+	return hashtab.Reduce(hashtab.HashWords(shardRouteSeed, rec.Attrs), len(s.shards))
 }
 
-// Process routes one record to its shard.
-func (s *Sharded) Process(rec stream.Record, epoch uint32) {
-	s.shards[s.ShardOf(&rec)].Process(rec, epoch)
+// Process routes one record to its shard. The record is passed by
+// pointer so the router does not copy it once for routing and again for
+// processing; the callee copies what it retains.
+func (s *Sharded) Process(rec *stream.Record, epoch uint32) {
+	s.shards[s.ShardOf(rec)].Process(*rec, epoch)
 }
 
 // FlushEpoch flushes every shard.
@@ -127,6 +132,15 @@ func (s *Sharded) TableStats() map[attr.Set]hashtab.Stats {
 		}
 	}
 	return out
+}
+
+// Reset empties every shard's tables and counters without releasing any
+// storage (see Runtime.Reset); the pipelined routing state is likewise
+// retained, so a reset deployment re-runs allocation-free.
+func (s *Sharded) Reset() {
+	for _, rt := range s.shards {
+		rt.Reset()
+	}
 }
 
 // ResetTableStats zeroes every shard's per-table counters (not contents).
@@ -161,7 +175,7 @@ func (s *Sharded) Run(src stream.Source, epochLen uint32) (Ops, error) {
 		if rolled {
 			s.FlushEpoch()
 		}
-		s.Process(rec, epoch)
+		s.Process(&rec, epoch)
 	}
 	if err := src.Err(); err != nil {
 		return s.Ops(), err
@@ -172,80 +186,3 @@ func (s *Sharded) Run(src stream.Source, epochLen uint32) (Ops, error) {
 	return s.Ops(), nil
 }
 
-// Batch-dispatch tuning for RunParallel. Each shard cycles through a
-// small fixed pool of record slices: the router fills one while the shard
-// goroutine drains others, and drained slices return to the shard's free
-// list. After warm-up the dispatch path performs no allocation and no
-// per-record channel operations — one send per batchSize records.
-const (
-	parallelBatchSize = 512
-	buffersPerShard   = 4
-)
-
-// RunParallel consumes the source with one goroutine per shard. The
-// router partitions records into per-shard slices recycled through a free
-// list, so channel synchronization and allocation amortize over whole
-// batches (per-record sends would cost more than the LFTA work itself).
-// The sink passed at construction (or SetBatchSink) must be
-// concurrency-safe. Each shard keeps its own epoch clock over the
-// (time-ordered) subsequence it receives, so flushes need no cross-shard
-// barrier.
-func (s *Sharded) RunParallel(src stream.Source, epochLen uint32) (Ops, error) {
-	n := len(s.shards)
-	work := make([]chan []stream.Record, n)
-	free := make([]chan []stream.Record, n)
-	for i := 0; i < n; i++ {
-		work[i] = make(chan []stream.Record, buffersPerShard)
-		free[i] = make(chan []stream.Record, buffersPerShard)
-		for j := 0; j < buffersPerShard-1; j++ {
-			free[i] <- make([]stream.Record, 0, parallelBatchSize)
-		}
-	}
-	var wg sync.WaitGroup
-	for i, rt := range s.shards {
-		wg.Add(1)
-		go func(rt *Runtime, in <-chan []stream.Record, back chan<- []stream.Record) {
-			defer wg.Done()
-			clock := stream.NewClock(epochLen)
-			for batch := range in {
-				for k := range batch {
-					epoch, rolled := clock.Advance(batch[k].Time)
-					if rolled {
-						rt.FlushEpoch()
-					}
-					rt.Process(batch[k], epoch)
-				}
-				back <- batch[:0]
-			}
-			if clock.Started() {
-				rt.FlushEpoch()
-			}
-		}(rt, work[i], free[i])
-	}
-	pending := make([][]stream.Record, n)
-	for i := range pending {
-		pending[i] = make([]stream.Record, 0, parallelBatchSize)
-	}
-	var srcErr error
-	for {
-		rec, ok := src.Next()
-		if !ok {
-			srcErr = src.Err()
-			break
-		}
-		i := s.ShardOf(&rec)
-		pending[i] = append(pending[i], rec)
-		if len(pending[i]) >= parallelBatchSize {
-			work[i] <- pending[i]
-			pending[i] = <-free[i]
-		}
-	}
-	for i, batch := range pending {
-		if len(batch) > 0 {
-			work[i] <- batch
-		}
-		close(work[i])
-	}
-	wg.Wait()
-	return s.Ops(), srcErr
-}

@@ -145,7 +145,7 @@ func TestShardedGroupStability(t *testing.T) {
 		for j := 0; j < s.NumShards(); j++ {
 			before[j] = s.Shard(j).Ops().Records
 		}
-		s.Process(recs[i], 0)
+		s.Process(&recs[i], 0)
 		shard := -1
 		for j := 0; j < s.NumShards(); j++ {
 			if s.Shard(j).Ops().Records != before[j] {

@@ -1,0 +1,108 @@
+// Package spsc provides a fixed-capacity single-producer single-consumer
+// ring buffer — the lock-free hand-off structure of the pipelined sharded
+// ingest path (router goroutine → shard worker, and worker → router for
+// the buffer freelist).
+//
+// The design is the classic two-counter SPSC queue: the producer owns the
+// tail sequence, the consumer owns the head sequence, and each side reads
+// the other's counter with atomic acquire/release semantics only when its
+// cached copy says the ring looks full (or empty). Counters grow
+// monotonically and are reduced mod capacity on access, so full/empty are
+// distinguishable without a wasted slot. Head, tail, and the two cache
+// fields live on separate cache lines so the producer and consumer never
+// false-share.
+//
+// Push/Pop never block and never allocate; blocking policies (spin,
+// yield, sleep) belong to the caller, which knows whether it is on a
+// latency-critical hot path or an idle drain. See lfta's pipelined
+// RunParallel for the canonical spin-then-yield loop.
+package spsc
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// pad is one cache line of padding; 64 bytes covers the common 64-byte
+// line and halves sharing on 128-byte-line parts.
+type pad [64]byte
+
+// Ring is a fixed-capacity SPSC queue of T. One goroutine may call Push
+// (the producer) and one other goroutine may call Pop (the consumer)
+// concurrently; any other sharing is a data race by contract.
+type Ring[T any] struct {
+	_        pad
+	head     atomic.Uint64 // next sequence the consumer will read
+	headSeen uint64        // producer's cached copy of head
+	_        pad
+	tail     atomic.Uint64 // next sequence the producer will write
+	tailSeen uint64        // consumer's cached copy of tail
+	_        pad
+	mask uint64
+	buf  []T
+}
+
+// New builds a ring with the given capacity, rounded up to a power of
+// two (minimum 2) so sequence-to-slot reduction is a mask.
+func New[T any](capacity int) *Ring[T] {
+	if capacity < 2 {
+		capacity = 2
+	}
+	c := 1
+	for c < capacity {
+		c <<= 1
+	}
+	return &Ring[T]{mask: uint64(c - 1), buf: make([]T, c)}
+}
+
+// Cap returns the ring's slot count.
+func (r *Ring[T]) Cap() int { return len(r.buf) }
+
+// Push appends v if the ring has space, reporting whether it did.
+// Producer-side only.
+func (r *Ring[T]) Push(v T) bool {
+	t := r.tail.Load() // own counter: plain ordering would do, Load is free on x86
+	if t-r.headSeen > r.mask {
+		r.headSeen = r.head.Load()
+		if t-r.headSeen > r.mask {
+			return false
+		}
+	}
+	r.buf[t&r.mask] = v
+	r.tail.Store(t + 1) // release: publishes the slot write
+	return true
+}
+
+// Pop removes and returns the oldest element, reporting whether one was
+// available. Consumer-side only.
+func (r *Ring[T]) Pop() (T, bool) {
+	h := r.head.Load()
+	if h == r.tailSeen {
+		r.tailSeen = r.tail.Load()
+		if h == r.tailSeen {
+			var zero T
+			return zero, false
+		}
+	}
+	v := r.buf[h&r.mask]
+	var zero T
+	r.buf[h&r.mask] = zero // drop the ring's reference so T's pointees can be collected
+	r.head.Store(h + 1)    // release: returns the slot to the producer
+	return v, true
+}
+
+// Len returns a linearizable-enough snapshot of the element count; exact
+// only when producer and consumer are quiescent (used by tests and
+// drain checks, not for flow control).
+func (r *Ring[T]) Len() int {
+	return int(r.tail.Load() - r.head.Load())
+}
+
+// Reset empties the ring. It must only be called while neither side is
+// active (between pipeline runs); it panics if elements remain, which
+// would indicate a drain bug rather than a reset use case.
+func (r *Ring[T]) Reset() {
+	if n := r.Len(); n != 0 {
+		panic(fmt.Sprintf("spsc: Reset with %d undrained elements", n))
+	}
+}

@@ -1,0 +1,199 @@
+package spsc
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{-1, 2}, {0, 2}, {1, 2}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {1000, 1024},
+	} {
+		if got := New[int](tc.in).Cap(); got != tc.want {
+			t.Errorf("New(%d).Cap() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestSequentialFIFO(t *testing.T) {
+	r := New[int](4)
+	// Interleave pushes and pops across several wraparounds.
+	next := 0
+	want := 0
+	for round := 0; round < 100; round++ {
+		for r.Push(next) {
+			next++
+		}
+		if r.Len() != r.Cap() {
+			t.Fatalf("full ring Len = %d, want %d", r.Len(), r.Cap())
+		}
+		for i := 0; i < 3; i++ {
+			v, ok := r.Pop()
+			if !ok {
+				t.Fatal("pop from non-empty ring failed")
+			}
+			if v != want {
+				t.Fatalf("popped %d, want %d", v, want)
+			}
+			want++
+		}
+	}
+	for {
+		v, ok := r.Pop()
+		if !ok {
+			break
+		}
+		if v != want {
+			t.Fatalf("drain popped %d, want %d", v, want)
+		}
+		want++
+	}
+	if want != next {
+		t.Fatalf("drained %d elements, pushed %d", want, next)
+	}
+	if _, ok := r.Pop(); ok {
+		t.Error("pop from empty ring succeeded")
+	}
+	r.Reset() // empty: must not panic
+}
+
+// item mirrors the pipelined ingest path's ring payload: a record run or
+// an in-band epoch marker.
+type item struct {
+	epoch  uint32
+	seq    int // record sequence number; -1 for a marker
+	marker bool
+}
+
+// TestConcurrentExactlyOnceInOrder is the property test the pipelined
+// sharded path rests on, run under the race detector in CI: a producer
+// streaming records punctuated by in-band epoch markers and a concurrent
+// consumer. Every record must arrive exactly once, in order, and no
+// epoch marker may be reordered past a record of its epoch: when the
+// consumer sees the marker opening epoch e, it must already have every
+// record of epochs < e and no record of epoch ≥ e may precede it.
+func TestConcurrentExactlyOnceInOrder(t *testing.T) {
+	const (
+		records = 200000
+		epochs  = 50
+	)
+	for _, capacity := range []int{2, 8, 64} {
+		r := New[item](capacity)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(capacity)))
+			epoch := uint32(0)
+			for seq := 0; seq < records; seq++ {
+				if e := uint32(seq * epochs / records); e != epoch {
+					epoch = e
+					for !r.Push(item{epoch: epoch, seq: -1, marker: true}) {
+						runtime.Gosched()
+					}
+				}
+				for !r.Push(item{epoch: epoch, seq: seq}) {
+					runtime.Gosched()
+				}
+				if rng.Intn(1024) == 0 {
+					runtime.Gosched() // jitter the interleaving
+				}
+			}
+		}()
+
+		seen := 0
+		curEpoch := uint32(0)
+		spins := 0
+		for seen < records {
+			it, ok := r.Pop()
+			if !ok {
+				spins++
+				runtime.Gosched()
+				continue
+			}
+			if it.marker {
+				if it.epoch != curEpoch+1 {
+					t.Fatalf("cap %d: marker jumped from epoch %d to %d", capacity, curEpoch, it.epoch)
+				}
+				curEpoch = it.epoch
+				continue
+			}
+			if it.seq != seen {
+				t.Fatalf("cap %d: record %d arrived out of order (want %d): lost or duplicated", capacity, it.seq, seen)
+			}
+			if it.epoch != curEpoch {
+				t.Fatalf("cap %d: record %d of epoch %d arrived while epoch %d open: marker reordered", capacity, it.seq, it.epoch, curEpoch)
+			}
+			seen++
+		}
+		wg.Wait()
+		if r.Len() != 0 {
+			t.Fatalf("cap %d: %d elements left after drain", capacity, r.Len())
+		}
+		_ = spins
+	}
+}
+
+// TestFreelistRecycling drives the dual-ring shape the router uses — a
+// work ring one way, a freelist ring back — and checks no buffer is ever
+// lost or handed out twice concurrently.
+func TestFreelistRecycling(t *testing.T) {
+	const (
+		buffers = 8
+		rounds  = 100000
+	)
+	work := New[*[]int](buffers)
+	free := New[*[]int](buffers)
+	known := map[*[]int]bool{}
+	for i := 0; i < buffers; i++ {
+		b := make([]int, 0, 4)
+		free.Push(&b)
+		known[&b] = true
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // consumer: drain work, return buffers to the freelist
+		defer wg.Done()
+		for n := 0; n < rounds; {
+			buf, ok := work.Pop()
+			if !ok {
+				runtime.Gosched()
+				continue
+			}
+			if len(*buf) != 1 || (*buf)[0] != n {
+				panic("buffer payload out of order")
+			}
+			*buf = (*buf)[:0]
+			for !free.Push(buf) {
+				runtime.Gosched()
+			}
+			n++
+		}
+	}()
+	for n := 0; n < rounds; n++ {
+		var buf *[]int
+		for {
+			var ok bool
+			if buf, ok = free.Pop(); ok {
+				break
+			}
+			runtime.Gosched()
+		}
+		if !known[buf] {
+			t.Fatal("freelist handed out an unknown buffer")
+		}
+		if len(*buf) != 0 {
+			t.Fatal("freelist handed out a non-empty buffer")
+		}
+		*buf = append(*buf, n)
+		for !work.Push(buf) {
+			runtime.Gosched()
+		}
+	}
+	wg.Wait()
+	if total := work.Len() + free.Len(); total != buffers {
+		t.Fatalf("%d buffers accounted for, want %d", total, buffers)
+	}
+}
