@@ -82,6 +82,8 @@ func benchSuite() []namedBench {
 		{name: "engine-throughput", recordsPerOp: 1, fn: benchEngineThroughput},
 		{name: "runtime-record", recordsPerOp: 1, fn: benchRuntimeRecord},
 		{name: "lfta-probe", recordsPerOp: 1, fn: benchLFTAProbe},
+		{name: "lfta-probe-large-scalar", recordsPerOp: 1, fn: benchLFTAProbeLarge(false)},
+		{name: "lfta-probe-large-batch", recordsPerOp: 1, fn: benchLFTAProbeLarge(true)},
 		{name: "hfta-merge", recordsPerOp: 0, fn: benchHFTAMerge},
 		{name: "sharded-sequential", recordsPerOp: shardedBenchRecords, fn: shardedBench(false)},
 		{name: "sharded-parallel", recordsPerOp: shardedBenchRecords, fn: shardedBench(true)},
@@ -209,6 +211,73 @@ func benchLFTAProbe(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tab.ProbeInto(keys[i%len(keys)], deltas, &victim)
+	}
+}
+
+// Large-table probe benchmark parameters: a table whose bucket storage
+// (~40 MB at 2^21 buckets × (2 key words + 1 aggregate + update count +
+// tag)) dwarfs any L2/L3, probed with a stream of ~4M distinct groups
+// drawn from a universe four times the bucket count. In steady state
+// most probes evict a resident victim, so the benchmark is genuinely
+// miss-heavy: every probe is a near-certain cache miss AND a hard-to-
+// predict branch, the regime where the paper's c1 cost is pure memory
+// latency. (A shorter cycled stream goes hit-dominated after the first
+// lap — resident groups, predictable branches — and the out-of-order
+// core hides the latency on its own.) The scalar and batch variants run
+// the same key sequence; their ratio is the measured memory-level-
+// parallelism win of ProbeBatchInto's prefetched setup/commit split.
+const (
+	largeProbeBuckets  = 1 << 21
+	largeProbeKeys     = 1 << 22 // pregenerated probe stream, cycled
+	largeProbeUniverse = 1 << 23
+	largeProbeRun      = 512 // run length fed to ProbeBatchInto per call
+)
+
+// newLargeProbeFixture builds the table and the flat columnar key stream
+// shared by both variants.
+func newLargeProbeFixture() (*hashtab.Table, []uint32) {
+	tab := hashtab.MustNew(attr.MustParseSet("AB"), largeProbeBuckets, []hashtab.AggOp{hashtab.Sum}, 11)
+	rng := rand.New(rand.NewSource(17))
+	keys := make([]uint32, 2*largeProbeKeys)
+	for i := 0; i < largeProbeKeys; i++ {
+		g := rng.Intn(largeProbeUniverse)
+		keys[2*i] = uint32(g)
+		keys[2*i+1] = uint32(g >> 11)
+	}
+	return tab, keys
+}
+
+// benchLFTAProbeLarge measures ns per probe on the miss-heavy large
+// table, scalar (ProbeInto loop) or batched (ProbeBatchInto runs).
+func benchLFTAProbeLarge(batched bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		tab, keys := newLargeProbeFixture()
+		deltas := make([]int64, largeProbeRun)
+		for i := range deltas {
+			deltas[i] = 1
+		}
+		nruns := largeProbeKeys / largeProbeRun
+		var victim hashtab.Entry
+		var out hashtab.VictimRun
+		b.ReportAllocs()
+		b.ResetTimer()
+		if batched {
+			for done := 0; done < b.N; {
+				r := (done / largeProbeRun) % nruns
+				n := largeProbeRun
+				if b.N-done < n {
+					n = b.N - done
+				}
+				o := r * largeProbeRun * 2
+				tab.ProbeBatchInto(keys[o:o+2*n], deltas[:n], &out)
+				done += n
+			}
+		} else {
+			for i := 0; i < b.N; i++ {
+				o := (i % largeProbeKeys) * 2
+				tab.ProbeInto(keys[o:o+2:o+2], deltas[:1], &victim)
+			}
+		}
 	}
 }
 

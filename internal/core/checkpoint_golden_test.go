@@ -1,0 +1,198 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/hfta"
+	"repro/internal/stream"
+)
+
+// Golden checkpoint images. The files under testdata/ckpt were written by
+// the engine BEFORE the hash-table layout switched to the fingerprint-
+// tagged split arrays, so these tests prove the compatibility claim the
+// checkpoint format makes: images never serialize table internals (they
+// are written at epoch boundaries, tables empty), so a layout change must
+// restore old images onto the new tables with nothing lost — same resumed
+// answers, and a re-serialized checkpoint byte-identical to the original.
+//
+// Regenerate (only when the checkpoint FORMAT itself changes, never for a
+// table-layout change) with:
+//
+//	MAGG_WRITE_GOLDEN=1 go test -run TestGoldenCheckpoint ./internal/core
+
+const goldenDir = "testdata/ckpt"
+
+// goldenPlainOpts is the unsharded, non-shedding deployment of the plain
+// golden images; v1 and v2 restore to identical state for it, which the
+// byte-identity check across versions relies on.
+func goldenPlainOpts() Options { return Options{M: 8000, Seed: 3} }
+
+// goldenShardedOpts is the sharded-and-shedding deployment of the
+// sharded golden image (v2 only: v1 cannot carry its state).
+func goldenShardedOpts() Options {
+	return Options{
+		M: 8000, Seed: 3, Shards: 4,
+		Budget: 900, Shed: NewUniformShed(0.5, 99),
+	}
+}
+
+// goldenCrashAt is the record index the golden run "crashed" at
+// (mid-epoch, past several boundaries; see TestCheckpointRoundTrip).
+const goldenCrashAt = 17000
+
+// writeGolden runs the workload past the crash point with the engine
+// writing its checkpoint at every epoch boundary, keeps the last
+// boundary image as the golden v2 file, and (when v1Path is non-empty)
+// derives the matching v1 image by restoring a fresh engine from that
+// boundary and serializing it in the v1 format.
+func writeGolden(t *testing.T, opts Options, v2Path, v1Path string) {
+	t.Helper()
+	recs, groups := testWorkload(t, 30000)
+	if err := os.MkdirAll(goldenDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	copts := opts
+	copts.CheckpointPath = v2Path
+	e, err := New(pairSQL, groups, copts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < goldenCrashAt; i++ {
+		if err := e.Process(recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Stats().Epochs == 0 {
+		t.Fatal("golden run never crossed an epoch boundary")
+	}
+	t.Logf("wrote %s", v2Path)
+	if v1Path == "" {
+		return
+	}
+	r, err := New(pairSQL, groups, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RestoreCheckpointFile(v2Path); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.checkpointVersion(&buf, ckptVersionV1); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(v1Path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (%d bytes)", v1Path, buf.Len())
+}
+
+func goldenPath(name string) string { return filepath.Join(goldenDir, name) }
+
+func maybeWriteGolden(t *testing.T) {
+	t.Helper()
+	if os.Getenv("MAGG_WRITE_GOLDEN") == "" {
+		return
+	}
+	writeGolden(t, goldenPlainOpts(), goldenPath("plain_v2.ckpt"), goldenPath("plain_v1.ckpt"))
+	writeGolden(t, goldenShardedOpts(), goldenPath("sharded_v2.ckpt"), "")
+}
+
+// TestGoldenCheckpointRestore restores each pre-layout-change image onto
+// the current table layout, replays the remaining stream, and requires
+// the answers of an uninterrupted run.
+func TestGoldenCheckpointRestore(t *testing.T) {
+	maybeWriteGolden(t)
+	recs, groups := testWorkload(t, 30000)
+	cases := []struct {
+		file string
+		opts Options
+	}{
+		{"plain_v1.ckpt", goldenPlainOpts()},
+		{"plain_v2.ckpt", goldenPlainOpts()},
+		{"sharded_v2.ckpt", goldenShardedOpts()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			// Reference: the same deployment run uninterrupted.
+			ref, err := New(pairSQL, groups, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ref.Run(stream.NewSliceSource(recs)); err != nil {
+				t.Fatal(err)
+			}
+			want := ref.AllResults()
+
+			e, err := New(pairSQL, groups, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			consumed, err := e.RestoreCheckpointFile(goldenPath(tc.file))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if consumed == 0 || consumed >= goldenCrashAt {
+				t.Fatalf("restored stream position %d, want in (0, %d)", consumed, goldenCrashAt)
+			}
+			src := stream.NewSkipSource(stream.NewSliceSource(recs), consumed)
+			if err := e.Run(src); err != nil {
+				t.Fatal(err)
+			}
+			if !hfta.Equal(e.AllResults(), want) {
+				t.Error("resumed results differ from uninterrupted run")
+			}
+			refDeg := ref.Stats().Degradation
+			resDeg := e.Stats().Degradation
+			if refDeg != resDeg {
+				t.Errorf("resumed degradation ledger %+v, want %+v", resDeg, refDeg)
+			}
+		})
+	}
+}
+
+// TestGoldenCheckpointByteIdentity proves the stronger claim: an engine
+// restored from a pre-layout-change image serializes back to the exact
+// bytes of the golden v2 image — nothing in the checkpoint state was
+// reinterpreted by the new table layout. Restoring the v1 image must
+// also produce the golden v2 bytes (its deployment carries no
+// v2-section state, so v1 and v2 restore identically).
+func TestGoldenCheckpointByteIdentity(t *testing.T) {
+	maybeWriteGolden(t)
+	_, groups := testWorkload(t, 30000)
+	wantV2 := func(name string) []byte {
+		data, err := os.ReadFile(goldenPath(name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	cases := []struct {
+		file, want string
+		opts       Options
+	}{
+		{"plain_v1.ckpt", "plain_v2.ckpt", goldenPlainOpts()},
+		{"plain_v2.ckpt", "plain_v2.ckpt", goldenPlainOpts()},
+		{"sharded_v2.ckpt", "sharded_v2.ckpt", goldenShardedOpts()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			e, err := New(pairSQL, groups, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.RestoreCheckpointFile(goldenPath(tc.file)); err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := e.Checkpoint(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), wantV2(tc.want)) {
+				t.Errorf("re-serialized checkpoint differs from golden %s", tc.want)
+			}
+		})
+	}
+}

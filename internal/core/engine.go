@@ -233,7 +233,29 @@ type Engine struct {
 	// with TrackPhantoms), reset every epoch.
 	sketches  map[attr.Set]*sketch.HLL
 	sketchBuf []uint32
+
+	// Record staging for the batched LFTA path (active only when
+	// opts.Budget == 0: overload control must charge each record's
+	// measured cost before admitting the next, which forces the scalar
+	// path). On-time records accumulate in runs of up to stageRun records
+	// — per shard when sharded — as one flat record-major attribute block
+	// per run (callers may reuse rec.Attrs after Process returns, so the
+	// words are copied exactly once), and drain through
+	// Runtime.ProcessRun when a run fills, at every epoch boundary, and
+	// before any counter read. The flat block is the zero-copy probe run
+	// of a full-width raw relation. Ledgers, sketches, and the stream
+	// position are all maintained at Process time, so staging is
+	// invisible everywhere except the memory access schedule.
+	stageArena []uint32
+	stageWidth int
+	stageEpoch uint32
+	shardArena [][]uint32
 }
+
+// stageRun is the staged-run capacity, matching the SPSC pipeline's
+// sealed-run size so the batch kernel sees the same run shape on both
+// ingestion paths.
+const stageRun = 512
 
 // New builds an engine from GSQL query texts (see package query for the
 // dialect). The queries must differ only in grouping attributes. groups
@@ -325,6 +347,9 @@ func NewFromSpecs(specs []*query.Spec, groups feedgraph.GroupCounts, opts Option
 		e.shardDeg = make([]Degradation, e.nShards)
 		e.shardCum = make([]Degradation, e.nShards)
 		e.shardRouted = make([]uint64, e.nShards)
+		if opts.Budget == 0 {
+			e.shardArena = make([][]uint32, e.nShards)
+		}
 	}
 	for _, s := range specs {
 		e.queries = append(e.queries, s.GroupBy)
@@ -551,7 +576,7 @@ func (e *Engine) Process(rec stream.Record) error {
 			float64(after.Transfers-before.Transfers)*e.opts.Params.C2
 		e.deg.Processed++
 	} else {
-		e.rt.Process(rec, epoch)
+		e.stageRecord(rec, epoch)
 		e.deg.Processed++
 	}
 	if len(e.sketches) != 0 {
@@ -599,11 +624,58 @@ func (e *Engine) processSharded(rec stream.Record, epoch uint32) bool {
 		e.shardAvail[s] -= float64(after.Probes-before.Probes)*e.opts.Params.C1 +
 			float64(after.Transfers-before.Transfers)*e.opts.Params.C2
 	} else {
-		e.srt.Shard(s).Process(rec, epoch)
+		e.stageShardRecord(s, rec, epoch)
 	}
 	e.deg.Processed++
 	sd.Processed++
 	return true
+}
+
+// stageRecord appends one on-time record's attributes to the
+// single-runtime staging block and drains when the run fills. A record
+// width change (possible only if the caller switches schemas mid-stream)
+// drains the pending runs first, so every block stays rectangular.
+func (e *Engine) stageRecord(rec stream.Record, epoch uint32) {
+	if len(rec.Attrs) != e.stageWidth {
+		e.drainStage()
+		e.stageWidth = len(rec.Attrs)
+	}
+	e.stageEpoch = epoch
+	e.stageArena = append(e.stageArena, rec.Attrs...)
+	if len(e.stageArena) >= stageRun*e.stageWidth {
+		e.drainStage()
+	}
+}
+
+// stageShardRecord is stageRecord for one shard's staging block.
+func (e *Engine) stageShardRecord(s int, rec stream.Record, epoch uint32) {
+	if len(rec.Attrs) != e.stageWidth {
+		e.drainStage()
+		e.stageWidth = len(rec.Attrs)
+	}
+	e.stageEpoch = epoch
+	e.shardArena[s] = append(e.shardArena[s], rec.Attrs...)
+	if len(e.shardArena[s]) >= stageRun*e.stageWidth {
+		e.srt.Shard(s).ProcessRun(e.shardArena[s], e.stageWidth, epoch)
+		e.shardArena[s] = e.shardArena[s][:0]
+	}
+}
+
+// drainStage flushes every staged run into the LFTA. Called when a run
+// fills, at epoch boundaries (before the table flush), and before any
+// read of runtime counters, so staged records are never observable as
+// unprocessed.
+func (e *Engine) drainStage() {
+	if len(e.stageArena) > 0 {
+		e.rt.ProcessRun(e.stageArena, e.stageWidth, e.stageEpoch)
+		e.stageArena = e.stageArena[:0]
+	}
+	for s := range e.shardArena {
+		if len(e.shardArena[s]) > 0 {
+			e.srt.Shard(s).ProcessRun(e.shardArena[s], e.stageWidth, e.stageEpoch)
+			e.shardArena[s] = e.shardArena[s][:0]
+		}
+	}
 }
 
 // admit replenishes the per-time-unit budget when stream time advances
@@ -644,6 +716,7 @@ func (e *Engine) endEpoch() error {
 // degradation record. It also measures the flush's actual cost for the
 // online peak-load repair.
 func (e *Engine) closeEpochState() Degradation {
+	e.drainStage()
 	closed := e.deg
 	e.deg = Degradation{}
 	e.degInit = false
@@ -964,6 +1037,7 @@ func (e *Engine) Epochs(rel attr.Set) []uint32 { return e.agg.Epochs(rel) }
 // Ops returns cumulative LFTA operation counts, across re-plans and
 // summed over shards.
 func (e *Engine) Ops() lfta.Ops {
+	e.drainStage()
 	ops := e.runtimeOps()
 	return lfta.Ops{
 		Probes:    e.totalOps.Probes + ops.Probes,
@@ -1072,6 +1146,7 @@ type Diagnostics struct {
 // history. In adaptive mode the measured table window is the current
 // epoch (stats reset at each refresh).
 func (e *Engine) Diagnostics() (*Diagnostics, error) {
+	e.drainStage()
 	rates, err := cost.Rates(e.plan.Config, e.groups, e.plan.Alloc, e.opts.Params)
 	if err != nil {
 		return nil, err

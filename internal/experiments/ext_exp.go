@@ -33,9 +33,8 @@ func init() {
 
 // ExtDrops compares drop rates of the GCSL plan and the no-phantom plan
 // under a sweep of LFTA capacities (weighted operations per stream
-// second), using the engine's unified budget path (the same overload
-// control production runs use, single or sharded) instead of the
-// deprecated lfta.Paced wrapper.
+// second), using the engine's unified budget path — the same overload
+// control production runs use, single or sharded.
 func ExtDrops(ctx *Context) (*Table, error) {
 	u, recs, err := ctx.synthData()
 	if err != nil {

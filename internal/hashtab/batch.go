@@ -1,0 +1,193 @@
+package hashtab
+
+import (
+	"fmt"
+	"unsafe"
+)
+
+// Batch probing: the memory-level-parallelism kernel of the table.
+//
+// A scalar ProbeInto pays one dependent cache-miss chain per probe —
+// hash, then wait for the bucket lines — and on eviction-heavy streams
+// the data-dependent branches mispredict constantly, flushing whatever
+// lookahead the out-of-order core had built across loop iterations.
+// ProbeBatchInto decouples address generation from resolution: a setup
+// pass hashes every key in the run and records its bucket index and
+// fingerprint (pure compute, no memory traffic); the commit pass then
+// resolves probes in order while software-prefetching the tag byte, key
+// words, and aggregate words of the bucket prefetchDist probes ahead.
+// Branch mispredicts in the commit loop no longer cost a serialized
+// miss: the flushed lookahead's lines are already in flight.
+//
+// The commit pass re-reads each bucket's tag fresh rather than trusting
+// the setup pass: two records with the same key inside one run must
+// resolve against each other (first installs, second hits) exactly as
+// they would through scalar probes. Only the hash work (bucket index and
+// fingerprint, pure functions of the key) is precomputed.
+
+// prefetchDist is how many probes ahead of the commit point the three
+// bucket lines are requested. The lead time is prefetchDist × the warm
+// commit cost (~15-20 ns), which must cover a DRAM miss (~100 ns), so
+// distances below ~8 arrive late; much larger distances ask for more
+// outstanding lines than the core's ~10-16 miss buffers track, and the
+// overflow is silently dropped. 16 is comfortably inside both walls.
+const prefetchDist = 16
+
+// prefetchMinBytes gates prefetching by table size. Tables that fit
+// comfortably in cache hit L1/L2 anyway, and the three prefetch calls
+// (~4-5 ns, the stubs are assembly and cannot inline) would be pure
+// overhead per probe; tables past this size miss to L3/DRAM where each
+// hidden miss repays the calls many times over.
+const prefetchMinBytes = 256 << 10
+
+// VictimRun collects the collision victims of a batch probe in columnar
+// form: Keys holds Len()×arity key words and Aggs holds Len()×NumAggs()
+// aggregate values, both in eviction order. The layout is exactly a
+// probe run, so a cascade feeds victims onward by projecting Keys into a
+// child key run and passing Aggs as the child's deltas verbatim. The
+// slices are reused across Resets; steady state appends nothing.
+type VictimRun struct {
+	Keys []uint32
+	Aggs []int64
+
+	n     int
+	arity int
+	naggs int
+}
+
+// Reset empties the run and fixes the per-victim widths.
+func (r *VictimRun) Reset(arity, naggs int) {
+	r.Keys = r.Keys[:0]
+	r.Aggs = r.Aggs[:0]
+	r.n = 0
+	r.arity = arity
+	r.naggs = naggs
+}
+
+// Len returns the number of victims in the run.
+func (r *VictimRun) Len() int { return r.n }
+
+// Key returns the i-th victim's key, aliasing the run's storage.
+func (r *VictimRun) Key(i int) []uint32 {
+	return r.Keys[i*r.arity : (i+1)*r.arity]
+}
+
+// AggRow returns the i-th victim's aggregates, aliasing the run's
+// storage.
+func (r *VictimRun) AggRow(i int) []int64 {
+	return r.Aggs[i*r.naggs : (i+1)*r.naggs]
+}
+
+// ProbeBatchInto probes a run of keys (flat, len = n×Arity()) with
+// per-key deltas (flat, len = n×NumAggs()) and appends every collision
+// victim to out, which is reset first. Outcomes, statistics, and final
+// table contents are identical to n scalar ProbeInto calls in the same
+// order; only the memory access schedule differs. The run's keys and
+// deltas are read, never retained.
+func (t *Table) ProbeBatchInto(keys []uint32, deltas []int64, out *VictimRun) {
+	a := t.arity
+	na := len(t.ops)
+	if len(keys)%a != 0 {
+		panic(fmt.Sprintf("hashtab: batch key run of %d words for table %v (arity %d)", len(keys), t.rel, a))
+	}
+	n := len(keys) / a
+	if len(deltas) != n*na {
+		panic(fmt.Sprintf("hashtab: %d batch deltas for %d probes of table %v (%d aggs)", len(deltas), n, t.rel, na))
+	}
+	out.Reset(a, na)
+	if cap(t.batchIdx) < n {
+		t.batchIdx = make([]int, n)
+		t.batchTag = make([]uint8, n)
+	}
+	idx := t.batchIdx[:n]
+	tg := t.batchTag[:n]
+
+	// Setup pass: hash and classify the whole run — pure compute, so it
+	// never competes with the bucket traffic it schedules.
+	for k := 0; k < n; k++ {
+		o := k * a
+		h := t.hash(keys[o : o+a : o+a])
+		idx[k] = Reduce(h, t.b)
+		tg[k] = tagOf(h)
+	}
+
+	// Commit pass: resolve in order against fresh bucket state, keeping
+	// the bucket prefetchDist probes ahead in flight.
+	if t.SpaceUnits()*4 >= prefetchMinBytes {
+		warm := prefetchDist
+		if warm > n {
+			warm = n
+		}
+		for k := 0; k < warm; k++ {
+			i := idx[k]
+			prefetch(unsafe.Pointer(&t.tags[i]))
+			prefetch(unsafe.Pointer(&t.keys[i*a]))
+			prefetch(unsafe.Pointer(&t.aggs[i*na]))
+		}
+		for k := 0; k < n; k++ {
+			if k+prefetchDist < n {
+				i := idx[k+prefetchDist]
+				prefetch(unsafe.Pointer(&t.tags[i]))
+				prefetch(unsafe.Pointer(&t.keys[i*a]))
+				prefetch(unsafe.Pointer(&t.aggs[i*na]))
+			}
+			t.stats.Probes++
+			t.commitProbe(idx[k], tg[k], keys[k*a:k*a+a:k*a+a], deltas[k*na:k*na+na:k*na+na], out)
+		}
+		return
+	}
+	for k := 0; k < n; k++ {
+		t.stats.Probes++
+		t.commitProbe(idx[k], tg[k], keys[k*a:k*a+a:k*a+a], deltas[k*na:k*na+na:k*na+na], out)
+	}
+}
+
+// commitProbe resolves one batch probe against a precomputed bucket
+// index and fingerprint, appending any victim to out. It mirrors the
+// open-coded kernel of ProbeInto exactly (the batched≡scalar property
+// tests hold the two together); the only difference is where the victim
+// lands.
+func (t *Table) commitProbe(i int, tag uint8, key []uint32, deltas []int64, out *VictimRun) {
+	a := t.arity
+	rt := t.tags[i]
+	if rt == tag {
+		ks := t.keys[i*a : i*a+a : i*a+a]
+		match := true
+		for j := 0; j < a; j++ {
+			if ks[j] != key[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			up := t.updates[i]
+			if t.sumOnly {
+				t.aggs[i] += deltas[0]
+				if up != ^uint32(0) {
+					t.updates[i] = up + 1
+				}
+			} else {
+				as := t.aggs[i*len(t.ops) : (i+1)*len(t.ops)]
+				t.fold(i, as, deltas, up)
+			}
+			t.stats.Hits++
+			return
+		}
+	}
+	ks := t.keys[i*a : i*a+a : i*a+a]
+	as := t.aggs[i*len(t.ops) : (i+1)*len(t.ops)]
+	if rt == 0 {
+		t.install(i, tag, ks, as, key, deltas)
+		t.live++
+		t.stats.Inserts++
+		return
+	}
+	up := t.updates[i]
+	out.Keys = append(out.Keys, ks...)
+	out.Aggs = append(out.Aggs, as...)
+	out.n++
+	t.stats.Collisions++
+	t.stats.EvictedUpdates += uint64(up)
+	t.stats.EvictedEntries++
+	t.install(i, tag, ks, as, key, deltas)
+}

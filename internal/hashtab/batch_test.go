@@ -1,0 +1,156 @@
+package hashtab
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/attr"
+)
+
+// buildRun generates n random keys (flat, n×arity) with enough repetition
+// that runs contain duplicate keys — the case the commit pass must
+// resolve against fresh bucket state — plus matching per-probe deltas.
+func buildRun(rng *rand.Rand, n, arity, naggs, universe int) ([]uint32, []int64) {
+	keys := make([]uint32, 0, n*arity)
+	deltas := make([]int64, 0, n*naggs)
+	for i := 0; i < n; i++ {
+		g := rng.Intn(universe)
+		for j := 0; j < arity; j++ {
+			keys = append(keys, uint32(g*31+j*7))
+		}
+		for j := 0; j < naggs; j++ {
+			deltas = append(deltas, int64(rng.Intn(100)-20))
+		}
+	}
+	return keys, deltas
+}
+
+// collectScalar replays a run through ProbeInto, gathering victims in
+// eviction order.
+func collectScalar(t *Table, keys []uint32, deltas []int64) (vkeys []uint32, vaggs []int64) {
+	a, na := t.Arity(), t.NumAggs()
+	n := len(keys) / a
+	var victim Entry
+	for i := 0; i < n; i++ {
+		if t.ProbeInto(keys[i*a:(i+1)*a], deltas[i*na:(i+1)*na], &victim) {
+			vkeys = append(vkeys, victim.Key...)
+			vaggs = append(vaggs, victim.Aggs...)
+		}
+	}
+	return vkeys, vaggs
+}
+
+// TestProbeBatchMatchesScalar holds ProbeBatchInto to bit-identical
+// behaviour with scalar ProbeInto: same victims in the same order, same
+// statistics, same final table contents — across arities, aggregate
+// shapes, table sizes (spanning the prefetch gate), and run lengths that
+// exercise partial chunks.
+func TestProbeBatchMatchesScalar(t *testing.T) {
+	cases := []struct {
+		name     string
+		arity    int
+		ops      []AggOp
+		buckets  int
+		universe int
+	}{
+		{"count-small", 2, []AggOp{Sum}, 512, 900},
+		{"count-large", 2, []AggOp{Sum}, 1 << 16, 90000},
+		{"multi-agg", 3, []AggOp{Sum, Min, Max}, 4096, 6000},
+		{"arity1-dense-dups", 1, []AggOp{Sum}, 257, 40},
+		{"arity4", 4, []AggOp{Sum, Max}, 1 << 15, 50000},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rel := attr.MustParseSet("ABCD"[:tc.arity])
+			rng := rand.New(rand.NewSource(int64(tc.buckets)))
+			scalar := MustNew(rel, tc.buckets, tc.ops, 42)
+			batched := MustNew(rel, tc.buckets, tc.ops, 42)
+			var out VictimRun
+			// Run lengths chosen to hit exact chunks, partial tails, and
+			// sub-chunk runs.
+			for _, n := range []int{1, 63, 64, 65, 200, 512, 1000} {
+				keys, deltas := buildRun(rng, n, tc.arity, len(tc.ops), tc.universe)
+				wantK, wantA := collectScalar(scalar, keys, deltas)
+				batched.ProbeBatchInto(keys, deltas, &out)
+				if got := out.Len(); got != len(wantK)/tc.arity {
+					t.Fatalf("n=%d: %d batch victims, scalar %d", n, got, len(wantK)/tc.arity)
+				}
+				for i := 0; i < out.Len(); i++ {
+					ks, as := out.Key(i), out.AggRow(i)
+					for j := range ks {
+						if ks[j] != wantK[i*tc.arity+j] {
+							t.Fatalf("n=%d victim %d key differs", n, i)
+						}
+					}
+					for j := range as {
+						if as[j] != wantA[i*len(tc.ops)+j] {
+							t.Fatalf("n=%d victim %d aggs differ", n, i)
+						}
+					}
+				}
+				if sc, bt := scalar.Stats(), batched.Stats(); sc != bt {
+					t.Fatalf("n=%d: stats diverge: scalar %+v batch %+v", n, sc, bt)
+				}
+			}
+			if scalar.Len() != batched.Len() {
+				t.Fatalf("live count diverges: %d vs %d", scalar.Len(), batched.Len())
+			}
+			scalar.Scan(func(e Entry) {
+				got, ok := batched.Get(e.Key)
+				if !ok {
+					t.Fatalf("batched table missing key %v", e.Key)
+				}
+				if got.Updates != e.Updates {
+					t.Fatalf("updates differ for %v: %d vs %d", e.Key, got.Updates, e.Updates)
+				}
+				for j := range e.Aggs {
+					if got.Aggs[j] != e.Aggs[j] {
+						t.Fatalf("aggs differ for %v", e.Key)
+					}
+				}
+			})
+		})
+	}
+}
+
+// TestProbeBatchDuplicateKeysInChunk pins the fresh-tag-read requirement
+// directly: a run that is one key repeated must produce one insert and
+// n-1 hits, never a self-collision from stale setup-pass state.
+func TestProbeBatchDuplicateKeysInChunk(t *testing.T) {
+	tab := MustNew(attr.MustParseSet("AB"), 1024, []AggOp{Sum}, 7)
+	keys := make([]uint32, 0, 200*2)
+	deltas := make([]int64, 0, 200)
+	for i := 0; i < 200; i++ {
+		keys = append(keys, 11, 22)
+		deltas = append(deltas, 1)
+	}
+	var out VictimRun
+	tab.ProbeBatchInto(keys, deltas, &out)
+	if out.Len() != 0 {
+		t.Fatalf("%d victims from a single-key run", out.Len())
+	}
+	st := tab.Stats()
+	if st.Inserts != 1 || st.Hits != 199 || st.Collisions != 0 {
+		t.Fatalf("stats %+v, want 1 insert / 199 hits / 0 collisions", st)
+	}
+	e, ok := tab.Get([]uint32{11, 22})
+	if !ok || e.Aggs[0] != 200 {
+		t.Fatalf("resident entry %+v ok=%v, want sum 200", e, ok)
+	}
+}
+
+// TestProbeBatchZeroAllocSteadyState proves the batch kernel allocates
+// nothing once its chunk scratch and the caller's VictimRun have warmed.
+func TestProbeBatchZeroAllocSteadyState(t *testing.T) {
+	tab := MustNew(attr.MustParseSet("AB"), 4096, []AggOp{Sum}, 9)
+	rng := rand.New(rand.NewSource(5))
+	keys, deltas := buildRun(rng, 512, 2, 1, 9000)
+	var out VictimRun
+	tab.ProbeBatchInto(keys, deltas, &out) // warm scratch + victim capacity
+	avg := testing.AllocsPerRun(50, func() {
+		tab.ProbeBatchInto(keys, deltas, &out)
+	})
+	if avg != 0 {
+		t.Fatalf("ProbeBatchInto allocates %.1f per run in steady state", avg)
+	}
+}

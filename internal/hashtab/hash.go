@@ -62,6 +62,17 @@ func Reduce(h uint64, n int) int {
 	return int(hi)
 }
 
+// tagOf derives a bucket's 8-bit fingerprint from the hash. The tag must
+// come from the LOW hash bits: fastrange consumes the high bits for the
+// bucket index, so keys sharing a bucket share their top ~log2(b) bits
+// and a high-bit tag would be constant within a bucket. The top tag bit
+// is always set so a stored tag is never 0 — 0 is the reserved
+// empty-bucket marker — leaving 7 bits of discrimination (a 1/128
+// false-positive rate on collisions, resolved by the key compare).
+func tagOf(h uint64) uint8 {
+	return uint8(h) | 0x80
+}
+
 // hash mixes the key with the table seed: HashWords unrolled for the
 // arities the paper's workloads probe (1-4 attributes). The results are
 // bit-identical to HashWords(t.seed, key) — TestHashMatchesHashWords

@@ -126,14 +126,22 @@ func (s Stats) AvgFlowLength() float64 {
 
 // Table is a single LFTA hash table.
 //
-// Bucket state lives in flat parallel arrays sized at construction. A
-// bucket's occupancy is encoded in its update count (updates[i] == 0 ⟺
-// empty; a resident entry always has at least the installing record
-// folded in), so the hit path touches exactly three cache lines per
-// probe — update count, key words, aggregate words — instead of the four
-// a separate occupancy array would cost. The count saturates at 2³²-1
-// rather than wrapping to 0, so occupancy can never be forged by
-// overflow.
+// Bucket state lives in a split layout: a dense 8-bit fingerprint array
+// (tags, one byte per bucket — 64 buckets per cache line) in front of
+// the flat entry storage (keys, aggregates, update counts). A probe
+// reads the tag first: 0 means empty (install without any key load), a
+// mismatch against the probing key's tag means a definite collision
+// (evict without comparing keys), and a match means a probable hit,
+// confirmed by the key compare (1/128 of collisions alias the tag and
+// fall through to the collision path). Because the tag array answers
+// "empty / hit / collision" from one dense byte, the batch kernel
+// (ProbeBatchInto) can classify and prefetch a whole run of buckets
+// before the first entry line is needed — see batch.go.
+//
+// Occupancy is mirrored in the update count (updates[i] == 0 ⟺
+// tags[i] == 0 ⟺ empty; a resident entry always has at least the
+// installing record folded in). The count saturates at 2³²-1 rather
+// than wrapping to 0, so occupancy can never be forged by overflow.
 type Table struct {
 	rel     attr.Set
 	arity   int
@@ -142,9 +150,17 @@ type Table struct {
 	b       int
 	seed    uint64
 
+	tags    []uint8  // b fingerprints; 0 = empty, else tagOf(hash)
 	keys    []uint32 // b × arity, flat
 	aggs    []int64  // b × len(ops), flat
 	updates []uint32 // records folded into each resident entry; 0 = empty bucket
+
+	// Batch-probe scratch (see ProbeBatchInto): precomputed bucket
+	// indices and fingerprints of the setup pass, sized to batchChunk on
+	// first use. Tables are single-owner (one shard probes a table), so
+	// the scratch lives on the table rather than in every caller.
+	batchIdx []int
+	batchTag []uint8
 
 	live  int
 	stats Stats
@@ -172,6 +188,7 @@ func New(rel attr.Set, b int, ops []AggOp, seed uint64) (*Table, error) {
 		sumOnly: len(ops) == 1 && ops[0] == Sum,
 		b:       b,
 		seed:    seed,
+		tags:    make([]uint8, b),
 		keys:    make([]uint32, b*arity),
 		aggs:    make([]int64, b*len(ops)),
 		updates: make([]uint32, b),
@@ -236,23 +253,26 @@ func (t *Table) Probe(key []uint32, deltas []int64) (evicted Entry, collided boo
 		panic(fmt.Sprintf("hashtab: %d deltas for table %v (%d aggs)", len(deltas), t.rel, len(t.ops)))
 	}
 	t.stats.Probes++
-	i := t.Bucket(key)
-	up := t.updates[i]
+	h := t.hash(key)
+	i := Reduce(h, t.b)
+	tag := tagOf(h)
 	ks := t.keys[i*t.arity : (i+1)*t.arity]
 	as := t.aggs[i*len(t.ops) : (i+1)*len(t.ops)]
 
-	if up == 0 {
-		t.install(i, ks, as, key, deltas)
+	if rt := t.tags[i]; rt == 0 {
+		t.install(i, tag, ks, as, key, deltas)
 		t.live++
 		t.stats.Inserts++
 		return Entry{}, false
-	}
-	if equalKeys(ks, key) {
-		t.fold(i, as, deltas, up)
+	} else if rt == tag && equalKeys(ks, key) {
+		t.fold(i, as, deltas, t.updates[i])
 		t.stats.Hits++
 		return Entry{}, false
 	}
-	// Collision: evict the resident group.
+	// Collision: evict the resident group. (Same-key probes always carry
+	// the same tag, so a tag mismatch is a definite collision; a tag match
+	// with unequal keys is the 1/128 fingerprint alias, also a collision.)
+	up := t.updates[i]
 	evicted = Entry{
 		Key:     append([]uint32(nil), ks...),
 		Aggs:    append([]int64(nil), as...),
@@ -261,7 +281,7 @@ func (t *Table) Probe(key []uint32, deltas []int64) (evicted Entry, collided boo
 	t.stats.Collisions++
 	t.stats.EvictedUpdates += uint64(up)
 	t.stats.EvictedEntries++
-	t.install(i, ks, as, key, deltas)
+	t.install(i, tag, ks, as, key, deltas)
 	return evicted, true
 }
 
@@ -269,6 +289,11 @@ func (t *Table) Probe(key []uint32, deltas []int64) (evicted Entry, collided boo
 // path. On a collision the victim's key, aggregates and update count are
 // copied into victim, reusing its slice capacity; the caller owns victim
 // and may retain it until the next ProbeInto with the same scratch.
+//
+// The resolution kernel is open-coded here rather than shared with the
+// batch path's commitProbe (batch.go): a call per probe costs measurably
+// more than the duplicated body, and the batched≡scalar property tests
+// hold the two copies together.
 func (t *Table) ProbeInto(key []uint32, deltas []int64, victim *Entry) (collided bool) {
 	if len(key) != t.arity {
 		panic(fmt.Sprintf("hashtab: key arity %d for table %v (arity %d)", len(key), t.rel, t.arity))
@@ -277,49 +302,59 @@ func (t *Table) ProbeInto(key []uint32, deltas []int64, victim *Entry) (collided
 		panic(fmt.Sprintf("hashtab: %d deltas for table %v (%d aggs)", len(deltas), t.rel, len(t.ops)))
 	}
 	t.stats.Probes++
-	i := t.Bucket(key)
-	up := t.updates[i]
+	h := t.hash(key)
+	i := Reduce(h, t.b)
+	tag := tagOf(h)
 	a := t.arity
-	ks := t.keys[i*a : i*a+a : i*a+a]
+	rt := t.tags[i]
 
+	// Fingerprint match ⇒ probable hit: confirm with the key compare.
 	// Key comparison is open-coded: equalKeys is beyond the inlining
 	// budget, and a call per probe costs more than the compare itself.
-	match := up != 0
-	for j := 0; j < a; j++ {
-		if ks[j] != key[j] {
-			match = false
-			break
-		}
-	}
-	if match {
-		// Hit — the steady-state common case (1-x of probes): fold the
-		// deltas into the resident aggregates.
-		if t.sumOnly {
-			t.aggs[i] += deltas[0]
-			if up != ^uint32(0) {
-				t.updates[i] = up + 1
+	if rt == tag {
+		ks := t.keys[i*a : i*a+a : i*a+a]
+		match := true
+		for j := 0; j < a; j++ {
+			if ks[j] != key[j] {
+				match = false
+				break
 			}
-		} else {
-			as := t.aggs[i*len(t.ops) : (i+1)*len(t.ops)]
-			t.fold(i, as, deltas, up)
 		}
-		t.stats.Hits++
-		return false
+		if match {
+			// Hit — the steady-state common case (1-x of probes): fold
+			// the deltas into the resident aggregates.
+			up := t.updates[i]
+			if t.sumOnly {
+				t.aggs[i] += deltas[0]
+				if up != ^uint32(0) {
+					t.updates[i] = up + 1
+				}
+			} else {
+				as := t.aggs[i*len(t.ops) : (i+1)*len(t.ops)]
+				t.fold(i, as, deltas, up)
+			}
+			t.stats.Hits++
+			return false
+		}
+		// Fingerprint alias (1/128 of collisions): fall through to evict.
 	}
+	ks := t.keys[i*a : i*a+a : i*a+a]
 	as := t.aggs[i*len(t.ops) : (i+1)*len(t.ops)]
-	if up == 0 {
-		t.install(i, ks, as, key, deltas)
+	if rt == 0 {
+		// Empty bucket: install without ever loading the key line.
+		t.install(i, tag, ks, as, key, deltas)
 		t.live++
 		t.stats.Inserts++
 		return false
 	}
+	up := t.updates[i]
 	victim.Key = append(victim.Key[:0], ks...)
 	victim.Aggs = append(victim.Aggs[:0], as...)
 	victim.Updates = up
 	t.stats.Collisions++
 	t.stats.EvictedUpdates += uint64(up)
 	t.stats.EvictedEntries++
-	t.install(i, ks, as, key, deltas)
+	t.install(i, tag, ks, as, key, deltas)
 	return true
 }
 
@@ -334,9 +369,10 @@ func (t *Table) fold(i int, as, deltas []int64, up uint32) {
 	}
 }
 
-// install writes (key, deltas) into bucket i's storage slices. The caller
-// adjusts live when the bucket was empty.
-func (t *Table) install(i int, ks []uint32, as []int64, key []uint32, deltas []int64) {
+// install writes (key, deltas) into bucket i's storage slices and stamps
+// its fingerprint. The caller adjusts live when the bucket was empty.
+func (t *Table) install(i int, tag uint8, ks []uint32, as []int64, key []uint32, deltas []int64) {
+	t.tags[i] = tag
 	copy(ks, key)
 	if t.sumOnly {
 		as[0] = deltas[0]
@@ -424,6 +460,7 @@ func (t *Table) Flush(fn func(Entry)) int {
 			Aggs:    append([]int64(nil), t.aggs[i*len(t.ops):(i+1)*len(t.ops)]...),
 			Updates: t.updates[i],
 		}
+		t.tags[i] = 0
 		t.updates[i] = 0
 		t.stats.Flushes++
 		t.stats.EvictedUpdates += uint64(e.Updates)
@@ -447,6 +484,7 @@ func (t *Table) Drain(fn func(Entry)) int {
 		if up == 0 {
 			continue
 		}
+		t.tags[i] = 0
 		t.updates[i] = 0
 		t.stats.Flushes++
 		t.stats.EvictedUpdates += uint64(up)
@@ -466,6 +504,9 @@ func (t *Table) Drain(fn func(Entry)) int {
 func (t *Table) Clear() {
 	for i := range t.updates {
 		t.updates[i] = 0
+	}
+	for i := range t.tags {
+		t.tags[i] = 0
 	}
 	t.live = 0
 }

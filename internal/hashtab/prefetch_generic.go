@@ -1,0 +1,10 @@
+//go:build !amd64 && !arm64
+
+package hashtab
+
+import "unsafe"
+
+// prefetch is a no-op on platforms without an assembly stub. The batch
+// probe kernel still helps there — hashing and bucket classification are
+// batched either way — it just cannot overlap the memory misses.
+func prefetch(p unsafe.Pointer) { _ = p }

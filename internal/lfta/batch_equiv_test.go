@@ -1,0 +1,206 @@
+package lfta_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/cost"
+	"repro/internal/feedgraph"
+	"repro/internal/gen"
+	"repro/internal/hashtab"
+	"repro/internal/hfta"
+	"repro/internal/lfta"
+	"repro/internal/stream"
+)
+
+// Property: the batched record path (ProcessBatch → ProbeBatchInto →
+// run-at-a-time victim cascade) is indistinguishable from the scalar
+// path (Process → ProbeInto → depth-first cascade) — not just in the
+// per-epoch HFTA answers, but in every per-table probe/hit/insert/
+// collision/eviction counter and in the runtime's own cost ledger. The
+// feeding graph is a tree, so batching reorders probes only ACROSS
+// tables, never within one; this test pins that argument against the
+// implementation for random workloads, aggregate shapes, cascade depths,
+// and run boundaries. Runs under -race in CI via the internal/... race
+// job.
+func TestBatchedScalarOracleEquivalence(t *testing.T) {
+	type shape struct {
+		spec    string
+		queries []attr.Set
+		aggs    []lfta.AggSpec
+	}
+	shapes := []shape{
+		{
+			// Flat: three queries fed by one raw scan, count(*) deltas
+			// (the constant-delta fast path).
+			spec:    "ABCD(AB BC CD)",
+			queries: []attr.Set{attr.MustParseSet("AB"), attr.MustParseSet("BC"), attr.MustParseSet("CD")},
+			aggs:    lfta.CountStar,
+		},
+		{
+			// Deep: a three-level cascade where AB is both a query and a
+			// feeder, with attribute-valued Sum/Min/Max aggregates (the
+			// per-record delta-run path).
+			spec: "ABCD(ABC(AB(A)) CD)",
+			queries: []attr.Set{
+				attr.MustParseSet("AB"), attr.MustParseSet("A"), attr.MustParseSet("CD"),
+			},
+			aggs: []lfta.AggSpec{
+				{Op: hashtab.Sum, Input: -1},
+				{Op: hashtab.Sum, Input: 2},
+				{Op: hashtab.Min, Input: 1},
+				{Op: hashtab.Max, Input: 3},
+			},
+		},
+	}
+	for si, sh := range shapes {
+		cfg, err := feedgraph.ParseConfig(sh.spec, sh.queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 3; trial++ {
+			rng := rand.New(rand.NewSource(4200 + int64(si*10+trial)))
+			schema := stream.MustSchema(4)
+			groups := 40 + rng.Intn(500)
+			u, err := gen.UniformUniverse(rng, schema, groups, 30)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nrecs := 3000 + rng.Intn(9000)
+			recs := gen.Uniform(rng, u, nrecs, uint32(20+rng.Intn(60)))
+			alloc := cost.Alloc{}
+			for i, r := range cfg.Rels {
+				alloc[r] = 7 + i*5 + rng.Intn(50) // tiny tables: heavy eviction traffic
+			}
+			const epochLen = 10
+			seed := uint64(5000 + trial)
+
+			want := hfta.Reference(recs, sh.queries, sh.aggs, epochLen)
+
+			// Scalar: record-at-a-time through Process.
+			scalarAgg, err := hfta.New(sh.queries, sh.aggs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scalar, err := lfta.New(cfg, alloc, sh.aggs, seed, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scalar.SetBatchSink(scalarAgg.ConsumeBatch, 32)
+			clock := stream.NewClock(epochLen)
+			for _, rec := range recs {
+				epoch, rolled := clock.Advance(rec.Time)
+				if rolled {
+					scalar.FlushEpoch()
+				}
+				scalar.Process(rec, epoch)
+			}
+			scalar.FlushEpoch()
+
+			// Batched: the same stream sliced into runs of random length
+			// (1..600, spanning partial chunks, exact chunks, and
+			// multi-chunk runs), each fed through ProcessBatch. Epoch
+			// boundaries always fall between runs, as the pipeline
+			// guarantees.
+			batchAgg, err := hfta.New(sh.queries, sh.aggs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batched, err := lfta.New(cfg, alloc, sh.aggs, seed, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batched.SetBatchSink(batchAgg.ConsumeBatch, 32)
+			clock = stream.NewClock(epochLen)
+			run := make([]stream.Record, 0, 600)
+			runEpoch := uint32(0)
+			flushRun := func() {
+				if len(run) > 0 {
+					batched.ProcessBatch(run, runEpoch)
+					run = run[:0]
+				}
+			}
+			limit := 1 + rng.Intn(600)
+			for _, rec := range recs {
+				epoch, rolled := clock.Advance(rec.Time)
+				if rolled {
+					flushRun()
+					batched.FlushEpoch()
+				}
+				if epoch != runEpoch || len(run) >= limit {
+					flushRun()
+					runEpoch = epoch
+					limit = 1 + rng.Intn(600)
+				}
+				run = append(run, rec)
+			}
+			flushRun()
+			batched.FlushEpoch()
+
+			// Flat runs: the same stream again through ProcessRun (the
+			// zero-copy record-major block API the engine's staging arena
+			// feeds), with its own random run boundaries.
+			runAgg, err := hfta.New(sh.queries, sh.aggs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			flat, err := lfta.New(cfg, alloc, sh.aggs, seed, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			flat.SetBatchSink(runAgg.ConsumeBatch, 32)
+			clock = stream.NewClock(epochLen)
+			const width = 4
+			block := make([]uint32, 0, 600*width)
+			blockEpoch := uint32(0)
+			flushBlock := func() {
+				if len(block) > 0 {
+					flat.ProcessRun(block, width, blockEpoch)
+					block = block[:0]
+				}
+			}
+			limit = 1 + rng.Intn(600)
+			for _, rec := range recs {
+				epoch, rolled := clock.Advance(rec.Time)
+				if rolled {
+					flushBlock()
+					flat.FlushEpoch()
+				}
+				if epoch != blockEpoch || len(block) >= limit*width {
+					flushBlock()
+					blockEpoch = epoch
+					limit = 1 + rng.Intn(600)
+				}
+				block = append(block, rec.Attrs...)
+			}
+			flushBlock()
+			flat.FlushEpoch()
+
+			if !hfta.Equal(scalarAgg.AllRows(), want) {
+				t.Fatalf("shape %d trial %d: scalar rows differ from oracle", si, trial)
+			}
+			if !hfta.Equal(batchAgg.AllRows(), scalarAgg.AllRows()) {
+				t.Fatalf("shape %d trial %d: batched rows differ from scalar", si, trial)
+			}
+			if !hfta.Equal(runAgg.AllRows(), scalarAgg.AllRows()) {
+				t.Fatalf("shape %d trial %d: flat-run rows differ from scalar", si, trial)
+			}
+			if so, bo := scalar.Ops(), batched.Ops(); so != bo {
+				t.Fatalf("shape %d trial %d: ops diverge: scalar %+v batched %+v", si, trial, so, bo)
+			}
+			if so, fo := scalar.Ops(), flat.Ops(); so != fo {
+				t.Fatalf("shape %d trial %d: ops diverge: scalar %+v flat-run %+v", si, trial, so, fo)
+			}
+			sstats, bstats, fstats := scalar.TableStats(), batched.TableStats(), flat.TableStats()
+			for rel, ss := range sstats {
+				if bs := bstats[rel]; bs != ss {
+					t.Fatalf("shape %d trial %d: table %v stats diverge:\nscalar %+v\nbatch  %+v", si, trial, rel, ss, bs)
+				}
+				if fs := fstats[rel]; fs != ss {
+					t.Fatalf("shape %d trial %d: table %v stats diverge:\nscalar %+v\nflat   %+v", si, trial, rel, ss, fs)
+				}
+			}
+		}
+	}
+}

@@ -107,7 +107,8 @@ type node struct {
 	rel      attr.Set
 	tab      *hashtab.Table
 	isQuery  bool
-	contig   bool // rel is attributes 0..arity-1: projecting a record of that arity is the identity
+	contig   bool      // rel is attributes 0..arity-1: projecting a record of that arity is the identity
+	ids      []attr.ID // rel's attribute ids, for gathering record runs
 	children []childEdge
 }
 
@@ -132,6 +133,22 @@ type Runtime struct {
 	keyBuf   []uint32
 	deltaBuf []int64
 	frames   []*frame
+
+	// Batched-path state (ProcessBatch): whether every aggregate input is
+	// the constant 1 (count(*)-style, the common case — the delta run is
+	// then a prefilled block of ones reused verbatim), the columnar delta
+	// run, and per-cascade-depth run scratch.
+	constDelta bool
+	deltaRun   []int64
+	runFrames  []*runFrame
+}
+
+// runFrame is the reusable scratch of one cascade depth on the batched
+// path: the columnar key run fed into one table and the victims that
+// run evicts. Frames are pointer-stable like the scalar frames.
+type runFrame struct {
+	keys    []uint32
+	victims hashtab.VictimRun
 }
 
 // New builds a runtime for the configuration with the given bucket
@@ -170,9 +187,16 @@ func New(cfg *feedgraph.Config, alloc cost.Alloc, aggs []AggSpec, seed uint64, s
 				break
 			}
 		}
-		r.nodes[i] = node{rel: rel, tab: t, isQuery: cfg.IsQuery(rel), contig: contig}
+		r.nodes[i] = node{rel: rel, tab: t, isQuery: cfg.IsQuery(rel), contig: contig, ids: rel.IDs()}
 		r.tables[rel] = t
 		index[rel] = i
+	}
+	r.constDelta = true
+	for _, a := range aggs {
+		if a.Input >= 0 {
+			r.constDelta = false
+			break
+		}
 	}
 	for i, rel := range cfg.Rels {
 		for _, child := range cfg.Children(rel) {
@@ -327,9 +351,215 @@ func (r *Runtime) Process(rec stream.Record, epoch uint32) {
 
 // ProcessBatch feeds a batch of records sharing one epoch; the caller
 // guarantees no epoch boundary falls inside the batch.
+//
+// This is the memory-level-parallel path: the whole run's keys are
+// gathered into a columnar buffer per raw relation and probed through
+// hashtab.ProbeBatchInto, and collision victims cascade into child
+// tables as whole runs rather than one depth-first probe chain per
+// record. The feeding graph is a tree (each relation has exactly one
+// parent), so every table still sees exactly the probe sequence the
+// scalar path would send it — same outcomes, same counters, same final
+// contents; only the memory access schedule changes. The equivalence
+// property suite (TestBatchedScalarOracleEquivalence) pins this.
 func (r *Runtime) ProcessBatch(recs []stream.Record, epoch uint32) {
-	for i := range recs {
-		r.Process(recs[i], epoch)
+	n := len(recs)
+	if n == 0 {
+		return
+	}
+	r.epoch = epoch
+	r.ops.Records += uint64(n)
+	na := len(r.aggs)
+
+	// Build the delta run (n×na, columnar). Count(*)-style workloads keep
+	// a prefilled block of ones; it is read-only to the probe kernel, so
+	// it survives across batches and only grows.
+	need := n * na
+	if cap(r.deltaRun) < need {
+		r.deltaRun = make([]int64, need)
+		if r.constDelta {
+			for i := range r.deltaRun {
+				r.deltaRun[i] = 1
+			}
+		}
+	}
+	dr := r.deltaRun[:need]
+	if !r.constDelta {
+		for i := range recs {
+			for j, a := range r.aggs {
+				if a.Input < 0 {
+					dr[i*na+j] = 1
+				} else {
+					dr[i*na+j] = int64(recs[i].Attrs[a.Input])
+				}
+			}
+		}
+	}
+
+	for _, ni := range r.rawIdx {
+		nd := &r.nodes[ni]
+		a := nd.tab.Arity()
+		f := r.runFrame(0)
+		if cap(f.keys) < n*a {
+			f.keys = make([]uint32, 0, n*a)
+		}
+		ks := f.keys[:0]
+		if nd.contig {
+			// The raw relation is a record prefix: gather by block copy.
+			for i := range recs {
+				ks = append(ks, recs[i].Attrs[:a]...)
+			}
+		} else {
+			for i := range recs {
+				attrs := recs[i].Attrs
+				for _, id := range nd.ids {
+					ks = append(ks, attrs[id])
+				}
+			}
+		}
+		f.keys = ks
+		r.ops.Probes += uint64(n)
+		nd.tab.ProbeBatchInto(ks, dr, &f.victims)
+		r.cascadeRun(ni, &f.victims, 1)
+	}
+}
+
+// ProcessRun feeds a run of records given as one flat attribute block
+// (record-major: n = len(attrs)/width records of width words each), all
+// sharing one epoch — the zero-copy sibling of ProcessBatch for callers
+// that already stage attribute vectors contiguously (the engine's
+// staging arena). When a raw relation is the full record vector (the
+// usual single-raw configuration), the staged block IS its probe run:
+// the table is probed directly with no per-record gather at all.
+// Outcomes and counters are identical to feeding the same records
+// through Process one at a time; the equivalence property suite pins
+// this path too.
+func (r *Runtime) ProcessRun(attrs []uint32, width int, epoch uint32) {
+	if len(attrs) == 0 {
+		return
+	}
+	if width <= 0 || len(attrs)%width != 0 {
+		panic(fmt.Sprintf("lfta: run of %d attribute words at record width %d", len(attrs), width))
+	}
+	n := len(attrs) / width
+	r.epoch = epoch
+	r.ops.Records += uint64(n)
+	na := len(r.aggs)
+
+	need := n * na
+	if cap(r.deltaRun) < need {
+		r.deltaRun = make([]int64, need)
+		if r.constDelta {
+			for i := range r.deltaRun {
+				r.deltaRun[i] = 1
+			}
+		}
+	}
+	dr := r.deltaRun[:need]
+	if !r.constDelta {
+		for i := 0; i < n; i++ {
+			rec := attrs[i*width : (i+1)*width]
+			for j, a := range r.aggs {
+				if a.Input < 0 {
+					dr[i*na+j] = 1
+				} else {
+					dr[i*na+j] = int64(rec[a.Input])
+				}
+			}
+		}
+	}
+
+	for _, ni := range r.rawIdx {
+		nd := &r.nodes[ni]
+		a := nd.tab.Arity()
+		f := r.runFrame(0)
+		if nd.contig && a == width {
+			// Full-width identity projection: probe the staged block
+			// in place. ProbeBatchInto does not retain it.
+			r.ops.Probes += uint64(n)
+			nd.tab.ProbeBatchInto(attrs, dr, &f.victims)
+			r.cascadeRun(ni, &f.victims, 1)
+			continue
+		}
+		if cap(f.keys) < n*a {
+			f.keys = make([]uint32, 0, n*a)
+		}
+		ks := f.keys[:0]
+		if nd.contig {
+			// Record-prefix relation: gather by strided block copy.
+			for o := 0; o < len(attrs); o += width {
+				ks = append(ks, attrs[o:o+a]...)
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				rec := attrs[i*width : (i+1)*width]
+				for _, id := range nd.ids {
+					ks = append(ks, rec[id])
+				}
+			}
+		}
+		f.keys = ks
+		r.ops.Probes += uint64(n)
+		nd.tab.ProbeBatchInto(ks, dr, &f.victims)
+		r.cascadeRun(ni, &f.victims, 1)
+	}
+}
+
+// runFrame returns the batched-path scratch for one cascade depth,
+// growing the stack on first use of a depth.
+func (r *Runtime) runFrame(depth int) *runFrame {
+	for len(r.runFrames) <= depth {
+		r.runFrames = append(r.runFrames, &runFrame{})
+	}
+	return r.runFrames[depth]
+}
+
+// cascadeRun routes a run of victims evicted from a node: each child
+// table is probed with the whole run at once (victim keys projected into
+// the child's key run, victim aggregates passed as the child's deltas
+// verbatim), recursing on the children's own victims; query victims
+// transfer to the HFTA. Victims stay in eviction order throughout, so
+// per-table probe sequences match the scalar cascade exactly.
+func (r *Runtime) cascadeRun(ni int, vr *hashtab.VictimRun, depth int) {
+	m := vr.Len()
+	if m == 0 {
+		return
+	}
+	nd := &r.nodes[ni]
+	a := nd.tab.Arity()
+	for _, edge := range nd.children {
+		ca := len(edge.plan)
+		f := r.runFrame(depth)
+		if cap(f.keys) < m*ca {
+			f.keys = make([]uint32, 0, m*ca)
+		}
+		ck := f.keys[:0]
+		for i := 0; i < m; i++ {
+			base := i * a
+			for _, idx := range edge.plan {
+				ck = append(ck, vr.Keys[base+idx])
+			}
+		}
+		f.keys = ck
+		r.ops.Probes += uint64(m)
+		r.nodes[edge.node].tab.ProbeBatchInto(ck, vr.Aggs, &f.victims)
+		r.cascadeRun(edge.node, &f.victims, depth+1)
+	}
+	if nd.isQuery {
+		r.ops.Transfers += uint64(m)
+		for i := 0; i < m; i++ {
+			key, aggs := vr.Key(i), vr.AggRow(i)
+			switch {
+			case r.batchSink != nil:
+				r.pushEviction(nd.rel, key, aggs)
+			case r.sink != nil:
+				r.sink(Eviction{
+					Rel:   nd.rel,
+					Key:   append([]uint32(nil), key...),
+					Aggs:  append([]int64(nil), aggs...),
+					Epoch: r.epoch,
+				})
+			}
+		}
 	}
 }
 

@@ -49,26 +49,6 @@ func NewShardedLFTA(cfg *Config, alloc Alloc, aggs []AggSpec, seed uint64, sink 
 	return lfta.NewSharded(cfg, alloc, aggs, seed, sink, n)
 }
 
-// PacedLFTA wraps an LFTA with a processing-capacity budget and drops
-// records that exceed it — the line-rate behaviour whose avoidance
-// motivates the whole optimization.
-//
-// Deprecated: use the engine's unified overload control instead — set
-// Options.Budget (and optionally Options.Shed and Options.Shards) on
-// NewEngine. The engine keeps the full Offered == Processed + Dropped +
-// Late ledger, supports pluggable shed policies, spans sharded
-// deployments with one global budget, and carries its shedding state
-// across checkpoints; PacedLFTA only counts drops on a single runtime.
-type PacedLFTA = lfta.Paced
-
-// NewPacedLFTA bounds rt to budgetPerTick weighted operations (c1 per
-// probe, c2 per transfer) per stream time unit.
-//
-// Deprecated: use NewEngine with Options.Budget; see PacedLFTA.
-func NewPacedLFTA(rt *LFTA, c1, c2, budgetPerTick float64) (*PacedLFTA, error) {
-	return lfta.NewPaced(rt, c1, c2, budgetPerTick)
-}
-
 // Aggregator is the HFTA: it merges evicted partials into exact per-epoch
 // query answers.
 type Aggregator = hfta.Aggregator

@@ -52,29 +52,3 @@ func TestFacadeShardedParallel(t *testing.T) {
 		t.Error("sharded facade pipeline differs from reference")
 	}
 }
-
-func TestFacadePaced(t *testing.T) {
-	recs, queries, groups := facadeWorkload(t)
-	plan, err := Plan(queries, groups, 20000, DefaultParams())
-	if err != nil {
-		t.Fatal(err)
-	}
-	rt, err := NewLFTA(plan.Config, plan.Alloc, CountStar, 3, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Absurdly tight budget: nearly everything must drop.
-	paced, err := NewPacedLFTA(rt, 1, 50, 2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := paced.Run(NewSliceSource(recs), 10); err != nil {
-		t.Fatal(err)
-	}
-	if paced.DropRate() < 0.5 {
-		t.Errorf("drop rate %v under a 2-ops/sec budget", paced.DropRate())
-	}
-	if paced.Processed()+paced.Dropped() != uint64(len(recs)) {
-		t.Error("record accounting inconsistent")
-	}
-}
