@@ -38,7 +38,7 @@ bench:
 
 # Machine-readable summary, the BENCH_PR<N>.json trajectory format.
 bench-json:
-	$(GO) run ./cmd/maggbench -json BENCH_PR5.json
+	$(GO) run ./cmd/maggbench -json BENCH_PR6.json
 
 # Diff two bench-json reports; fails on a ns/op regression beyond
 # THRESHOLD (fractional, default 10%). CI widens it for its short

@@ -165,6 +165,7 @@ type Curve struct {
 	intervals []interval
 	rs        []float64 // tabulation grid, ascending
 	xs        []float64 // tabulated precise rates
+	slots     float64   // slots per probe group tabulated (0 or 1 = paper's one-slot model)
 }
 
 type interval struct {
@@ -262,6 +263,9 @@ func (c *Curve) Rate(r float64) float64 {
 		if r > iv.lo && r <= iv.hi {
 			return clamp01(iv.a + iv.b*r + iv.c*r*r)
 		}
+	}
+	if c.slots > 1 {
+		return ClosedSlots(r*curveRefBucketsSlots, curveRefBucketsSlots, c.slots)
 	}
 	return Closed(r*curveRefBuckets, curveRefBuckets)
 }

@@ -233,7 +233,10 @@ func TestRateConvenience(t *testing.T) {
 // TestModelAgainstSimulation validates the model against the actual hash
 // tables (the package hashtab implementation), reproducing the paper's
 // claim that >95% of measurements fall within 5% of the precise model.
-// Random (non-clustered) data, several g/b points.
+// Random (non-clustered) data, several g/b points. The tables probe
+// 16-slot groups (hashtab.GroupSlots), so the measured rates are held to
+// the grouped generalization PreciseSlots; TestSlotsReduceToPaper keeps
+// that generalization anchored to the paper's Equation 13.
 func TestModelAgainstSimulation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation is slow in -short mode")
@@ -256,10 +259,14 @@ func TestModelAgainstSimulation(t *testing.T) {
 			meanRate += tab.Stats().CollisionRate()
 		}
 		meanRate /= trials
-		model := Precise(float64(tc.g), float64(tc.b))
-		if rel := math.Abs(meanRate-model) / model; rel > 0.08 {
-			t.Errorf("g=%d b=%d: measured %v vs model %v (rel err %.3f)",
-				tc.g, tc.b, meanRate, model, rel)
+		model := PreciseSlots(float64(tc.g), float64(tc.b), hashtab.GroupSlots)
+		// Relative 8% like the paper's claim, with an absolute floor: in
+		// the grouped geometry light loads collide a few times in 10⁴
+		// probes, where the binomial tail (and the measurement itself)
+		// carries no finer resolution.
+		if diff := math.Abs(meanRate - model); diff > math.Max(0.08*model, 0.002) {
+			t.Errorf("g=%d b=%d: measured %v vs model %v (diff %.4f)",
+				tc.g, tc.b, meanRate, model, diff)
 		}
 	}
 }
@@ -284,7 +291,7 @@ func TestClusteredAgainstSimulation(t *testing.T) {
 		}
 	}
 	measured := tab.Stats().CollisionRate()
-	model := Clustered(Precise(float64(g), float64(b)), float64(flowLen))
+	model := Clustered(PreciseSlots(float64(g), float64(b), hashtab.GroupSlots), float64(flowLen))
 	if rel := math.Abs(measured-model) / model; rel > 0.15 {
 		t.Errorf("clustered: measured %v vs model %v", measured, model)
 	}

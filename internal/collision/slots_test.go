@@ -1,0 +1,114 @@
+package collision
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hashtab"
+)
+
+// TestTableSlotsMatchesHashtab keeps the model's geometry constant in
+// lockstep with the tables it describes.
+func TestTableSlotsMatchesHashtab(t *testing.T) {
+	if TableSlots != hashtab.GroupSlots {
+		t.Fatalf("collision.TableSlots = %d, hashtab.GroupSlots = %d", TableSlots, hashtab.GroupSlots)
+	}
+}
+
+// TestSlotsReduceToPaper is the single-slot regression the grouped model
+// is anchored to: at s = 1 the *Slots forms must reproduce the paper's
+// Equation 13 exactly, including the pinned values the pre-group test
+// suite validated measured tables against.
+func TestSlotsReduceToPaper(t *testing.T) {
+	for _, gb := range [][2]float64{
+		{100, 1000}, {552, 1000}, {1846, 1000}, {2000, 2000},
+		{3000, 1000}, {2837, 400}, {50, 7}, {4, 1},
+	} {
+		g, b := gb[0], gb[1]
+		if p, ps := Precise(g, b), PreciseSlots(g, b, 1); p != ps {
+			t.Errorf("PreciseSlots(%v,%v,1) = %v, Precise = %v", g, b, ps, p)
+		}
+		if c, cs := Closed(g, b), ClosedSlots(g, b, 1); c != cs {
+			t.Errorf("ClosedSlots(%v,%v,1) = %v, Closed = %v", g, b, cs, c)
+		}
+	}
+	// Pinned single-slot predictions (values the old one-slot tables were
+	// measured against); a change here means the paper model moved, not
+	// just the table geometry.
+	pins := []struct{ g, b, want float64 }{
+		{552, 1000, 0.23122836889798207},
+		{1846, 1000, 0.5437065056663726},
+		{2000, 2000, 0.3677873530532304},
+	}
+	for _, p := range pins {
+		if got := PreciseSlots(p.g, p.b, 1); math.Abs(got-p.want) > 1e-12 {
+			t.Errorf("PreciseSlots(%v,%v,1) = %.17g, pinned %.17g", p.g, p.b, got, p.want)
+		}
+	}
+}
+
+// TestPreciseSlotsMatchesClosedSlots: the truncated upper sum must agree
+// with the exact closed form across geometries, like the s = 1 pair.
+func TestPreciseSlotsMatchesClosedSlots(t *testing.T) {
+	for _, s := range []float64{2, 4, 16, 16.0} {
+		for _, gb := range [][2]float64{
+			{100, 1000}, {552, 1000}, {1846, 1000}, {2000, 2000},
+			{3000, 1000}, {10000, 1000}, {2837, 400}, {50, 7}, {7, 7},
+		} {
+			g, b := gb[0], gb[1]
+			p, c := PreciseSlots(g, b, s), ClosedSlots(g, b, s)
+			if c < 1e-9 {
+				if p > 1e-6 {
+					t.Errorf("s=%v g=%v b=%v: PreciseSlots=%v, ClosedSlots≈0", s, g, b, p)
+				}
+				continue
+			}
+			if rel := math.Abs(p-c) / c; rel > 0.02 {
+				t.Errorf("s=%v g=%v b=%v: PreciseSlots=%v vs ClosedSlots=%v (rel %v)", s, g, b, p, c, rel)
+			}
+		}
+	}
+}
+
+// TestSlotsMonotone: at fixed space, wider groups can only reduce the
+// collision rate (a group evicts only when all s co-hashed slots are
+// taken), and every geometry shares the 1 - b/g asymptote.
+func TestSlotsMonotone(t *testing.T) {
+	for _, gb := range [][2]float64{{800, 1000}, {2000, 1000}, {8000, 1000}} {
+		g, b := gb[0], gb[1]
+		prev := ClosedSlots(g, b, 1)
+		for _, s := range []float64{2, 4, 8, 16} {
+			cur := ClosedSlots(g, b, s)
+			if cur > prev+1e-12 {
+				t.Errorf("g=%v b=%v: x(s=%v)=%v > x(smaller)=%v", g, b, s, cur, prev)
+			}
+			prev = cur
+		}
+		if floor := clamp01(1 - b/g); prev < floor-1e-9 {
+			t.Errorf("g=%v b=%v: grouped rate %v below occupancy floor %v", g, b, prev, floor)
+		}
+	}
+}
+
+// TestGroupCurve holds the fitted TableSlots curve to the model it
+// tabulates, inside and outside the fitted range.
+func TestGroupCurve(t *testing.T) {
+	c := DefaultGroupCurve()
+	for _, r := range []float64{0.5, 1, 1.5, 2, 3, 8, 20, 45} {
+		want := PreciseSlots(r*1024, 1024, TableSlots)
+		got := c.Rate(r)
+		tol := math.Max(0.08*want, 0.01)
+		if math.Abs(got-want) > tol {
+			t.Errorf("GroupCurve.Rate(%v) = %v, model %v", r, got, want)
+		}
+	}
+	if got, want := c.Rate(80), ClosedSlots(80*1024, 1024, TableSlots); math.Abs(got-want) > 1e-9 {
+		t.Errorf("tail Rate(80) = %v, want closed-form %v", got, want)
+	}
+	if GroupRate(10, 0) != 1 {
+		t.Error("GroupRate with b=0 should saturate at 1")
+	}
+	if c.Rate(0) != 0 || c.Rate(-1) != 0 {
+		t.Error("Rate must be 0 for r ≤ 0")
+	}
+}

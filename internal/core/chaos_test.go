@@ -412,7 +412,7 @@ func TestChaosShardedLedger(t *testing.T) {
 			t.Run(fmt.Sprintf("%s/shards=%d", policy, n), func(t *testing.T) {
 				e, err := New(pairSQL, groups, Options{
 					M: 8000, Seed: 3, Shards: n,
-					Budget: 900, Shed: shedPolicyFor(policy),
+					Budget: 600, Shed: shedPolicyFor(policy),
 				})
 				if err != nil {
 					t.Fatal(err)

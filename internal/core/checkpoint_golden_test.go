@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/hashtab"
 	"repro/internal/hfta"
 	"repro/internal/stream"
 )
@@ -102,7 +103,9 @@ func maybeWriteGolden(t *testing.T) {
 
 // TestGoldenCheckpointRestore restores each pre-layout-change image onto
 // the current table layout, replays the remaining stream, and requires
-// the answers of an uninterrupted run.
+// the answers of an uninterrupted run. The whole matrix runs once per
+// tag-scan kernel: a restored table must behave identically whether the
+// replay probes through the vector kernel or the portable one.
 func TestGoldenCheckpointRestore(t *testing.T) {
 	maybeWriteGolden(t)
 	recs, groups := testWorkload(t, 30000)
@@ -112,44 +115,159 @@ func TestGoldenCheckpointRestore(t *testing.T) {
 	}{
 		{"plain_v1.ckpt", goldenPlainOpts()},
 		{"plain_v2.ckpt", goldenPlainOpts()},
-		{"sharded_v2.ckpt", goldenShardedOpts()},
 	}
-	for _, tc := range cases {
-		t.Run(tc.file, func(t *testing.T) {
-			// Reference: the same deployment run uninterrupted.
-			ref, err := New(pairSQL, groups, tc.opts)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if err := ref.Run(stream.NewSliceSource(recs)); err != nil {
-				t.Fatal(err)
-			}
-			want := ref.AllResults()
+	defer hashtab.SetSIMD(hashtab.SIMDEnabled())
+	kernels := []bool{false}
+	if hashtab.SIMDAvailable() {
+		kernels = append(kernels, true)
+	}
+	for _, simd := range kernels {
+		hashtab.SetSIMD(simd)
+		for _, tc := range cases {
+			t.Run(tc.file+"/kernel="+hashtab.KernelName(), func(t *testing.T) {
+				// Reference: the same deployment run uninterrupted.
+				ref, err := New(pairSQL, groups, tc.opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := ref.Run(stream.NewSliceSource(recs)); err != nil {
+					t.Fatal(err)
+				}
+				want := ref.AllResults()
 
-			e, err := New(pairSQL, groups, tc.opts)
-			if err != nil {
-				t.Fatal(err)
-			}
-			consumed, err := e.RestoreCheckpointFile(goldenPath(tc.file))
-			if err != nil {
-				t.Fatal(err)
-			}
-			if consumed == 0 || consumed >= goldenCrashAt {
-				t.Fatalf("restored stream position %d, want in (0, %d)", consumed, goldenCrashAt)
-			}
-			src := stream.NewSkipSource(stream.NewSliceSource(recs), consumed)
-			if err := e.Run(src); err != nil {
-				t.Fatal(err)
-			}
-			if !hfta.Equal(e.AllResults(), want) {
-				t.Error("resumed results differ from uninterrupted run")
-			}
-			refDeg := ref.Stats().Degradation
-			resDeg := e.Stats().Degradation
-			if refDeg != resDeg {
-				t.Errorf("resumed degradation ledger %+v, want %+v", resDeg, refDeg)
-			}
-		})
+				e, err := New(pairSQL, groups, tc.opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				consumed, err := e.RestoreCheckpointFile(goldenPath(tc.file))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if consumed == 0 || consumed >= goldenCrashAt {
+					t.Fatalf("restored stream position %d, want in (0, %d)", consumed, goldenCrashAt)
+				}
+				src := stream.NewSkipSource(stream.NewSliceSource(recs), consumed)
+				if err := e.Run(src); err != nil {
+					t.Fatal(err)
+				}
+				if !hfta.Equal(e.AllResults(), want) {
+					t.Error("resumed results differ from uninterrupted run")
+				}
+				refDeg := ref.Stats().Degradation
+				resDeg := e.Stats().Degradation
+				if refDeg != resDeg {
+					t.Errorf("resumed degradation ledger %+v, want %+v", resDeg, refDeg)
+				}
+			})
+		}
+	}
+}
+
+// TestGoldenShardedCheckpointRestore covers the sharded golden. Its
+// image carries a shed-policy history (UniformShed EWMA and RNG
+// position, budget-split weights, a degradation ledger with drops) that
+// the pre-group-layout engine accumulated: the old one-slot tables made
+// every collision an eviction transfer, and those transfers exhausted
+// the 900-unit budget. The grouped tables do the same work in far fewer
+// weighted operations, so an uninterrupted run of this deployment today
+// never sheds — no fresh run can reproduce the image's history, and
+// comparing against one would pin the old cost physics, not checkpoint
+// compatibility. What the golden must keep proving is that the
+// pre-layout image restores losslessly and remains a valid crash point:
+// resuming it straight through and resuming it with a second
+// crash+restore in between must emit identically and end in identical
+// ledgers, with the carried policy state round-tripping through the new
+// engine's own v2 checkpoints. (Byte-level restore fidelity is pinned
+// separately by TestGoldenCheckpointByteIdentity.)
+func TestGoldenShardedCheckpointRestore(t *testing.T) {
+	maybeWriteGolden(t)
+	recs, groups := testWorkload(t, 30000)
+	golden := goldenPath("sharded_v2.ckpt")
+
+	// Reference: restore the golden image and run the remainder straight.
+	wantEmit := emissionMap{}
+	ropts := goldenShardedOpts()
+	ropts.OnResults = collectEmissions(t, wantEmit)
+	ref, err := New(pairSQL, groups, ropts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ref.RestoreCheckpointFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored == 0 || restored >= goldenCrashAt {
+		t.Fatalf("restored stream position %d, want in (0, %d)", restored, goldenCrashAt)
+	}
+	if d := ref.Stats().Degradation; d.Dropped == 0 {
+		t.Fatal("golden image carried no shed history; the sharded golden is vacuous")
+	}
+	if err := ref.Run(stream.NewSkipSource(stream.NewSliceSource(recs), restored)); err != nil {
+		t.Fatal(err)
+	}
+	want := ref.AllResults()
+
+	// Crash-again run: restore the same image, checkpoint at every
+	// boundary, die mid-epoch past the restore point.
+	ckpt := filepath.Join(t.TempDir(), "resumed.ckpt")
+	copts := goldenShardedOpts()
+	copts.CheckpointPath = ckpt
+	gotEmit := emissionMap{}
+	copts.OnResults = collectEmissions(t, gotEmit)
+	e1, err := New(pairSQL, groups, copts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e1.RestoreCheckpointFile(golden); err != nil {
+		t.Fatal(err)
+	}
+	const crashAgainAt = 25000
+	for i := restored; i < crashAgainAt; i++ {
+		if err := e1.Process(recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No Finish: the process is gone.
+
+	// Resume from the new engine's own checkpoint of the restored state.
+	popts := goldenShardedOpts()
+	popts.OnResults = collectEmissions(t, gotEmit)
+	e2, err := New(pairSQL, groups, popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	consumed, err := e2.RestoreCheckpointFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if consumed <= restored || consumed > crashAgainAt {
+		t.Fatalf("re-crash restored position %d, want in (%d, %d]", consumed, restored, crashAgainAt)
+	}
+	if err := e2.Run(stream.NewSkipSource(stream.NewSliceSource(recs), consumed)); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(gotEmit) != len(wantEmit) {
+		t.Fatalf("crash+resume emitted %d (query, epoch) results; straight resume emitted %d",
+			len(gotEmit), len(wantEmit))
+	}
+	for k, w := range wantEmit {
+		if gotEmit[k] != w {
+			t.Errorf("epoch %d of %v differs from the straight resume", k.epoch, k.rel)
+		}
+	}
+	if !hfta.Equal(e2.AllResults(), want) {
+		t.Error("re-crashed results differ from the straight resume")
+	}
+	dRef, dGot := ref.Stats().Degradation, e2.Stats().Degradation
+	if dRef != dGot {
+		t.Errorf("re-crashed cumulative ledger %+v; straight resume %+v", dGot, dRef)
+	}
+	refShards, gotShards := ref.ShardDegradations(), e2.ShardDegradations()
+	for i := range refShards {
+		if refShards[i] != gotShards[i] {
+			t.Errorf("shard %d re-crashed ledger %+v; straight resume %+v", i, gotShards[i], refShards[i])
+		}
 	}
 }
 

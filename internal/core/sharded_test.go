@@ -97,7 +97,7 @@ func TestShardedKillRestoreV2(t *testing.T) {
 			mkOpts := func() Options {
 				return Options{
 					M: 8000, Seed: 3, Shards: n,
-					Budget: 900, Shed: NewUniformShed(0.5, 99),
+					Budget: 600, Shed: NewUniformShed(0.5, 99),
 				}
 			}
 

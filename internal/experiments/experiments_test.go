@@ -69,22 +69,35 @@ func TestRegistryComplete(t *testing.T) {
 
 func TestFig5Shape(t *testing.T) {
 	tab := runExp(t, "fig5", quickCtx())
-	// Rough < precise at small g/b; measurements track precise within 15%
-	// at moderate rates.
+	// Rough < precise at small g/b; the grouped (16-slot) curve sits at
+	// or below the one-slot precise curve; measurements track the grouped
+	// model within 15% at moderate rates.
 	first := tab.Rows[0]
 	rough, precise := parseCell(t, first[1]), parseCell(t, first[2])
 	if rough >= precise {
 		t.Errorf("at g/b=%s rough %v not below precise %v", first[0], rough, precise)
 	}
 	for _, row := range tab.Rows {
-		precise := parseCell(t, row[2])
-		if precise < 0.3 {
+		precise, grouped := parseCell(t, row[2]), parseCell(t, row[3])
+		if grouped > precise*1.02 {
+			t.Errorf("g/b=%s: grouped model %v above one-slot precise %v", row[0], grouped, precise)
+		}
+		if grouped < 0.3 {
 			continue
 		}
-		for i := 3; i < len(row); i++ {
+		// The equal-frequency synthetic column (last) obeys the model's
+		// assumptions and must track it tightly; the trace columns carry
+		// frequency skew, which grouped tables reward (hot groups hold
+		// their slots), so the model only bounds them from above.
+		synth := parseCell(t, row[len(row)-1])
+		if synth < grouped*0.9 || synth > grouped*1.1 {
+			t.Errorf("g/b=%s: synthetic %v deviates from grouped model %v", row[0], synth, grouped)
+		}
+		for i := 4; i < len(row)-1; i++ {
 			m := parseCell(t, row[i])
-			if m < precise*0.85 || m > precise*1.15 {
-				t.Errorf("g/b=%s: measured %v deviates from precise %v", row[0], m, precise)
+			if m > grouped*1.05 || m < grouped*0.5 {
+				t.Errorf("g/b=%s: trace measurement %v outside (%.3f, %.3f] of grouped model %v",
+					row[0], m, grouped*0.5, grouped*1.05, grouped)
 			}
 		}
 	}

@@ -154,3 +154,89 @@ func TestProbeBatchZeroAllocSteadyState(t *testing.T) {
 		t.Fatalf("ProbeBatchInto allocates %.1f per run in steady state", avg)
 	}
 }
+
+// TestTagAliasDistinctKeys pins the 1/128 fingerprint-alias case: keys
+// that are distinct but share both their group and their 8-bit tag. The
+// tag scan reports every aliased lane as a probable hit, and only the
+// key compare may separate them — each aliased key must get its own
+// slot, re-probes must fold into the right entry, and the batch path
+// must agree with scalar bit-for-bit. Runs under both kernels.
+func TestTagAliasDistinctKeys(t *testing.T) {
+	defer SetSIMD(SIMDEnabled())
+	for _, simd := range []bool{false, true} {
+		if !SetSIMD(simd) && simd {
+			continue // no vector kernel on this CPU
+		}
+		t.Run("kernel="+KernelName(), func(t *testing.T) {
+			rel := attr.MustParseSet("AB")
+			probe := MustNew(rel, 1024, []AggOp{Sum}, 42)
+
+			// Mine keys sharing (group, tag) under the table's seed.
+			type gt struct {
+				base int
+				tag  uint8
+			}
+			aliases := map[gt][][]uint32{}
+			var hit gt
+			for k := uint32(0); ; k++ {
+				key := []uint32{k, k * 3}
+				base, tag := probe.group(probe.hash(key))
+				id := gt{base, tag}
+				aliases[id] = append(aliases[id], key)
+				if len(aliases[id]) == 4 {
+					hit = id
+					break
+				}
+			}
+			keys := aliases[hit]
+
+			scalar := MustNew(rel, 1024, []AggOp{Sum}, 42)
+			batched := MustNew(rel, 1024, []AggOp{Sum}, 42)
+
+			// Interleave the aliases twice over: insert each, then re-probe
+			// each, so hits must discriminate among four same-tag lanes.
+			var flat []uint32
+			var deltas []int64
+			for round := 0; round < 2; round++ {
+				for i, key := range keys {
+					flat = append(flat, key...)
+					deltas = append(deltas, int64(1+i+10*round))
+				}
+			}
+			var victim Entry
+			for i := 0; i < len(deltas); i++ {
+				if scalar.ProbeInto(flat[i*2:i*2+2], deltas[i:i+1], &victim) {
+					t.Fatalf("probe %d evicted from a near-empty table", i)
+				}
+			}
+			var out VictimRun
+			batched.ProbeBatchInto(flat, deltas, &out)
+			if out.Len() != 0 {
+				t.Fatalf("batch evicted %d victims from a near-empty table", out.Len())
+			}
+
+			for _, tab := range []*Table{scalar, batched} {
+				st := tab.Stats()
+				if st.Inserts != uint64(len(keys)) || st.Hits != uint64(len(deltas)-len(keys)) {
+					t.Fatalf("stats %+v, want %d inserts / %d hits", st, len(keys), len(deltas)-len(keys))
+				}
+				for i, key := range keys {
+					e, ok := tab.Get(key)
+					if !ok {
+						t.Fatalf("aliased key %v missing", key)
+					}
+					want := int64(1+i) + int64(11+i)
+					if e.Aggs[0] != want {
+						t.Fatalf("aliased key %v sum = %d, want %d", key, e.Aggs[0], want)
+					}
+					if e.Updates != 2 {
+						t.Fatalf("aliased key %v updates = %d, want 2", key, e.Updates)
+					}
+				}
+			}
+			if sc, bt := scalar.Stats(), batched.Stats(); sc != bt {
+				t.Fatalf("stats diverge: scalar %+v batch %+v", sc, bt)
+			}
+		})
+	}
+}

@@ -62,30 +62,36 @@ func Reduce(h uint64, n int) int {
 	return int(hi)
 }
 
-// tagOf derives a bucket's 8-bit fingerprint from the hash. The tag must
+// tagOf derives a slot's 8-bit fingerprint from the hash. The tag must
 // come from the LOW hash bits: fastrange consumes the high bits for the
-// bucket index, so keys sharing a bucket share their top ~log2(b) bits
-// and a high-bit tag would be constant within a bucket. The top tag bit
-// is always set so a stored tag is never 0 — 0 is the reserved
-// empty-bucket marker — leaving 7 bits of discrimination (a 1/128
-// false-positive rate on collisions, resolved by the key compare).
+// group index, so keys sharing a group share their top ~log2(ngroups)
+// bits and a high-bit tag would be constant within a group. The top tag
+// bit is always set so a stored tag is never 0 (the reserved empty-slot
+// marker) and never tagDisabled (0x01, the pad-lane marker of a partial
+// final group) — leaving 7 bits of discrimination (a 1/128
+// false-positive rate per co-resident lane, resolved by the key
+// compare). Bits 8-11, untouched by either consumer, pick the victim
+// lane when a full group evicts (Table.victimSlot).
 func tagOf(h uint64) uint8 {
 	return uint8(h) | 0x80
 }
+
+// hashGamma·len, wrapped mod 2^64 (the constant products overflow
+// untyped arithmetic): the per-arity initial states of Table.hash and
+// the monomorphic probe kernels (fastprobe.go), which must produce
+// hashes bit-identical to HashWords.
+const (
+	gamma1 = hashGamma
+	gamma2 = 0x3c6ef372fe94f82a
+	gamma3 = 0xdaa66d2c7ddf743f
+	gamma4 = 0x78dde6e5fd29f054
+)
 
 // hash mixes the key with the table seed: HashWords unrolled for the
 // arities the paper's workloads probe (1-4 attributes). The results are
 // bit-identical to HashWords(t.seed, key) — TestHashMatchesHashWords
 // holds the specializations to that.
 func (t *Table) hash(key []uint32) uint64 {
-	// hashGamma·len, wrapped mod 2^64 (the constant products overflow
-	// untyped arithmetic).
-	const (
-		gamma1 = hashGamma
-		gamma2 = 0x3c6ef372fe94f82a
-		gamma3 = 0xdaa66d2c7ddf743f
-		gamma4 = 0x78dde6e5fd29f054
-	)
 	switch len(key) {
 	case 1:
 		return mixWord(t.seed^gamma1, uint64(key[0]))
@@ -102,7 +108,11 @@ func (t *Table) hash(key []uint32) uint64 {
 	}
 }
 
-// Bucket returns the bucket index the key hashes to.
+// Bucket returns the key's hash image in slot space [0, b): the slot a
+// one-slot-per-bucket table would probe. Placement is group-granular
+// (fastrange over ngroups — Bucket/GroupSlots when b is a multiple of
+// GroupSlots), but Bucket remains the uniformity and seed-independence
+// witness the hash-quality tests check.
 func (t *Table) Bucket(key []uint32) int {
 	return Reduce(t.hash(key), t.b)
 }

@@ -1,25 +1,32 @@
 // Package hashtab implements the LFTA hash tables of the paper's
 // two-level DSMS architecture.
 //
-// An LFTA table is a fixed array of b buckets with exactly one resident
-// group per bucket. Probing a record's group either (i) starts a new group
-// in an empty bucket, (ii) increments the aggregates of the resident group
-// when it matches, or (iii) *collides*: the resident entry is evicted (to
+// An LFTA table is a fixed array of b slots, organised since PR 6 into
+// groups of GroupSlots = 16 slots that share one 16-byte fingerprint
+// vector (see match.go). Probing a record's group either (i) starts a
+// new group entry in a free slot of its hash group, (ii) increments the
+// aggregates of a resident slot whose key matches, or (iii) *collides*:
+// the group is full of other keys, so one resident entry is evicted (to
 // the HFTA, or to the tables the relation feeds) and replaced by the new
-// group with fresh aggregates. This evict-on-collision behaviour — rather
-// than chaining or probing sequences — is what makes the collision rate the
-// central performance quantity of the paper, and the table keeps exact
-// operation counts so experiments can compute the "actual cost"
-// c1·probes + c2·evictions.
+// entry with fresh aggregates. This evict-on-collision behaviour —
+// rather than chaining or probing sequences — is what makes the
+// collision rate the central performance quantity of the paper, and the
+// table keeps exact operation counts so experiments can compute the
+// "actual cost" c1·probes + c2·evictions. Relative to the paper's
+// one-slot buckets, a 16-slot group at equal space only evicts when all
+// 16 co-hashed slots are taken, which drops the collision rate sharply
+// at moderate load (internal/collision models both geometries).
 //
 // Space accounting follows the paper's convention: the unit of space is
 // 4 bytes, each attribute value and each aggregate counter occupies one
-// unit, so a bucket of a relation with arity a and k aggregates occupies
+// unit, so a slot of a relation with arity a and k aggregates occupies
 // h = a + k units.
 package hashtab
 
 import (
 	"fmt"
+	"math/bits"
+	"unsafe"
 
 	"repro/internal/attr"
 )
@@ -95,7 +102,7 @@ type Entry struct {
 type Stats struct {
 	Probes     uint64 // every Probe call (cost c1 each)
 	Hits       uint64 // probe matched resident group
-	Inserts    uint64 // probe filled an empty bucket
+	Inserts    uint64 // probe filled an empty slot
 	Collisions uint64 // probe evicted a resident group (cost c2 if leaf)
 	Flushes    uint64 // entries emitted by Flush/Scan-and-clear
 
@@ -126,47 +133,65 @@ func (s Stats) AvgFlowLength() float64 {
 
 // Table is a single LFTA hash table.
 //
-// Bucket state lives in a split layout: a dense 8-bit fingerprint array
-// (tags, one byte per bucket — 64 buckets per cache line) in front of
-// the flat entry storage (keys, aggregates, update counts). A probe
-// reads the tag first: 0 means empty (install without any key load), a
-// mismatch against the probing key's tag means a definite collision
-// (evict without comparing keys), and a match means a probable hit,
-// confirmed by the key compare (1/128 of collisions alias the tag and
-// fall through to the collision path). Because the tag array answers
-// "empty / hit / collision" from one dense byte, the batch kernel
-// (ProbeBatchInto) can classify and prefetch a whole run of buckets
+// Slot state lives in a split layout: a dense 8-bit fingerprint array
+// (tags, one byte per slot, 16-byte aligned so each group's vector is
+// one load) in front of the flat entry storage. A probe hashes to a
+// group, and one matchTags compare (match.go) classifies all 16 lanes:
+// tag-matching lanes are probable hits confirmed by a key compare (1/128
+// of colliding keys alias the tag and fall through), a zero lane means
+// the group has room (install without loading any key line), and a group
+// with neither free nor matching lanes is full — the probe evicts the
+// group's hash-chosen victim lane. Because the tag vector answers
+// "hit / room / full" from one dense 16-byte load, the batch kernel
+// (ProbeBatchInto) can classify and prefetch a whole run of groups
 // before the first entry line is needed — see batch.go.
 //
-// Occupancy is mirrored in the update count (updates[i] == 0 ⟺
-// tags[i] == 0 ⟺ empty; a resident entry always has at least the
-// installing record folded in). The count saturates at 2³²-1 rather
-// than wrapping to 0, so occupancy can never be forged by overflow.
+// Entry storage interleaves each slot's update count with its aggregates
+// (aggs stride is NumAggs()+1, count in the last cell) so the hit and
+// eviction paths touch one line, not two. The count is kept as int64 and
+// clamped to uint32 when surfaced in an Entry; occupancy is tracked by
+// the tag byte alone (tags[i] == 0 ⟺ slot i empty).
 type Table struct {
 	rel     attr.Set
 	arity   int
 	ops     []AggOp
 	sumOnly bool // exactly one aggregate slot with op Sum (count(*)/sum tables)
-	b       int
-	seed    uint64
+	b       int  // capacity in slots (the paper's bucket count)
+	ngroups int  // ⌈b/GroupSlots⌉
+	lastW   int  // usable lanes in the final group (GroupSlots when b divides evenly)
+	astride int  // len(ops)+1: aggregates plus the update count
+	// fastKind selects a monomorphic probe kernel (fastprobe.go) for
+	// sum-only tables of the common arities; fastNone probes generically.
+	fastKind uint8
+	seed     uint64
 
-	tags    []uint8  // b fingerprints; 0 = empty, else tagOf(hash)
-	keys    []uint32 // b × arity, flat
-	aggs    []int64  // b × len(ops), flat
-	updates []uint32 // records folded into each resident entry; 0 = empty bucket
+	tags []uint8  // ngroups×GroupSlots lane fingerprints, 16-byte aligned; 0 = empty, tagDisabled = pad lane, else tagOf(hash)
+	keys []uint32 // b × arity, flat
+	aggs []int64  // b × astride, flat; row tail cell is the update count
 
-	// Batch-probe scratch (see ProbeBatchInto): precomputed bucket
-	// indices and fingerprints of the setup pass, sized to batchChunk on
-	// first use. Tables are single-owner (one shard probes a table), so
-	// the scratch lives on the table rather than in every caller.
+	// Base pointers of tags/keys/aggs, cached at construction for the
+	// monomorphic probe kernels (fastprobe.go): slot addressing by
+	// unsafe.Add skips the slice-header loads and bounds checks of the
+	// generic kernel. The arrays never reallocate after New, and the
+	// pointers keep them live.
+	tagp unsafe.Pointer
+	keyp unsafe.Pointer
+	aggp unsafe.Pointer
+
+	// Batch-probe scratch (see ProbeBatchInto): precomputed group base
+	// slot, fingerprint, and victim lane of the setup pass, sized to the
+	// run on first use. Tables are single-owner (one shard probes a
+	// table), so the scratch lives on the table rather than in every
+	// caller.
 	batchIdx []int
 	batchTag []uint8
+	batchVic []uint8
 
 	live  int
 	stats Stats
 }
 
-// New creates a table for relation rel with b buckets and one aggregate
+// New creates a table for relation rel with b slots and one aggregate
 // slot per op. The seed perturbs the hash function so different tables
 // (and different runs) use independent hash functions, as the paper's
 // random-hash assumption requires.
@@ -181,18 +206,35 @@ func New(rel attr.Set, b int, ops []AggOp, seed uint64) (*Table, error) {
 		return nil, fmt.Errorf("hashtab: table for %v needs at least one aggregate", rel)
 	}
 	arity := rel.Size()
-	return &Table{
-		rel:     rel,
-		arity:   arity,
-		ops:     append([]AggOp(nil), ops...),
-		sumOnly: len(ops) == 1 && ops[0] == Sum,
-		b:       b,
-		seed:    seed,
-		tags:    make([]uint8, b),
-		keys:    make([]uint32, b*arity),
-		aggs:    make([]int64, b*len(ops)),
-		updates: make([]uint32, b),
-	}, nil
+	ng := (b + GroupSlots - 1) / GroupSlots
+	// Over-allocate the tag array and offset so every group's 16-byte
+	// vector is 16-byte aligned (never split across cache lines).
+	raw := make([]uint8, ng*GroupSlots+groupAlign-1)
+	off := (groupAlign - int(uintptr(unsafe.Pointer(&raw[0])))&(groupAlign-1)) & (groupAlign - 1)
+	tags := raw[off : off+ng*GroupSlots : off+ng*GroupSlots]
+	for i := b; i < ng*GroupSlots; i++ {
+		tags[i] = tagDisabled
+	}
+	sumOnly := len(ops) == 1 && ops[0] == Sum
+	t := &Table{
+		rel:      rel,
+		arity:    arity,
+		ops:      append([]AggOp(nil), ops...),
+		sumOnly:  sumOnly,
+		b:        b,
+		ngroups:  ng,
+		lastW:    b - (ng-1)*GroupSlots,
+		astride:  len(ops) + 1,
+		fastKind: fastKindOf(arity, sumOnly),
+		seed:     seed,
+		tags:     tags,
+		keys:     make([]uint32, b*arity),
+		aggs:     make([]int64, b*(len(ops)+1)),
+	}
+	t.tagp = unsafe.Pointer(&t.tags[0])
+	t.keyp = unsafe.Pointer(&t.keys[0])
+	t.aggp = unsafe.Pointer(&t.aggs[0])
+	return t, nil
 }
 
 // MustNew is New that panics on error, for tests and examples.
@@ -212,8 +254,12 @@ func NewCounter(rel attr.Set, b int, seed uint64) (*Table, error) {
 // Rel returns the relation the table aggregates.
 func (t *Table) Rel() attr.Set { return t.rel }
 
-// Buckets returns the number of buckets b.
+// Buckets returns the number of slots b (the paper's bucket count: one
+// resident entry per slot; slots are probed GroupSlots at a time).
 func (t *Table) Buckets() int { return t.b }
+
+// Groups returns the number of GroupSlots-wide probe groups.
+func (t *Table) Groups() int { return t.ngroups }
 
 // Arity returns the group-key width.
 func (t *Table) Arity() int { return t.arity }
@@ -221,13 +267,13 @@ func (t *Table) Arity() int { return t.arity }
 // NumAggs returns the number of aggregate slots.
 func (t *Table) NumAggs() int { return len(t.ops) }
 
-// EntrySize returns h, the bucket size in 4-byte units (arity + #aggs).
+// EntrySize returns h, the slot size in 4-byte units (arity + #aggs).
 func (t *Table) EntrySize() int { return t.arity + len(t.ops) }
 
 // SpaceUnits returns the table's total size in 4-byte units, b·h.
 func (t *Table) SpaceUnits() int { return t.b * t.EntrySize() }
 
-// Len returns the number of occupied buckets.
+// Len returns the number of occupied slots.
 func (t *Table) Len() int { return t.live }
 
 // Stats returns a copy of the cumulative operation counters.
@@ -236,12 +282,39 @@ func (t *Table) Stats() Stats { return t.stats }
 // ResetStats zeroes the operation counters without touching contents.
 func (t *Table) ResetStats() { t.stats = Stats{} }
 
+// group returns the base slot index and fingerprint for hash h.
+func (t *Table) group(h uint64) (base int, tag uint8) {
+	return Reduce(h, t.ngroups) * GroupSlots, tagOf(h)
+}
+
+// victimSlot returns the slot evicted when the group at base is full: a
+// hash-chosen lane (bits 8-11, disjoint from both the fingerprint and the
+// bits fastrange consumes), folded into the final group's usable width.
+// It is a pure function of the key, so scalar, batch, and every kernel
+// selection evict identically.
+func (t *Table) victimSlot(base int, h uint64) int {
+	vs := int(h>>8) & (GroupSlots - 1)
+	if base == (t.ngroups-1)*GroupSlots && vs >= t.lastW {
+		vs %= t.lastW
+	}
+	return base + vs
+}
+
+// clampUpdates narrows a stored update count to the Entry's uint32
+// (saturating; a slot would need 2³² folds in one epoch to get here).
+func clampUpdates(u int64) uint32 {
+	if u >= int64(^uint32(0)) {
+		return ^uint32(0)
+	}
+	return uint32(u)
+}
+
 // Probe folds one observation of the group identified by key into the
 // table, applying deltas (one per aggregate slot) under the table's ops.
-// If the bucket holds a different group, that entry is evicted: Probe
-// returns it with collided = true, and the bucket is re-initialized to the
-// probing group. The returned Entry aliases freshly allocated slices and
-// is safe to retain.
+// If the key's hash group is full of other groups, one entry is evicted:
+// Probe returns it with collided = true, and its slot is re-initialized
+// to the probing group. The returned Entry aliases freshly allocated
+// slices and is safe to retain.
 //
 // key must have length Arity(); deltas must have length NumAggs(). For a
 // count(*) table pass deltas = {1}.
@@ -254,34 +327,40 @@ func (t *Table) Probe(key []uint32, deltas []int64) (evicted Entry, collided boo
 	}
 	t.stats.Probes++
 	h := t.hash(key)
-	i := Reduce(h, t.b)
-	tag := tagOf(h)
-	ks := t.keys[i*t.arity : (i+1)*t.arity]
-	as := t.aggs[i*len(t.ops) : (i+1)*len(t.ops)]
+	base, tag := t.group(h)
+	grp := (*[GroupSlots]uint8)(t.tags[base:])
 
-	if rt := t.tags[i]; rt == 0 {
-		t.install(i, tag, ks, as, key, deltas)
+	for mm := matchTags(grp, tag); mm != 0; mm &= mm - 1 {
+		i := base + bits.TrailingZeros16(mm)
+		ks := t.keys[i*t.arity : (i+1)*t.arity]
+		if equalKeys(ks, key) {
+			t.fold(t.aggs[i*t.astride:(i+1)*t.astride], deltas)
+			t.stats.Hits++
+			return Entry{}, false
+		}
+		// Fingerprint alias (1/128 per colliding lane): keep scanning.
+	}
+	if em := matchTags(grp, 0); em != 0 {
+		i := base + bits.TrailingZeros16(em)
+		t.install(i, tag, t.keys[i*t.arity:(i+1)*t.arity], t.aggs[i*t.astride:(i+1)*t.astride], key, deltas)
 		t.live++
 		t.stats.Inserts++
 		return Entry{}, false
-	} else if rt == tag && equalKeys(ks, key) {
-		t.fold(i, as, deltas, t.updates[i])
-		t.stats.Hits++
-		return Entry{}, false
 	}
-	// Collision: evict the resident group. (Same-key probes always carry
-	// the same tag, so a tag mismatch is a definite collision; a tag match
-	// with unequal keys is the 1/128 fingerprint alias, also a collision.)
-	up := t.updates[i]
+	// Group full with no key match: evict the hash-chosen victim lane.
+	i := t.victimSlot(base, h)
+	ks := t.keys[i*t.arity : (i+1)*t.arity]
+	row := t.aggs[i*t.astride : (i+1)*t.astride]
+	up := clampUpdates(row[len(t.ops)])
 	evicted = Entry{
 		Key:     append([]uint32(nil), ks...),
-		Aggs:    append([]int64(nil), as...),
+		Aggs:    append([]int64(nil), row[:len(t.ops)]...),
 		Updates: up,
 	}
 	t.stats.Collisions++
 	t.stats.EvictedUpdates += uint64(up)
 	t.stats.EvictedEntries++
-	t.install(i, tag, ks, as, key, deltas)
+	t.install(i, tag, ks, row, key, deltas)
 	return evicted, true
 }
 
@@ -295,23 +374,97 @@ func (t *Table) Probe(key []uint32, deltas []int64) (evicted Entry, collided boo
 // more than the duplicated body, and the batched≡scalar property tests
 // hold the two copies together.
 func (t *Table) ProbeInto(key []uint32, deltas []int64, victim *Entry) (collided bool) {
-	if len(key) != t.arity {
-		panic(fmt.Sprintf("hashtab: key arity %d for table %v (arity %d)", len(key), t.rel, t.arity))
+	if len(key) != t.arity || len(deltas) != len(t.ops) {
+		t.probePanic(key, deltas)
 	}
-	if len(deltas) != len(t.ops) {
-		panic(fmt.Sprintf("hashtab: %d deltas for table %v (%d aggs)", len(deltas), t.rel, len(t.ops)))
+	// Sum-only tables of the common arities take a monomorphic kernel
+	// (fastprobe.go) with the hash inlined and the key compare collapsed
+	// to packed-word compares; behaviour is bit-identical to the generic
+	// body below. The dominant arity-2 shape (the paper's two-attribute
+	// count/sum tables) is open-coded here so the hot path pays exactly
+	// one call frame.
+	// The guards re-state what fastKind already implies (arity 2, one
+	// delta) in a form the compiler can see, eliminating the bounds
+	// checks on the key/delta loads below.
+	if t.fastKind == fastSum2 && len(key) == 2 && len(deltas) == 1 {
+		t.stats.Probes++
+		w := uint64(key[0]) | uint64(key[1])<<32
+		h := mixWord(t.seed^gamma2, w)
+		base := Reduce(h, t.ngroups) * GroupSlots
+		tag := uint8(h) | 0x80
+		grp := (*[GroupSlots]uint8)(unsafe.Add(t.tagp, base))
+		var mm uint16
+		if simdEnabled {
+			mm = matchTagsSIMD(grp, tag)
+		} else {
+			mm = matchTagsGeneric(grp, tag)
+		}
+		for ; mm != 0; mm &= mm - 1 {
+			i := base + bits.TrailingZeros16(mm)
+			if *(*uint64)(t.keyPtr(i)) == w {
+				row := t.sumRow(i)
+				row[0] += deltas[0]
+				row[1]++
+				t.stats.Hits++
+				return false
+			}
+		}
+		var em uint16
+		if simdEnabled {
+			em = matchTagsSIMD(grp, 0)
+		} else {
+			em = matchTagsGeneric(grp, 0)
+		}
+		if em != 0 {
+			i := base + bits.TrailingZeros16(em)
+			t.tags[i] = tag
+			*(*uint64)(t.keyPtr(i)) = w
+			row := t.sumRow(i)
+			row[0] = deltas[0]
+			row[1] = 1
+			t.live++
+			t.stats.Inserts++
+			return false
+		}
+		i := t.victimSlot(base, h)
+		row := t.sumRow(i)
+		up := clampUpdates(row[1])
+		victim.Key = append(victim.Key[:0], t.keys[i*2:i*2+2]...)
+		victim.Aggs = append(victim.Aggs[:0], row[0])
+		victim.Updates = up
+		t.stats.Collisions++
+		t.stats.EvictedUpdates += uint64(up)
+		t.stats.EvictedEntries++
+		t.tags[i] = tag
+		*(*uint64)(t.keyPtr(i)) = w
+		row[0] = deltas[0]
+		row[1] = 1
+		return true
+	}
+	switch t.fastKind {
+	case fastSum1:
+		return t.probeSum1(key[0], deltas[0], victim)
+	case fastSum4:
+		return t.probeSum4(key[0], key[1], key[2], key[3], deltas[0], victim)
 	}
 	t.stats.Probes++
 	h := t.hash(key)
-	i := Reduce(h, t.b)
-	tag := tagOf(h)
+	base, tag := t.group(h)
+	grp := (*[GroupSlots]uint8)(t.tags[base:])
 	a := t.arity
-	rt := t.tags[i]
 
-	// Fingerprint match ⇒ probable hit: confirm with the key compare.
+	// One vector compare classifies the whole group; iterate the (almost
+	// always 0- or 1-bit) match mask, confirming with the key compare.
 	// Key comparison is open-coded: equalKeys is beyond the inlining
 	// budget, and a call per probe costs more than the compare itself.
-	if rt == tag {
+	var mm uint16
+	if simdEnabled {
+		mm = matchTagsSIMD(grp, tag)
+	} else {
+		mm = matchTagsGeneric(grp, tag)
+	}
+	for ; mm != 0; mm &= mm - 1 {
+		i := base + bits.TrailingZeros16(mm)
 		ks := t.keys[i*a : i*a+a : i*a+a]
 		match := true
 		for j := 0; j < a; j++ {
@@ -323,65 +476,79 @@ func (t *Table) ProbeInto(key []uint32, deltas []int64, victim *Entry) (collided
 		if match {
 			// Hit — the steady-state common case (1-x of probes): fold
 			// the deltas into the resident aggregates.
-			up := t.updates[i]
 			if t.sumOnly {
-				t.aggs[i] += deltas[0]
-				if up != ^uint32(0) {
-					t.updates[i] = up + 1
-				}
+				t.aggs[i*2] += deltas[0]
+				t.aggs[i*2+1]++
 			} else {
-				as := t.aggs[i*len(t.ops) : (i+1)*len(t.ops)]
-				t.fold(i, as, deltas, up)
+				t.fold(t.aggs[i*t.astride:(i+1)*t.astride], deltas)
 			}
 			t.stats.Hits++
 			return false
 		}
-		// Fingerprint alias (1/128 of collisions): fall through to evict.
+		// Fingerprint alias (1/128 per colliding lane): keep scanning.
 	}
-	ks := t.keys[i*a : i*a+a : i*a+a]
-	as := t.aggs[i*len(t.ops) : (i+1)*len(t.ops)]
-	if rt == 0 {
-		// Empty bucket: install without ever loading the key line.
-		t.install(i, tag, ks, as, key, deltas)
+	var em uint16
+	if simdEnabled {
+		em = matchTagsSIMD(grp, 0)
+	} else {
+		em = matchTagsGeneric(grp, 0)
+	}
+	if em != 0 {
+		// Room in the group: install without ever loading a key line.
+		i := base + bits.TrailingZeros16(em)
+		t.install(i, tag, t.keys[i*a:i*a+a:i*a+a], t.aggs[i*t.astride:(i+1)*t.astride], key, deltas)
 		t.live++
 		t.stats.Inserts++
 		return false
 	}
-	up := t.updates[i]
+	i := t.victimSlot(base, h)
+	ks := t.keys[i*a : i*a+a : i*a+a]
+	row := t.aggs[i*t.astride : (i+1)*t.astride]
+	up := clampUpdates(row[len(t.ops)])
 	victim.Key = append(victim.Key[:0], ks...)
-	victim.Aggs = append(victim.Aggs[:0], as...)
+	victim.Aggs = append(victim.Aggs[:0], row[:len(t.ops)]...)
 	victim.Updates = up
 	t.stats.Collisions++
 	t.stats.EvictedUpdates += uint64(up)
 	t.stats.EvictedEntries++
-	t.install(i, tag, ks, as, key, deltas)
+	t.install(i, tag, ks, row, key, deltas)
 	return true
 }
 
-// fold merges deltas into a resident entry's aggregates and bumps its
-// update count (saturating so it can never wrap to the empty marker 0).
-func (t *Table) fold(i int, as, deltas []int64, up uint32) {
-	for j, op := range t.ops {
-		as[j] = op.Combine(as[j], deltas[j])
+// probePanic reports a key-arity or delta-count mismatch out of line, so
+// the fmt machinery stays off the probe hot path.
+//
+//go:noinline
+func (t *Table) probePanic(key []uint32, deltas []int64) {
+	if len(key) != t.arity {
+		panic(fmt.Sprintf("hashtab: key arity %d for table %v (arity %d)", len(key), t.rel, t.arity))
 	}
-	if up != ^uint32(0) {
-		t.updates[i] = up + 1
-	}
+	panic(fmt.Sprintf("hashtab: %d deltas for table %v (%d aggs)", len(deltas), t.rel, len(t.ops)))
 }
 
-// install writes (key, deltas) into bucket i's storage slices and stamps
-// its fingerprint. The caller adjusts live when the bucket was empty.
-func (t *Table) install(i int, tag uint8, ks []uint32, as []int64, key []uint32, deltas []int64) {
+// fold merges deltas into a resident slot's aggregate row (len
+// NumAggs()+1) and bumps the trailing update count.
+func (t *Table) fold(row []int64, deltas []int64) {
+	for j, op := range t.ops {
+		row[j] = op.Combine(row[j], deltas[j])
+	}
+	row[len(t.ops)]++
+}
+
+// install writes (key, deltas) into slot i's storage slices and stamps
+// its fingerprint. row is the slot's full aggregate row (aggregates plus
+// update count). The caller adjusts live when the slot was empty.
+func (t *Table) install(i int, tag uint8, ks []uint32, row []int64, key []uint32, deltas []int64) {
 	t.tags[i] = tag
 	copy(ks, key)
 	if t.sumOnly {
-		as[0] = deltas[0]
+		row[0] = deltas[0]
 	} else {
 		for j, op := range t.ops {
-			as[j] = op.Combine(op.Identity(), deltas[j])
+			row[j] = op.Combine(op.Identity(), deltas[j])
 		}
 	}
-	t.updates[i] = 1
+	row[len(t.ops)] = 1
 }
 
 // equalKeys compares two keys of equal arity, unrolled for the short
@@ -410,38 +577,43 @@ func equalKeys(a, b []uint32) bool {
 }
 
 // Get looks up the resident entry for key without modifying the table. It
-// returns ok = false if the bucket is empty or holds a different group.
+// returns ok = false if the key's hash group holds no matching entry.
 func (t *Table) Get(key []uint32) (Entry, bool) {
 	if len(key) != t.arity {
 		return Entry{}, false
 	}
-	i := t.Bucket(key)
-	if t.updates[i] == 0 {
-		return Entry{}, false
+	h := t.hash(key)
+	base, tag := t.group(h)
+	grp := (*[GroupSlots]uint8)(t.tags[base:])
+	for mm := matchTags(grp, tag); mm != 0; mm &= mm - 1 {
+		i := base + bits.TrailingZeros16(mm)
+		ks := t.keys[i*t.arity : (i+1)*t.arity]
+		if !equalKeys(ks, key) {
+			continue
+		}
+		row := t.aggs[i*t.astride : (i+1)*t.astride]
+		return Entry{
+			Key:     append([]uint32(nil), ks...),
+			Aggs:    append([]int64(nil), row[:len(t.ops)]...),
+			Updates: clampUpdates(row[len(t.ops)]),
+		}, true
 	}
-	ks := t.keys[i*t.arity : (i+1)*t.arity]
-	if !equalKeys(ks, key) {
-		return Entry{}, false
-	}
-	return Entry{
-		Key:     append([]uint32(nil), ks...),
-		Aggs:    append([]int64(nil), t.aggs[i*len(t.ops):(i+1)*len(t.ops)]...),
-		Updates: t.updates[i],
-	}, true
+	return Entry{}, false
 }
 
-// Scan calls fn for every resident entry, in bucket order, without
+// Scan calls fn for every resident entry, in slot order, without
 // modifying the table. The Entry passed to fn aliases internal storage and
 // must not be retained across calls.
 func (t *Table) Scan(fn func(Entry)) {
 	for i := 0; i < t.b; i++ {
-		if t.updates[i] == 0 {
+		if t.tags[i] == 0 {
 			continue
 		}
+		row := t.aggs[i*t.astride : (i+1)*t.astride]
 		fn(Entry{
 			Key:     t.keys[i*t.arity : (i+1)*t.arity],
-			Aggs:    t.aggs[i*len(t.ops) : (i+1)*len(t.ops)],
-			Updates: t.updates[i],
+			Aggs:    row[:len(t.ops)],
+			Updates: clampUpdates(row[len(t.ops)]),
 		})
 	}
 }
@@ -452,16 +624,16 @@ func (t *Table) Scan(fn func(Entry)) {
 func (t *Table) Flush(fn func(Entry)) int {
 	n := 0
 	for i := 0; i < t.b; i++ {
-		if t.updates[i] == 0 {
+		if t.tags[i] == 0 {
 			continue
 		}
+		row := t.aggs[i*t.astride : (i+1)*t.astride]
 		e := Entry{
 			Key:     append([]uint32(nil), t.keys[i*t.arity:(i+1)*t.arity]...),
-			Aggs:    append([]int64(nil), t.aggs[i*len(t.ops):(i+1)*len(t.ops)]...),
-			Updates: t.updates[i],
+			Aggs:    append([]int64(nil), row[:len(t.ops)]...),
+			Updates: clampUpdates(row[len(t.ops)]),
 		}
 		t.tags[i] = 0
-		t.updates[i] = 0
 		t.stats.Flushes++
 		t.stats.EvictedUpdates += uint64(e.Updates)
 		t.stats.EvictedEntries++
@@ -480,19 +652,19 @@ func (t *Table) Flush(fn func(Entry)) int {
 func (t *Table) Drain(fn func(Entry)) int {
 	n := 0
 	for i := 0; i < t.b; i++ {
-		up := t.updates[i]
-		if up == 0 {
+		if t.tags[i] == 0 {
 			continue
 		}
 		t.tags[i] = 0
-		t.updates[i] = 0
+		row := t.aggs[i*t.astride : (i+1)*t.astride]
+		up := clampUpdates(row[len(t.ops)])
 		t.stats.Flushes++
 		t.stats.EvictedUpdates += uint64(up)
 		t.stats.EvictedEntries++
 		n++
 		fn(Entry{
 			Key:     t.keys[i*t.arity : (i+1)*t.arity],
-			Aggs:    t.aggs[i*len(t.ops) : (i+1)*len(t.ops)],
+			Aggs:    row[:len(t.ops)],
 			Updates: up,
 		})
 	}
@@ -502,10 +674,7 @@ func (t *Table) Drain(fn func(Entry)) int {
 
 // Clear empties the table without emitting entries or touching stats.
 func (t *Table) Clear() {
-	for i := range t.updates {
-		t.updates[i] = 0
-	}
-	for i := range t.tags {
+	for i := 0; i < t.b; i++ {
 		t.tags[i] = 0
 	}
 	t.live = 0

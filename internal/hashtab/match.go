@@ -1,0 +1,128 @@
+package hashtab
+
+import (
+	"encoding/binary"
+	"os"
+)
+
+// Group geometry and the tag-scan kernel.
+//
+// Since PR 6 the table's buckets are organised into groups of
+// GroupSlots = 16 slots sharing one 16-byte fingerprint vector. A probe
+// hashes to a *group*, and a single 16-lane byte compare against the
+// group's tag vector classifies every slot at once: lanes whose tag
+// equals the probing key's fingerprint are probable hits (confirmed by a
+// key compare), lanes whose tag is 0 are free, and a group with neither
+// is full — only then does the probe evict, so the evict-on-collision
+// pressure of the paper's one-slot design drops by roughly the group
+// width at equal space.
+//
+// matchTags* return a 16-bit mask with bit i set iff tags[i] == tag.
+// The same kernel yields the empty-slot mask when called with tag 0.
+// Three implementations exist:
+//
+//   - matchTagsGeneric: portable SWAR over two 64-bit words (exact — no
+//     false positives; see the haszero construction below).
+//   - matchTagsSIMD on amd64: AVX2 VPCMPEQB/VPMOVMSKB (match_amd64.s),
+//     gated at startup by a CPUID/XGETBV check.
+//   - matchTagsSIMD on arm64: NEON CMEQ + bit-table reduction
+//     (match_arm64.s), baseline on armv8.
+//
+// Selection is a package-level switch: auto-detected at init, overridable
+// with MAGG_SIMD=off (or programmatically via SetSIMD) so tests and
+// non-AVX2 hosts exercise the generic path.
+
+// GroupSlots is the number of slots per bucket group — one 16-byte tag
+// vector, matched by a single vector compare.
+const GroupSlots = 16
+
+// groupAlign is the byte alignment of the tag array: group tag vectors
+// never straddle a cache line, and the vector kernels get aligned loads.
+const groupAlign = GroupSlots
+
+// tagDisabled marks the pad lanes of a partial final group (when the
+// table's capacity b is not a multiple of GroupSlots). It is neither 0
+// (the empty marker) nor a valid fingerprint (tagOf always sets bit 7),
+// so disabled lanes match no probe and are never chosen for installs.
+const tagDisabled = 0x01
+
+var (
+	// simdAvailable: this CPU has a vector kernel (haveSIMD is
+	// per-GOARCH: CPUID-gated AVX2 on amd64, always true on arm64,
+	// false elsewhere).
+	simdAvailable = haveSIMD()
+	// simdEnabled is consulted on every probe; writes only through
+	// SetSIMD (tests) or init-time env override.
+	simdEnabled = initSIMD()
+)
+
+func initSIMD() bool {
+	switch os.Getenv("MAGG_SIMD") {
+	case "off", "0", "generic":
+		return false
+	}
+	return simdAvailable
+}
+
+// SIMDAvailable reports whether a vector tag-scan kernel exists for this
+// CPU (independent of whether it is currently enabled).
+func SIMDAvailable() bool { return simdAvailable }
+
+// SIMDEnabled reports whether probes currently use the vector kernel.
+func SIMDEnabled() bool { return simdEnabled }
+
+// SetSIMD enables or disables the vector kernel and returns the state now
+// in effect: enabling is ignored when no kernel exists for this CPU. It
+// is a process-wide switch intended for tests and benchmarks (the
+// equivalence suite runs once per kernel); it must not race with
+// concurrent probes.
+func SetSIMD(on bool) bool {
+	simdEnabled = on && simdAvailable
+	return simdEnabled
+}
+
+// KernelName names the tag-scan kernel probes currently use: "avx2",
+// "neon", or "generic".
+func KernelName() string {
+	if simdEnabled {
+		return kernelNameArch
+	}
+	return "generic"
+}
+
+// matchTags dispatches one group compare to the selected kernel. The
+// branch inlines into callers; the asm kernel behind it cannot.
+func matchTags(g *[GroupSlots]uint8, tag uint8) uint16 {
+	if simdEnabled {
+		return matchTagsSIMD(g, tag)
+	}
+	return matchTagsGeneric(g, tag)
+}
+
+// matchTagsGeneric is the portable kernel: XOR each 8-byte half with the
+// broadcast tag, detect zero bytes, and gather the per-byte flags into a
+// mask. The zero-byte test is the exact form
+//
+//	^(((v & 0x7f..7f) + 0x7f..7f) | v) & 0x80..80
+//
+// (high bit set iff the byte is 0). The familiar shorter idiom
+// (v-0x01..01) &^ v & 0x80..80 is NOT exact: a 0x01 byte above a zero
+// byte borrows and reports a false match, which here would install
+// entries into the disabled pad lanes of a partial group. The
+// multiply-gather moves the eight flag bits (positions 7,15,…,63) to the
+// top byte; the terms are carry-free because 8j+7k hits each target bit
+// exactly once for j,k in 0..7.
+func matchTagsGeneric(g *[GroupSlots]uint8, tag uint8) uint16 {
+	const (
+		lo7    = 0x7f7f7f7f7f7f7f7f
+		hi     = 0x8080808080808080
+		ones   = 0x0101010101010101
+		gather = 0x0102040810204080
+	)
+	m := uint64(tag) * ones
+	a := binary.LittleEndian.Uint64(g[0:8]) ^ m
+	b := binary.LittleEndian.Uint64(g[8:16]) ^ m
+	za := ^(((a & lo7) + lo7) | a) & hi
+	zb := ^(((b & lo7) + lo7) | b) & hi
+	return uint16(za>>7*gather>>56) | uint16(zb>>7*gather>>56)<<8
+}

@@ -1,0 +1,39 @@
+#include "textflag.h"
+
+// func matchTagsSIMD(tags *[16]uint8, tag uint8) uint16
+//
+// Broadcast the tag byte to all 16 lanes, compare against the group's
+// tag vector, and move the per-lane sign bits into a GPR mask. The tag
+// array is 16-byte aligned (hashtab.New over-allocates and offsets), so
+// VMOVDQU never splits a line; unaligned encoding is kept so the kernel
+// stays correct under any future layout. VEX.128 ops zero the upper YMM
+// bits, so no VZEROUPPER is needed.
+TEXT ·matchTagsSIMD(SB), NOSPLIT, $0-18
+	MOVQ   tags+0(FP), AX
+	MOVBLZX tag+8(FP), CX
+	MOVL   CX, X1
+	VPBROADCASTB X1, X0
+	VMOVDQU (AX), X2
+	VPCMPEQB X2, X0, X0
+	VPMOVMSKB X0, BX
+	MOVW   BX, ret+16(FP)
+	RET
+
+// func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxArg+0(FP), AX
+	MOVL ecxArg+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	MOVL $0, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

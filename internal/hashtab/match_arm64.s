@@ -1,0 +1,28 @@
+#include "textflag.h"
+
+// laneBits<> assigns lane i the bit value 1<<(i mod 8); ANDed with a
+// CMEQ result (0xFF per matching lane) it leaves one distinct bit per
+// lane within each 8-lane half, so three pairwise adds reduce the vector
+// to the 16-bit mask (low byte = lanes 0-7, high byte = lanes 8-15).
+DATA laneBits<>+0x00(SB)/8, $0x8040201008040201
+DATA laneBits<>+0x08(SB)/8, $0x8040201008040201
+GLOBL laneBits<>(SB), RODATA|NOPTR, $16
+
+// func matchTagsSIMD(tags *[16]uint8, tag uint8) uint16
+TEXT ·matchTagsSIMD(SB), NOSPLIT, $0-18
+	MOVD  tags+0(FP), R0
+	MOVBU tag+8(FP), R1
+	VLD1  (R0), [V0.B16]
+	VDUP  R1, V1.B16
+	VCMEQ V0.B16, V1.B16, V2.B16
+	MOVD  $laneBits<>(SB), R2
+	VLD1  (R2), [V3.B16]
+	VAND  V2.B16, V3.B16, V2.B16
+	// Within each half the lane bits are distinct, so pairwise sums
+	// never carry; three rounds fold 16 bytes into byte0|byte1<<8.
+	VADDP V2.B16, V2.B16, V2.B16
+	VADDP V2.B16, V2.B16, V2.B16
+	VADDP V2.B16, V2.B16, V2.B16
+	VMOV  V2.H[0], R3
+	MOVH  R3, ret+16(FP)
+	RET

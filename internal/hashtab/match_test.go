@@ -1,0 +1,88 @@
+package hashtab
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refMatch is the obvious-by-inspection oracle for the tag-scan kernels.
+func refMatch(g *[GroupSlots]uint8, tag uint8) uint16 {
+	var m uint16
+	for i, v := range g {
+		if v == tag {
+			m |= 1 << i
+		}
+	}
+	return m
+}
+
+// TestMatchTagsKernels holds every kernel (generic SWAR, and the
+// arch-vector kernel when this CPU has one) to the oracle over adversarial
+// tag vectors: empty lanes (0), disabled pad lanes (0x01), real
+// fingerprints (bit 7 set), and the probing tag itself in 0..16 lanes.
+func TestMatchTagsKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	kernels := []struct {
+		name string
+		fn   func(*[GroupSlots]uint8, uint8) uint16
+	}{{"generic", matchTagsGeneric}}
+	if SIMDAvailable() {
+		kernels = append(kernels, struct {
+			name string
+			fn   func(*[GroupSlots]uint8, uint8) uint16
+		}{kernelNameArch, matchTagsSIMD})
+	} else {
+		t.Log("no vector kernel on this CPU; generic only")
+	}
+	pool := []uint8{0, 0, tagDisabled, 0x80, 0x81, 0xff, 0xd3, 0x80}
+	for trial := 0; trial < 20000; trial++ {
+		var g [GroupSlots]uint8
+		for i := range g {
+			g[i] = pool[rng.Intn(len(pool))]
+		}
+		// Probe with every distinct value in play plus the empty marker.
+		for _, tag := range []uint8{0, tagDisabled, 0x80, 0x81, 0xff, 0xd3, uint8(rng.Intn(256))} {
+			want := refMatch(&g, tag)
+			for _, k := range kernels {
+				if got := k.fn(&g, tag); got != want {
+					t.Fatalf("%s(%v, %#x) = %#x, want %#x", k.name, g, tag, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestMatchTagsGenericNoBorrowFalsePositive pins the SWAR pitfall
+// directly: the inexact zero-byte idiom (v-0x01…)&^v&0x80… reports a
+// 0x01 byte sitting above a 0x00 byte as zero, which in this table would
+// install entries into the disabled pad lanes of a partial final group.
+func TestMatchTagsGenericNoBorrowFalsePositive(t *testing.T) {
+	g := [GroupSlots]uint8{0x00, tagDisabled, 0x00, tagDisabled}
+	for i := 4; i < GroupSlots; i++ {
+		g[i] = tagDisabled
+	}
+	if got := matchTagsGeneric(&g, 0); got != 0b101 {
+		t.Fatalf("empty mask = %#b, want 0b101 (disabled lanes leaked)", got)
+	}
+}
+
+// TestSetSIMD pins the override contract: disabling always sticks,
+// enabling only when the CPU has a kernel, and KernelName reports the
+// selection in effect.
+func TestSetSIMD(t *testing.T) {
+	orig := SIMDEnabled()
+	defer SetSIMD(orig)
+	if SetSIMD(false) {
+		t.Fatal("SetSIMD(false) reported vector kernel in effect")
+	}
+	if KernelName() != "generic" {
+		t.Fatalf("KernelName = %q with SIMD off", KernelName())
+	}
+	got := SetSIMD(true)
+	if got != SIMDAvailable() {
+		t.Fatalf("SetSIMD(true) = %v, available %v", got, SIMDAvailable())
+	}
+	if got && KernelName() != kernelNameArch {
+		t.Fatalf("KernelName = %q, want %q", KernelName(), kernelNameArch)
+	}
+}

@@ -18,3 +18,10 @@ import "unsafe"
 //
 //go:noescape
 func prefetch(p unsafe.Pointer)
+
+// prefetch3 issues prefetches for three cache lines in one call: the
+// batch commit loop wants a probe's tag vector, key line, and aggregate
+// line in flight together, and one stub call costs a third of three.
+//
+//go:noescape
+func prefetch3(p0, p1, p2 unsafe.Pointer)

@@ -7,3 +7,13 @@ TEXT ·prefetch(SB), NOSPLIT, $0-8
 	MOVQ p+0(FP), AX
 	PREFETCHT0 (AX)
 	RET
+
+// func prefetch3(p0, p1, p2 unsafe.Pointer)
+TEXT ·prefetch3(SB), NOSPLIT, $0-24
+	MOVQ p0+0(FP), AX
+	MOVQ p1+8(FP), BX
+	MOVQ p2+16(FP), CX
+	PREFETCHT0 (AX)
+	PREFETCHT0 (BX)
+	PREFETCHT0 (CX)
+	RET

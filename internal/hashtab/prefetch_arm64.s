@@ -7,3 +7,13 @@ TEXT ·prefetch(SB), NOSPLIT, $0-8
 	MOVD p+0(FP), R0
 	PRFM (R0), PLDL1KEEP
 	RET
+
+// func prefetch3(p0, p1, p2 unsafe.Pointer)
+TEXT ·prefetch3(SB), NOSPLIT, $0-24
+	MOVD p0+0(FP), R0
+	MOVD p1+8(FP), R1
+	MOVD p2+16(FP), R2
+	PRFM (R0), PLDL1KEEP
+	PRFM (R1), PLDL1KEEP
+	PRFM (R2), PLDL1KEEP
+	RET

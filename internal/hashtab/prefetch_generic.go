@@ -8,3 +8,6 @@ import "unsafe"
 // probe kernel still helps there — hashing and bucket classification are
 // batched either way — it just cannot overlap the memory misses.
 func prefetch(p unsafe.Pointer) { _ = p }
+
+// prefetch3 is a no-op on platforms without an assembly stub.
+func prefetch3(p0, p1, p2 unsafe.Pointer) { _, _, _ = p0, p1, p2 }
