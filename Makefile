@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race fuzz-short check bench bench-json bench-compare
+.PHONY: build test vet race fuzz-short crash-test check bench bench-json bench-compare
 
 build:
 	$(GO) build ./...
@@ -26,11 +26,18 @@ race:
 
 # Replay the checked-in fuzz seed corpora (testdata/fuzz/...) without
 # live fuzzing — what CI runs. Use `go test -fuzz FuzzCheckpointDecode
-# -fuzzminimizetime 50x ./internal/core` for a live session.
+# -fuzzminimizetime 50x ./internal/core` (or FuzzSegmentDecode in
+# ./internal/epochstore) for a live session.
 fuzz-short:
-	$(GO) test -run 'Fuzz' ./internal/core ./internal/stream ./internal/feedgraph ./internal/query
+	$(GO) test -run 'Fuzz' ./internal/core ./internal/stream ./internal/feedgraph ./internal/query ./internal/epochstore
 
-check: build vet test race fuzz-short
+# The durability crash-point property suites: the epoch store killed at
+# ~100 byte offsets per seed (including during recovery), the engine on
+# a dying disk, and the checkpoint + store-replay resume equivalences.
+crash-test:
+	$(GO) test -run 'TestCrashPoint|TestCrashDuring|TestEngineCrashPoints|TestKillRestoreWithStore|TestReplayMatches' -count=1 ./internal/epochstore ./internal/core
+
+check: build vet test race fuzz-short crash-test
 
 # Quick perf numbers for the engine hot path (see docs/PERF.md).
 bench:
@@ -38,7 +45,7 @@ bench:
 
 # Machine-readable summary, the BENCH_PR<N>.json trajectory format.
 bench-json:
-	$(GO) run ./cmd/maggbench -json BENCH_PR6.json
+	$(GO) run ./cmd/maggbench -json BENCH_PR7.json
 
 # Diff two bench-json reports; fails on a ns/op regression beyond
 # THRESHOLD (fractional, default 10%). CI widens it for its short

@@ -29,6 +29,18 @@
 //     open epoch. SIGINT/SIGTERM flush the final (partial) epoch instead
 //     of losing it; the checkpoint on disk stays at the last closed
 //     boundary, so a later resume re-emits the interrupted epoch whole.
+//   - -store dir attaches a durable epoch store: every closed epoch's
+//     answers are appended (asynchronously, off the hot path) to a
+//     crash-safe segmented log under dir. Opening the store runs
+//     automatic recovery — torn tails from a previous crash are truncated
+//     to the last intact record. Combined with -checkpoint, a killed run
+//     resumes with byte-identical answers for every persisted epoch; if
+//     the store is down mid-run the engine degrades gracefully, recording
+//     the affected epochs in the durability ledger printed in the summary.
+//   - -history N (with -store) prints epoch N's persisted answers from
+//     the store instead of streaming; -history all prints every epoch.
+//   - -sink-fail-every N drops every Nth LFTA→HFTA delivery (fault
+//     injection); the summary prints per-relation lost mass.
 package main
 
 import (
@@ -43,7 +55,9 @@ import (
 
 	"repro/internal/attr"
 	"repro/internal/core"
+	"repro/internal/epochstore"
 	"repro/internal/hfta"
+	"repro/internal/lfta"
 	"repro/internal/query"
 	"repro/internal/stream"
 )
@@ -57,19 +71,22 @@ func (q *queryFlags) Set(s string) error {
 }
 
 type runConfig struct {
-	trace      string
-	sqls       []string
-	m          int
-	sample     int
-	top        int
-	adaptive   bool
-	quiet      bool
-	slack      uint32
-	budget     float64
-	shed       string
-	shards     int
-	checkpoint string
-	stop       *atomic.Bool // set externally to request a graceful stop
+	trace         string
+	sqls          []string
+	m             int
+	sample        int
+	top           int
+	adaptive      bool
+	quiet         bool
+	slack         uint32
+	budget        float64
+	shed          string
+	shards        int
+	checkpoint    string
+	store         string       // durable epoch store directory ("" = none)
+	history       string       // "N" or "all": print persisted epochs and exit
+	sinkFailEvery int          // drop every Nth LFTA→HFTA delivery (0 = off)
+	stop          *atomic.Bool // set externally to request a graceful stop
 }
 
 func main() {
@@ -87,11 +104,19 @@ func main() {
 		shed       = flag.String("shed", "droptail", "shedding policy under -budget: droptail or uniform")
 		shards     = flag.Int("shards", 0, "hash-partitioned LFTA shards under one global budget (0 = single runtime)")
 		checkpoint = flag.String("checkpoint", "", "checkpoint file: written at epoch boundaries, resumed from if present")
+		store      = flag.String("store", "", "durable epoch store directory: closed epochs persisted crash-safely, recovered on open")
+		history    = flag.String("history", "", "with -store: print persisted epoch N (or 'all') and exit")
+		sinkFail   = flag.Int("sink-fail-every", 0, "drop every Nth LFTA→HFTA delivery (fault injection; 0 = off)")
 	)
 	flag.Var(&queries, "query", "GSQL query (repeatable)")
 	flag.Parse()
 
-	if *trace == "" {
+	if *history != "" {
+		if *store == "" {
+			fmt.Fprintln(os.Stderr, "maggd: -history requires -store")
+			os.Exit(2)
+		}
+	} else if *trace == "" {
 		fmt.Fprintln(os.Stderr, "maggd: -trace is required")
 		flag.Usage()
 		os.Exit(2)
@@ -104,7 +129,7 @@ func main() {
 		}
 		queries = append(queries, qs...)
 	}
-	if len(queries) == 0 {
+	if len(queries) == 0 && *history == "" {
 		fmt.Fprintln(os.Stderr, "maggd: no queries (use -query or -queryfile)")
 		os.Exit(2)
 	}
@@ -122,19 +147,22 @@ func main() {
 	}()
 
 	cfg := runConfig{
-		trace:      *trace,
-		sqls:       queries,
-		m:          *m,
-		sample:     *sample,
-		top:        *top,
-		adaptive:   *adaptive,
-		quiet:      *quiet,
-		slack:      uint32(*slack),
-		budget:     *budget,
-		shed:       *shed,
-		shards:     *shards,
-		checkpoint: *checkpoint,
-		stop:       &stop,
+		trace:         *trace,
+		sqls:          queries,
+		m:             *m,
+		sample:        *sample,
+		top:           *top,
+		adaptive:      *adaptive,
+		quiet:         *quiet,
+		slack:         uint32(*slack),
+		budget:        *budget,
+		shed:          *shed,
+		shards:        *shards,
+		checkpoint:    *checkpoint,
+		store:         *store,
+		history:       *history,
+		sinkFailEvery: *sinkFail,
+		stop:          &stop,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "maggd: %v\n", err)
@@ -161,6 +189,28 @@ func readQueryFile(path string) ([]string, error) {
 }
 
 func run(cfg runConfig) error {
+	// Open the durable epoch store first: recovery (torn-tail truncation,
+	// manifest rebuild) happens here, and the history path needs nothing
+	// else.
+	var store *epochstore.Store
+	if cfg.store != "" {
+		var err error
+		store, err = epochstore.Open(cfg.store, epochstore.Options{})
+		if err != nil {
+			return fmt.Errorf("opening epoch store: %w", err)
+		}
+		defer store.Close()
+		if rec := store.Recovery(); rec.Dirty() {
+			fmt.Printf("store %s recovered: %d bytes of torn tail truncated, %d segments dropped, %d duplicate frames skipped, manifest rebuilt: %v\n",
+				cfg.store, rec.TruncatedBytes, rec.DroppedSegments, rec.DuplicateFrames, rec.ManifestRebuilt)
+		}
+		fmt.Printf("store %s: %d persisted records across %d epochs\n",
+			cfg.store, store.Len(), len(store.Epochs()))
+	}
+	if cfg.history != "" {
+		return printHistory(store, cfg.history, cfg.top)
+	}
+
 	_, recs, err := stream.ReadTraceFile(cfg.trace)
 	if err != nil {
 		return err
@@ -194,9 +244,17 @@ func run(cfg runConfig) error {
 		Budget:         cfg.budget,
 		Shards:         cfg.shards,
 		CheckpointPath: cfg.checkpoint,
+		Store:          store,
 	}
 	if cfg.adaptive {
 		opts.Adapt = core.AdaptOptions{Enabled: true}
+	}
+	var sinkFaults *lfta.FaultySink
+	if cfg.sinkFailEvery > 0 {
+		sinkFaults = lfta.NewFaultySink(lfta.SinkFaults{FailEvery: cfg.sinkFailEvery})
+		opts.WrapBatchSink = func(s lfta.BatchSink) lfta.BatchSink {
+			return sinkFaults.WrapBatch(s)
+		}
 	}
 	if cfg.budget > 0 {
 		switch cfg.shed {
@@ -245,8 +303,17 @@ func run(cfg runConfig) error {
 			if err != nil {
 				return err
 			}
-			fmt.Printf("resumed from %s: %d records consumed, %d epochs closed\n\n",
+			fmt.Printf("resumed from %s: %d records consumed, %d epochs closed\n",
 				cfg.checkpoint, skip, eng.Stats().Epochs)
+			if store != nil {
+				// Re-hydrate the persisted epochs so historical answers
+				// survive the crash byte-identically.
+				if err := eng.ReplayStore(); err != nil {
+					return err
+				}
+				fmt.Printf("replayed %d persisted epochs from %s\n", len(store.Epochs()), cfg.store)
+			}
+			fmt.Println()
 		}
 	}
 
@@ -301,6 +368,30 @@ func run(cfg runConfig) error {
 	if ordered != nil {
 		fmt.Printf("late records dropped by the reorder window: %d\n", ordered.Late())
 	}
+	if store != nil {
+		dur := eng.Durability()
+		fmt.Printf("durability: %d epochs persisted to %s", dur.Persisted, cfg.store)
+		if len(dur.Unpersisted) > 0 {
+			fmt.Printf(", %d UNPERSISTED (epochs %v)", len(dur.Unpersisted), dur.Unpersisted)
+		}
+		if dur.QueueFull > 0 {
+			fmt.Printf(", %d lost to a full persist queue", dur.QueueFull)
+		}
+		fmt.Println()
+		if dur.LastError != "" {
+			fmt.Printf("  last persistence error: %s\n", dur.LastError)
+		}
+	}
+	if sinkFaults != nil {
+		fmt.Printf("sink faults: %d deliveries lost\n", sinkFaults.Failures())
+		for _, rel := range rels {
+			count, mass := sinkFaults.Lost(rel)
+			if count == 0 {
+				continue
+			}
+			fmt.Printf("  query %v: %d evictions lost, mass %v\n", rel, count, mass)
+		}
+	}
 	if interrupted {
 		// Only advertise the checkpoint if one was actually written: a
 		// signal arriving before the first epoch boundary leaves nothing
@@ -309,6 +400,54 @@ func run(cfg runConfig) error {
 			fmt.Printf("interrupted: final epoch flushed; resume from %s\n", cfg.checkpoint)
 		} else {
 			fmt.Println("interrupted: final epoch flushed")
+		}
+	}
+	return nil
+}
+
+// printHistory answers historical-epoch queries straight from the durable
+// store: the persisted rows are exactly what the engine emitted when the
+// epoch closed (HAVING applied), so no replay is needed.
+func printHistory(store *epochstore.Store, sel string, top int) error {
+	var epochs []uint32
+	if sel == "all" {
+		epochs = store.Epochs()
+	} else {
+		var n uint32
+		if _, err := fmt.Sscanf(sel, "%d", &n); err != nil {
+			return fmt.Errorf("-history wants an epoch number or 'all', got %q", sel)
+		}
+		epochs = []uint32{n}
+	}
+	if len(epochs) == 0 {
+		fmt.Println("store holds no epochs")
+		return nil
+	}
+	for _, epoch := range epochs {
+		rels := store.Relations(epoch)
+		if len(rels) == 0 {
+			return fmt.Errorf("epoch %d is not in the store (persisted epochs: %v)", epoch, store.Epochs())
+		}
+		for _, rel := range rels {
+			rec, err := store.Read(epoch, rel)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("-- query %v, epoch %d: %d groups", rel, epoch, len(rec.Rows))
+			if rec.Dropped+rec.Late > 0 {
+				fmt.Printf(" (degraded: %d of %d records shed, %d late)", rec.Dropped, rec.Offered, rec.Late)
+			}
+			fmt.Println()
+			limit := len(rec.Rows)
+			if top > 0 && top < limit {
+				limit = top
+			}
+			for _, r := range rec.Rows[:limit] {
+				fmt.Printf("   %v -> %v\n", r.Key, r.Aggs)
+			}
+			if limit < len(rec.Rows) {
+				fmt.Printf("   ... %d more\n", len(rec.Rows)-limit)
+			}
 		}
 	}
 	return nil

@@ -1,11 +1,13 @@
 package main
 
 import (
+	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
 	"testing"
 
+	"repro/internal/epochstore"
 	"repro/internal/gen"
 	"repro/internal/stream"
 )
@@ -111,6 +113,78 @@ func TestRunCheckpointResume(t *testing.T) {
 	// checkpoint time) epoch is re-processed.
 	if err := run(cfg); err != nil {
 		t.Fatalf("resume: %v", err)
+	}
+}
+
+// TestRunStoreResume runs with a durable store and a checkpoint, kills
+// nothing the first time (establishing persisted epochs), then resumes:
+// the second run must replay the store and complete; the history path
+// must answer from the persisted epochs without a trace.
+func TestRunStoreResume(t *testing.T) {
+	trace := writeTestTrace(t)
+	sqls := []string{
+		"select A, B, count(*) as cnt from R group by A, B, time/10",
+		"select B, C, count(*) as cnt from R group by B, C, time/10",
+	}
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "maggd.ckpt")
+	storeDir := filepath.Join(dir, "store")
+
+	cfg := testConfig(trace, sqls)
+	cfg.checkpoint = ckpt
+	cfg.store = storeDir
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("no checkpoint written: %v", err)
+	}
+	st, err := epochstore.Open(storeDir, epochstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochs := st.Epochs()
+	st.Close()
+	if len(epochs) == 0 {
+		t.Fatal("run persisted no epochs")
+	}
+
+	// Resume: checkpoint restore + store replay + the tail of the stream.
+	if err := run(cfg); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+
+	// Historical query path: answered from the store alone.
+	hist := runConfig{store: storeDir, history: "all", top: 2}
+	if err := run(hist); err != nil {
+		t.Fatalf("history all: %v", err)
+	}
+	hist.history = fmt.Sprintf("%d", epochs[0])
+	if err := run(hist); err != nil {
+		t.Fatalf("history %s: %v", hist.history, err)
+	}
+	hist.history = "999999"
+	if err := run(hist); err == nil {
+		t.Error("absent epoch accepted by -history")
+	}
+	hist.history = "bogus"
+	if err := run(hist); err == nil {
+		t.Error("malformed -history accepted")
+	}
+}
+
+// TestRunSinkFaults exercises the -sink-fail-every flag end to end: the
+// run completes and the per-relation lost-mass summary prints without
+// disturbing the ledger.
+func TestRunSinkFaults(t *testing.T) {
+	trace := writeTestTrace(t)
+	cfg := testConfig(trace, []string{
+		"select A, B, count(*) as cnt from R group by A, B, time/10",
+		"select B, C, count(*) as cnt from R group by B, C, time/10",
+	})
+	cfg.sinkFailEvery = 7
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,0 +1,120 @@
+// Package backoff implements capped exponential backoff with
+// deterministic, seeded jitter. It is the retry discipline shared by the
+// engine's result-emission path and the durable epoch-store persister:
+// transient failures (a slow sink, a store mid-recovery, a full disk that
+// is being cleared) are retried with exponentially growing, jittered
+// delays up to a cap, and only then surfaced as permanent.
+//
+// Determinism matters here as much as in the chaos harness: the jitter is
+// a pure function of (Seed, attempt), never of wall-clock or global
+// randomness, so a test that injects a Sleep stub observes the exact
+// delay sequence a production run would draw.
+package backoff
+
+import (
+	"math"
+	"time"
+)
+
+// Defaults applied by Policy.withDefaults for zero fields.
+const (
+	DefaultBase     = 2 * time.Millisecond
+	DefaultMax      = 250 * time.Millisecond
+	DefaultFactor   = 2.0
+	DefaultAttempts = 5
+	DefaultJitter   = 0.2
+)
+
+// Policy describes a capped exponential backoff schedule. The zero value
+// is usable and retries DefaultAttempts times starting at DefaultBase.
+type Policy struct {
+	Base     time.Duration // delay before the first retry (default 2ms)
+	Max      time.Duration // delay cap (default 250ms)
+	Factor   float64       // per-attempt growth factor (default 2)
+	Attempts int           // total attempts including the first (default 5)
+
+	// Jitter spreads each delay uniformly over [1-Jitter, 1+Jitter] times
+	// the nominal value (default 0.2), so a fleet of retriers hammered by
+	// the same fault does not re-converge on synchronized retry storms.
+	// The draw is deterministic in (Seed, attempt).
+	Jitter float64
+	Seed   uint64
+
+	// Sleep replaces time.Sleep; tests inject a no-op or a recorder.
+	Sleep func(time.Duration)
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.Base <= 0 {
+		p.Base = DefaultBase
+	}
+	if p.Max <= 0 {
+		p.Max = DefaultMax
+	}
+	if p.Factor <= 1 {
+		p.Factor = DefaultFactor
+	}
+	if p.Attempts <= 0 {
+		p.Attempts = DefaultAttempts
+	}
+	if p.Jitter < 0 || p.Jitter >= 1 {
+		p.Jitter = DefaultJitter
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	return p
+}
+
+// splitmix64 is the repo-wide seeded mixer (same constants as the hash
+// seeds in internal/hashtab): one round turns (Seed + attempt) into an
+// independent uniform word.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Delay returns the jittered delay before retry number attempt (0-based:
+// Delay(0) is the pause after the first failure). Pure: the same policy
+// and attempt always yield the same duration.
+func (p Policy) Delay(attempt int) time.Duration {
+	p = p.withDefaults()
+	if attempt < 0 {
+		attempt = 0
+	}
+	d := float64(p.Base) * math.Pow(p.Factor, float64(attempt))
+	if d > float64(p.Max) {
+		d = float64(p.Max)
+	}
+	if p.Jitter > 0 {
+		u := splitmix64(p.Seed + uint64(attempt) + 1)
+		f := float64(u>>11) / float64(uint64(1)<<53) // uniform [0, 1)
+		d *= 1 - p.Jitter + 2*p.Jitter*f
+		if d > float64(p.Max) {
+			d = float64(p.Max)
+		}
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}
+
+// Retry runs op until it succeeds or the attempt budget is exhausted,
+// sleeping the policy's jittered delay between attempts. It returns nil
+// on the first success, otherwise the last error.
+func (p Policy) Retry(op func() error) error {
+	p = p.withDefaults()
+	var err error
+	for a := 0; a < p.Attempts; a++ {
+		if err = op(); err == nil {
+			return nil
+		}
+		if a < p.Attempts-1 {
+			p.Sleep(p.Delay(a))
+		}
+	}
+	return err
+}

@@ -1,0 +1,103 @@
+package backoff
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDelayGrowsAndCaps(t *testing.T) {
+	p := Policy{Base: time.Millisecond, Max: 8 * time.Millisecond, Factor: 2, Jitter: 0, Attempts: 10}
+	want := []time.Duration{
+		1 * time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond,
+		8 * time.Millisecond, 8 * time.Millisecond, 8 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := p.Delay(i); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestDelayJitterDeterministicAndBounded(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Max: time.Second, Jitter: 0.5, Seed: 42}
+	for i := 0; i < 6; i++ {
+		d1, d2 := p.Delay(i), p.Delay(i)
+		if d1 != d2 {
+			t.Fatalf("Delay(%d) not deterministic: %v vs %v", i, d1, d2)
+		}
+		nominal := float64(10*time.Millisecond) * float64(int(1)<<i)
+		lo, hi := time.Duration(0.5*nominal), time.Duration(1.5*nominal)
+		if hi > p.Max {
+			hi = p.Max
+		}
+		if d1 < lo || d1 > hi {
+			t.Errorf("Delay(%d) = %v outside [%v, %v]", i, d1, lo, hi)
+		}
+	}
+	// Different seeds draw different jitter (with overwhelming probability
+	// across six attempts).
+	q := p
+	q.Seed = 43
+	same := true
+	for i := 0; i < 6; i++ {
+		if p.Delay(i) != q.Delay(i) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("two seeds drew identical jitter sequences")
+	}
+}
+
+func TestRetryStopsOnSuccess(t *testing.T) {
+	var slept []time.Duration
+	p := Policy{Attempts: 5, Jitter: 0, Sleep: func(d time.Duration) { slept = append(slept, d) }}
+	calls := 0
+	err := p.Retry(func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Retry = %v, want nil", err)
+	}
+	if calls != 3 {
+		t.Errorf("op called %d times, want 3", calls)
+	}
+	if len(slept) != 2 {
+		t.Errorf("slept %d times, want 2", len(slept))
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	slept := 0
+	p := Policy{Attempts: 4, Sleep: func(time.Duration) { slept++ }}
+	calls := 0
+	permanent := errors.New("down")
+	if err := p.Retry(func() error { calls++; return permanent }); !errors.Is(err, permanent) {
+		t.Fatalf("Retry = %v, want the last error", err)
+	}
+	if calls != 4 {
+		t.Errorf("op called %d times, want 4", calls)
+	}
+	if slept != 3 {
+		t.Errorf("slept %d times, want 3 (no sleep after the final failure)", slept)
+	}
+}
+
+func TestZeroValuePolicyUsable(t *testing.T) {
+	p := Policy{Sleep: func(time.Duration) {}}
+	calls := 0
+	if err := p.Retry(func() error { calls++; return errors.New("x") }); err == nil {
+		t.Fatal("want error")
+	}
+	if calls != DefaultAttempts {
+		t.Errorf("zero policy ran %d attempts, want %d", calls, DefaultAttempts)
+	}
+	if d := (Policy{}).Delay(0); d <= 0 {
+		t.Errorf("zero policy Delay(0) = %v, want positive", d)
+	}
+}

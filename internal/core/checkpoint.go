@@ -42,12 +42,20 @@ import (
 // weights, stream positions, cumulative ledgers, and the per-epoch
 // per-shard ledger history). Together these make a killed
 // sharded-and-shedding run resume byte-identically. Version 1 checkpoints
-// still load (the v2 section simply defaults to fresh state); the engine
-// always writes version 2.
+// still load (the v2 section simply defaults to fresh state).
+//
+// Version 3 appends, after the v2 section, the durability ledger of the
+// epoch-store pipeline: how many closed epochs were persisted, how many
+// enqueues hit a full persist queue, and the list of unpersisted epochs —
+// so a resumed run still knows which epochs never reached the store. The
+// engine writes version 3 only when it carries durability state (a store
+// attached, or a ledger restored from a v3 image); otherwise it writes
+// version 2 byte-identically to previous releases.
 
 const (
 	ckptMagic     = "MAGK"
-	ckptVersion   = 2
+	ckptVersion   = 3
+	ckptVersionV2 = 2
 	ckptVersionV1 = 1
 
 	// Sanity caps on untrusted length fields: a corrupt header must fail
@@ -81,12 +89,30 @@ func (e *Engine) workloadHash() uint64 {
 	return h.Sum64()
 }
 
-// Checkpoint serializes the engine state in the current (v2) format.
-// Call only at an epoch boundary (the engine's own CheckpointPath writes
-// satisfy this by construction); mid-epoch LFTA table contents are not
-// captured.
+// Checkpoint serializes the engine state: format v3 when the engine
+// carries durability state (an attached epoch store or a restored
+// ledger), otherwise v2 — so engines without a store keep producing
+// byte-identical images across releases. Call only at an epoch boundary
+// (the engine's own CheckpointPath writes satisfy this by construction);
+// mid-epoch LFTA table contents are not captured.
 func (e *Engine) Checkpoint(w io.Writer) error {
-	return e.checkpointVersion(w, ckptVersion)
+	version := uint8(ckptVersionV2)
+	if e.hasDurabilityState() {
+		version = ckptVersion
+	}
+	return e.checkpointVersion(w, version)
+}
+
+// hasDurabilityState reports whether the engine has anything for a v3
+// checkpoint's durability footer to record.
+func (e *Engine) hasDurabilityState() bool {
+	if e.persist != nil {
+		return true
+	}
+	l := e.durable
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.persisted > 0 || len(l.unpersisted) > 0 || l.queueFull > 0
 }
 
 // checkpointVersion writes the checkpoint in the requested format
@@ -193,6 +219,17 @@ func (e *Engine) checkpointVersion(w io.Writer, version uint8) error {
 			}
 		}
 	}
+	if version >= 3 {
+		// Durability footer: the persisted-epoch position and the
+		// unpersisted ledger, so Restore + store replay resume exactly.
+		d := e.Durability()
+		le(uint32(d.Persisted))
+		le(uint32(d.QueueFull))
+		le(uint32(len(d.Unpersisted)))
+		for _, ep := range d.Unpersisted {
+			le(ep)
+		}
+	}
 	if err != nil {
 		return err
 	}
@@ -256,7 +293,7 @@ func (e *Engine) Restore(r io.Reader) (consumed uint64, err error) {
 	}
 	var version uint8
 	le(&version)
-	if rerr == nil && version != ckptVersionV1 && version != ckptVersion {
+	if rerr == nil && (version < ckptVersionV1 || version > ckptVersion) {
 		return 0, fmt.Errorf("%w: unsupported version %d", ErrBadCheckpoint, version)
 	}
 	var hash uint64
@@ -426,6 +463,26 @@ func (e *Engine) Restore(r io.Reader) (consumed uint64, err error) {
 			}
 		}
 	}
+
+	// Version-3 footer: the durability ledger of the epoch-store pipeline.
+	var durPersisted, durQueueFull uint32
+	var durUnpersisted []uint32
+	haveDurability := false
+	if rerr == nil && version >= 3 {
+		haveDurability = true
+		le(&durPersisted)
+		le(&durQueueFull)
+		var nUnp uint32
+		le(&nUnp)
+		if rerr == nil && nUnp > ckptMaxHistory {
+			return 0, fmt.Errorf("%w: implausible unpersisted-epoch count %d", ErrBadCheckpoint, nUnp)
+		}
+		for i := uint32(0); rerr == nil && i < nUnp; i++ {
+			var ep uint32
+			le(&ep)
+			durUnpersisted = append(durUnpersisted, ep)
+		}
+	}
 	if rerr != nil {
 		return 0, fmt.Errorf("%w: truncated: %v", ErrBadCheckpoint, rerr)
 	}
@@ -492,6 +549,16 @@ func (e *Engine) Restore(r io.Reader) (consumed uint64, err error) {
 	e.degInit = false
 	for _, r := range rows {
 		e.agg.Consume(lfta.Eviction{Rel: r.rel, Key: r.key, Aggs: r.aggs, Epoch: r.epoch})
+	}
+	if haveDurability {
+		e.durable.restore(int(durPersisted), durUnpersisted, int(durQueueFull))
+	}
+	if e.persist != nil {
+		// With a store attached its contents are authoritative over the
+		// footer: an epoch persisted after the checkpoint was written, or
+		// lost with the store's disk, is reclassified here. Callers that
+		// also want the rows back run ReplayStore (which reconciles too).
+		e.reconcileStore()
 	}
 	return consumed, nil
 }

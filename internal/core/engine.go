@@ -14,8 +14,10 @@ import (
 	"fmt"
 
 	"repro/internal/attr"
+	"repro/internal/backoff"
 	"repro/internal/choose"
 	"repro/internal/cost"
+	"repro/internal/epochstore"
 	"repro/internal/feedgraph"
 	"repro/internal/gen"
 	"repro/internal/hashtab"
@@ -130,6 +132,25 @@ type Options struct {
 	// boundary; see Engine.WriteCheckpointFile and RestoreCheckpointFile.
 	CheckpointPath string
 
+	// Store, when set, persists every finalized epoch's results durably:
+	// at each epoch close the finalized rows are handed to an asynchronous
+	// persister goroutine over a bounded queue and appended to the store
+	// with retried, backed-off writes. The hot path never blocks on the
+	// store; epochs that cannot be persisted (store down past the retry
+	// budget, queue full) are recorded in the durability ledger (see
+	// Engine.Durability) and ingest continues. The engine does not close
+	// the store; the caller owns its lifecycle (close after Finish).
+	Store *epochstore.Store
+
+	// StoreQueue bounds the persist queue in epochs (default 8). When the
+	// store cannot keep up, epochs beyond the bound degrade to unpersisted
+	// rather than blocking ingest.
+	StoreQueue int
+
+	// StoreBackoff is the persister's retry schedule. The zero value uses
+	// the backoff defaults with Seed defaulted from Options.Seed.
+	StoreBackoff backoff.Policy
+
 	// WrapBatchSink, when set, wraps the LFTA→HFTA transfer channel —
 	// the hook the chaos suite uses to inject sink faults
 	// (lfta.FaultySink). Production deployments leave it nil.
@@ -160,6 +181,10 @@ type Stats struct {
 	// PeakRepairs counts online peak-load repairs applied because the
 	// measured flush cost exceeded PeakEu for PeakRepairEpochs epochs.
 	PeakRepairs int
+
+	// Durability is the durable epoch store's accounting (persisted and
+	// unpersisted epochs); Enabled is false when no store is attached.
+	Durability Durability
 }
 
 // Engine is the assembled two-level system.
@@ -228,6 +253,21 @@ type Engine struct {
 	lastFlushCost float64
 
 	firstResultErr error
+
+	// Result emission: emitResults is the row source emitEpoch delivers
+	// from (e.Results normally; tests substitute failing sources) and
+	// emitRetry is the backoff schedule a transient emission failure is
+	// retried on before the epoch's query counts as a ResultError.
+	emitResults func(rel attr.Set, epoch uint32) ([]hfta.Row, error)
+	emitRetry   backoff.Policy
+
+	// Durable persistence (Options.Store): the async persister pipeline
+	// and the ledger of persisted/unpersisted epochs. The ledger always
+	// exists (a restored v3 checkpoint can carry durability state even
+	// into an engine with no store attached); persist is nil without a
+	// store.
+	persist *persister
+	durable *durableLedger
 
 	// Online group-count sketches for candidate phantoms (adaptive mode
 	// with TrackPhantoms), reset every epoch.
@@ -336,7 +376,10 @@ func NewFromSpecs(specs []*query.Spec, groups feedgraph.GroupCounts, opts Option
 		opts:      opts,
 		shedder:   opts.Shed,
 		specByRel: make(map[attr.Set]*query.Spec, len(specs)),
+		durable:   newDurableLedger(),
+		emitRetry: backoff.Policy{Seed: opts.Seed},
 	}
+	e.emitResults = e.Results
 	if opts.Shards > 1 {
 		e.nShards = opts.Shards
 		e.shardAvail = make([]float64, e.nShards)
@@ -386,6 +429,14 @@ func NewFromSpecs(specs []*query.Spec, groups feedgraph.GroupCounts, opts Option
 		}
 	}
 	e.clock = stream.NewClock(e.epochLen)
+	if opts.Store != nil {
+		// Started last so a failed construction never leaks the goroutine.
+		pol := opts.StoreBackoff
+		if pol.Seed == 0 {
+			pol.Seed = opts.Seed
+		}
+		e.persist = newPersister(opts.Store, opts.StoreQueue, pol, e.durable)
+	}
 	return e, nil
 }
 
@@ -734,6 +785,11 @@ func (e *Engine) closeEpochState() Degradation {
 	if e.shedder != nil {
 		e.shedder.EpochEnd(closed)
 	}
+	// Persist before emit: emitEpoch drops the epoch's HFTA state when a
+	// result handler is installed, so the durable copy must be captured
+	// first. The capture is synchronous (cheap row copies); the store I/O
+	// runs on the persister goroutine.
+	e.persistEpoch(closed)
 	e.emitEpoch(closed)
 	return closed
 }
@@ -947,9 +1003,12 @@ func clampMonotone(groups feedgraph.GroupCounts, g *feedgraph.Graph) error {
 // state. Adaptive group-count refreshes read the epoch's counts before
 // this runs (refreshGroupEstimates is called from maybeAdapt after emit
 // only when no handler is installed — with a handler, the counts are
-// captured here first). Results errors are counted in Stats and the first
-// one is propagated from Finish; the remaining queries of the epoch are
-// still delivered.
+// captured here first). A failing row source is retried on the engine's
+// backoff schedule (capped exponential with seeded jitter — the same
+// discipline as the store persister) before the query counts as a
+// ResultError; errors are counted in Stats, the first one is propagated
+// from Finish, and the remaining queries of the epoch are still
+// delivered.
 func (e *Engine) emitEpoch(closed Degradation) {
 	if e.opts.OnResults == nil {
 		return
@@ -960,7 +1019,12 @@ func (e *Engine) emitEpoch(closed Degradation) {
 		e.refreshGroupEstimates(epoch)
 	}
 	for _, q := range e.queries {
-		rows, err := e.Results(q, epoch)
+		var rows []hfta.Row
+		err := e.emitRetry.Retry(func() error {
+			var rerr error
+			rows, rerr = e.emitResults(q, epoch)
+			return rerr
+		})
 		if err != nil {
 			e.stats.ResultErrors++
 			if e.firstResultErr == nil {
@@ -981,6 +1045,12 @@ func (e *Engine) emitEpoch(closed Degradation) {
 func (e *Engine) Finish() error {
 	if e.degInit {
 		e.closeEpochState()
+	}
+	if e.persist != nil {
+		// Drain the persister so every finalized epoch has been resolved
+		// (persisted or recorded as unpersisted) before the caller reads
+		// Stats or closes the store.
+		e.persist.stop()
 	}
 	return e.firstResultErr
 }
@@ -1103,6 +1173,7 @@ func (e *Engine) Stats() Stats {
 	s.Ops = e.Ops()
 	s.Degradation = e.cumDeg
 	s.Degradation.add(e.deg)
+	s.Durability = e.Durability()
 	return s
 }
 
@@ -1139,6 +1210,10 @@ type Diagnostics struct {
 	Tables []TableDiagnostic
 	Epochs []Degradation // closed epochs' overload accounting, oldest first
 	Total  Degradation   // cumulative, including the open epoch
+
+	// Durability is the durable epoch store's ledger: which closed epochs
+	// reached the store and which degraded to unpersisted.
+	Durability Durability
 }
 
 // Diagnostics reports modeled-vs-measured statistics for every
@@ -1170,9 +1245,10 @@ func (e *Engine) Diagnostics() (*Diagnostics, error) {
 	total := e.cumDeg
 	total.add(e.deg)
 	return &Diagnostics{
-		Tables: out,
-		Epochs: e.EpochDegradations(),
-		Total:  total,
+		Tables:     out,
+		Epochs:     e.EpochDegradations(),
+		Total:      total,
+		Durability: e.Durability(),
 	}, nil
 }
 

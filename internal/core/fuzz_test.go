@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"repro/internal/attr"
+	"repro/internal/epochstore"
 	"repro/internal/feedgraph"
 	"repro/internal/gen"
 	"repro/internal/stream"
@@ -77,11 +78,42 @@ func fuzzImages(tb testing.TB) (v2, v1 []byte) {
 	return b2.Bytes(), b1.Bytes()
 }
 
+// fuzzImageV3 writes the same engine state as a v3 image: a store is
+// attached, so the checkpoint carries the durability footer.
+func fuzzImageV3(tb testing.TB) []byte {
+	tb.Helper()
+	recs, groups := fuzzWorkload(tb)
+	st, err := epochstore.Open(filepath.Join(tb.TempDir(), "store"), epochstore.Options{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer st.Close()
+	opts := fuzzOptions()
+	opts.Store = st
+	e, err := New(fuzzSQL, groups, opts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := e.Process(r); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	e.SyncStore() // settle the ledger before it is snapshotted
+	var b bytes.Buffer
+	if err := e.Checkpoint(&b); err != nil {
+		tb.Fatal(err)
+	}
+	e.persist.stop()
+	return b.Bytes()
+}
+
 // fuzzSeeds enumerates the seed inputs shared by the fuzz target and the
 // checked-in corpus generator.
 func fuzzSeeds(tb testing.TB) [][]byte {
 	tb.Helper()
 	v2, v1 := fuzzImages(tb)
+	v3 := fuzzImageV3(tb)
 	flip := func(img []byte, off int, xor byte) []byte {
 		b := append([]byte(nil), img...)
 		b[off] ^= xor
@@ -101,6 +133,10 @@ func fuzzSeeds(tb testing.TB) [][]byte {
 		flip(v2, 5, 0xff),       // flipped workload hash
 		flip(v1, 4, 3),          // v1 image relabeled as an unknown version
 		flip(v2, len(v1), 0xff), // corrupted shed-word count
+		v3,
+		v3[:len(v3)-3],            // truncated durability footer
+		flip(v3, len(v3)-4, 0xff), // mangled unpersisted-epoch count/entry
+		flip(v2, 4, 1),            // v2 payload relabeled v3: footer missing
 	}
 }
 

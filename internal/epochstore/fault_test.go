@@ -1,0 +1,214 @@
+package epochstore
+
+import (
+	"errors"
+	"os"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestFaultFSWriteErr(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(nil, Faults{WriteErrEvery: 2})
+	f, err := ffs.OpenFile(dir+"/x", os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("aa")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	if n, err := f.Write([]byte("bb")); !errors.Is(err, ErrInjected) || n != 0 {
+		t.Fatalf("write 2 = %d, %v; want 0, ErrInjected", n, err)
+	}
+	if _, err := f.Write([]byte("cc")); err != nil {
+		t.Fatalf("write 3: %v", err)
+	}
+	size, _ := OSFS{}.Size(dir + "/x")
+	if size != 4 {
+		t.Fatalf("file size = %d, want 4 (failed write persisted nothing)", size)
+	}
+}
+
+func TestFaultFSShortWriteDeterministic(t *testing.T) {
+	sizes := func(seed uint64) []int64 {
+		dir := t.TempDir()
+		ffs := NewFaultFS(nil, Faults{Seed: seed, ShortWriteEvery: 1})
+		var out []int64
+		for i := 0; i < 4; i++ {
+			f, err := ffs.OpenFile(dir+"/x", os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n, werr := f.Write(make([]byte, 100))
+			if !errors.Is(werr, ErrInjected) {
+				t.Fatalf("short write %d returned %v", i, werr)
+			}
+			if n < 0 || n >= 100 {
+				t.Fatalf("short write persisted %d of 100 bytes, want a strict prefix", n)
+			}
+			f.Close()
+			out = append(out, int64(n))
+		}
+		return out
+	}
+	a, b := sizes(7), sizes(7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed drew different short-write lengths: %v vs %v", a, b)
+	}
+	if c := sizes(8); reflect.DeepEqual(a, c) {
+		t.Fatalf("different seeds drew identical short-write lengths: %v", a)
+	}
+}
+
+func TestFaultFSCrashCut(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(nil, Faults{CrashAfterBytes: 5})
+	f, err := ffs.OpenFile(dir+"/x", os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("ab")); err != nil {
+		t.Fatalf("pre-cut write: %v", err)
+	}
+	// This write straddles the cut: exactly 3 more bytes land.
+	if n, err := f.Write([]byte("cdefgh")); !errors.Is(err, ErrCrashed) || n != 3 {
+		t.Fatalf("straddling write = %d, %v; want 3, ErrCrashed", n, err)
+	}
+	if !ffs.Crashed() {
+		t.Fatal("FS not crashed after the cut")
+	}
+	// Everything after the crash fails, on old handles and new ops alike.
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write = %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash sync = %v", err)
+	}
+	if _, err := ffs.OpenFile(dir+"/y", os.O_RDWR|os.O_CREATE, 0o644); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash open = %v", err)
+	}
+	if err := ffs.Rename(dir+"/x", dir+"/y"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash rename = %v", err)
+	}
+	f.Close()
+	// The surviving bytes are exactly the pre-cut prefix.
+	b, err := os.ReadFile(dir + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "abcde" {
+		t.Fatalf("post-crash file = %q, want %q", b, "abcde")
+	}
+	if ffs.Written() != 5 {
+		t.Fatalf("Written = %d, want 5", ffs.Written())
+	}
+}
+
+func TestFaultFSSyncAndRenameErr(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(nil, Faults{SyncErrEvery: 1, RenameErrEvery: 1})
+	f, err := ffs.OpenFile(dir+"/x", os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync = %v, want ErrInjected", err)
+	}
+	if err := ffs.Rename(dir+"/x", dir+"/y"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("rename = %v, want ErrInjected", err)
+	}
+	if _, err := os.Stat(dir + "/x"); err != nil {
+		t.Fatalf("failed rename moved the file: %v", err)
+	}
+}
+
+// TestStoreRetriesAfterTransientFaults drives AppendEpoch through a FS
+// that fails every other write: each failed append must leave the store
+// repairable, a bare retry must succeed, and the final contents must be
+// exactly the appended records — no duplicates, no gaps, no torn frames.
+func TestStoreRetriesAfterTransientFaults(t *testing.T) {
+	for name, faults := range map[string]Faults{
+		"write-error": {WriteErrEvery: 2},
+		"short-write": {Seed: 11, ShortWriteEvery: 2},
+		"sync-error":  {SyncErrEvery: 2},
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir() + "/store"
+			ffs := NewFaultFS(nil, faults)
+			s, err := Open(dir, Options{FS: ffs})
+			if err != nil {
+				// Open itself may hit an injected fault; retry once — the
+				// every-other cadence guarantees progress.
+				s, err = Open(dir, Options{FS: ffs})
+				if err != nil {
+					t.Fatalf("Open under faults: %v / retry: %v", err, err)
+				}
+			}
+			defer s.Close()
+			epochs := testRecords(6)
+			var want []Record
+			for _, recs := range epochs {
+				appended := false
+				for attempt := 0; attempt < 4; attempt++ {
+					if err := s.AppendEpoch(recs); err == nil {
+						appended = true
+						break
+					} else if !errors.Is(err, ErrInjected) {
+						t.Fatalf("AppendEpoch: %v", err)
+					}
+				}
+				if !appended {
+					t.Fatalf("append of epoch %d never succeeded in 4 attempts", recs[0].Epoch)
+				}
+				want = append(want, recs...)
+			}
+			if got := contents(t, s); !reflect.DeepEqual(got, want) {
+				t.Fatal("contents diverge after faulty appends")
+			}
+			// Reopen on a clean FS: what was committed is what recovers.
+			s.Close()
+			s2 := mustOpen(t, dir, Options{})
+			if got := contents(t, s2); !reflect.DeepEqual(got, want) {
+				t.Fatal("reopened contents diverge after faulty appends")
+			}
+			if rec := s2.Recovery(); rec.TruncatedBytes == 0 && name == "sync-error" {
+				// Sync failures leave written-but-unacknowledged bytes that
+				// the in-process retry truncated already; nothing to assert.
+				_ = rec
+			}
+		})
+	}
+}
+
+func TestStoreBlockedWriteGate(t *testing.T) {
+	// The BlockWrites gate holds writers until released — the hook the
+	// engine tests use to observe bounded-queue degradation mid-flight.
+	// Open performs exactly two writes (segment header, manifest); prefeed
+	// those so only the append blocks.
+	gate := make(chan struct{}, 2)
+	gate <- struct{}{}
+	gate <- struct{}{}
+	dir := t.TempDir() + "/store"
+	ffs := NewFaultFS(nil, Faults{BlockWrites: gate})
+	s, err := Open(dir, Options{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	done := make(chan error, 1)
+	go func() { done <- s.AppendEpoch(testRecords(1)[0]) }()
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case err := <-done:
+		t.Fatalf("append completed without the gate: %v", err)
+	default:
+	}
+	gate <- struct{}{}
+	if err := <-done; err != nil {
+		t.Fatalf("gated append: %v", err)
+	}
+}

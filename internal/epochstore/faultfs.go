@@ -1,0 +1,268 @@
+package epochstore
+
+import (
+	"errors"
+	iofs "io/fs"
+	"sync"
+)
+
+// Injected fault errors. ErrInjected marks a transient fault (the
+// operation failed but the store may retry); ErrCrashed marks the
+// simulated power cut, after which every operation on the FaultFS fails —
+// recovery is exercised by reopening the directory on a fresh FS.
+var (
+	ErrInjected = errors.New("epochstore: injected I/O fault")
+	ErrCrashed  = errors.New("epochstore: simulated crash")
+)
+
+// Faults configure a FaultFS. Every fault is deterministic: the Nth
+// matching operation fails, and short-write lengths draw from a splitmix
+// stream seeded by Seed — the same configuration always injects the same
+// faults, so chaos runs replay identically.
+type Faults struct {
+	Seed uint64
+
+	WriteErrEvery   int // every Nth Write fails outright (no bytes written)
+	ShortWriteEvery int // every Nth Write persists only a seeded prefix
+	SyncErrEvery    int // every Nth Sync fails (data written, durability unknown)
+	RenameErrEvery  int // every Nth Rename fails (no rename performed)
+	OpenErrEvery    int // every Nth OpenFile fails
+
+	// CrashAfterBytes simulates a power cut: once the cumulative bytes
+	// written through this FS reach the cut point, the write in flight
+	// persists only up to the cut and every later operation returns
+	// ErrCrashed. 0 disables. Bytes written before the cut remain on the
+	// inner FS, so reopening the directory with a clean FS models the
+	// post-crash restart.
+	CrashAfterBytes int64
+
+	// BlockWrites, when non-nil, makes every Write first receive from the
+	// channel — a gate tests use to hold the persister mid-flight and
+	// observe bounded-queue degradation.
+	BlockWrites chan struct{}
+}
+
+// FaultFS wraps an FS with seeded fault injection. Safe for concurrent
+// use; one mutex orders the fault counters so "every Nth" is exact even
+// under concurrency.
+type FaultFS struct {
+	inner  FS
+	faults Faults
+
+	mu      sync.Mutex
+	writes  uint64
+	syncs   uint64
+	renames uint64
+	opens   uint64
+	written int64
+	crashed bool
+}
+
+// NewFaultFS wraps inner (nil = OSFS) with the configured faults.
+func NewFaultFS(inner FS, f Faults) *FaultFS {
+	if inner == nil {
+		inner = OSFS{}
+	}
+	return &FaultFS{inner: inner, faults: f}
+}
+
+// Crashed reports whether the simulated power cut has fired.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// CrashNow trips the power cut immediately, regardless of CrashAfterBytes.
+func (f *FaultFS) CrashNow() {
+	f.mu.Lock()
+	f.crashed = true
+	f.mu.Unlock()
+}
+
+// Written returns the cumulative bytes written through this FS — the
+// coordinate system CrashAfterBytes cut points are expressed in.
+func (f *FaultFS) Written() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.written
+}
+
+func every(n int, count uint64) bool { return n > 0 && count%uint64(n) == 0 }
+
+// OpenFile implements FS.
+func (f *FaultFS) OpenFile(name string, flag int, perm iofs.FileMode) (File, error) {
+	f.mu.Lock()
+	if f.crashed {
+		f.mu.Unlock()
+		return nil, ErrCrashed
+	}
+	f.opens++
+	fail := every(f.faults.OpenErrEvery, f.opens)
+	f.mu.Unlock()
+	if fail {
+		return nil, ErrInjected
+	}
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+// Rename implements FS.
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	if f.crashed {
+		f.mu.Unlock()
+		return ErrCrashed
+	}
+	f.renames++
+	fail := every(f.faults.RenameErrEvery, f.renames)
+	f.mu.Unlock()
+	if fail {
+		return ErrInjected
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+// Remove implements FS.
+func (f *FaultFS) Remove(name string) error {
+	if f.Crashed() {
+		return ErrCrashed
+	}
+	return f.inner.Remove(name)
+}
+
+// MkdirAll implements FS.
+func (f *FaultFS) MkdirAll(path string, perm iofs.FileMode) error {
+	if f.Crashed() {
+		return ErrCrashed
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+// ReadDir implements FS.
+func (f *FaultFS) ReadDir(dir string) ([]string, error) {
+	if f.Crashed() {
+		return nil, ErrCrashed
+	}
+	return f.inner.ReadDir(dir)
+}
+
+// Size implements FS.
+func (f *FaultFS) Size(name string) (int64, error) {
+	if f.Crashed() {
+		return 0, ErrCrashed
+	}
+	return f.inner.Size(name)
+}
+
+// faultFile applies the parent's write/sync faults to one handle.
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+// Write injects write faults. The crash cut takes precedence: the prefix
+// up to the cut is written through (it was in flight when the power
+// died), then the FS enters the crashed state.
+func (ff *faultFile) Write(p []byte) (int, error) {
+	f := ff.fs
+	if f.faults.BlockWrites != nil {
+		<-f.faults.BlockWrites
+	}
+	f.mu.Lock()
+	if f.crashed {
+		f.mu.Unlock()
+		return 0, ErrCrashed
+	}
+	f.writes++
+	n := f.writes
+	allow := len(p)
+	crashing := false
+	if cut := f.faults.CrashAfterBytes; cut > 0 && f.written+int64(len(p)) >= cut {
+		allow = int(cut - f.written)
+		if allow < 0 {
+			allow = 0
+		}
+		crashing = true
+		f.crashed = true
+	}
+	var injected error
+	if !crashing {
+		switch {
+		case every(f.faults.WriteErrEvery, n):
+			allow, injected = 0, ErrInjected
+		case every(f.faults.ShortWriteEvery, n) && len(p) > 0:
+			// A seeded strict prefix: [0, len(p)-1] bytes reach the disk.
+			allow = int(mix64(f.faults.Seed^n) % uint64(len(p)))
+			injected = ErrInjected
+		}
+	}
+	f.mu.Unlock()
+
+	wrote := 0
+	var werr error
+	if allow > 0 {
+		wrote, werr = ff.inner.Write(p[:allow])
+	}
+	f.mu.Lock()
+	f.written += int64(wrote)
+	f.mu.Unlock()
+	switch {
+	case werr != nil:
+		return wrote, werr
+	case crashing:
+		return wrote, ErrCrashed
+	case injected != nil:
+		return wrote, injected
+	default:
+		return wrote, nil
+	}
+}
+
+// ReadAt implements File.
+func (ff *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	if ff.fs.Crashed() {
+		return 0, ErrCrashed
+	}
+	return ff.inner.ReadAt(p, off)
+}
+
+// Sync implements File.
+func (ff *faultFile) Sync() error {
+	f := ff.fs
+	f.mu.Lock()
+	if f.crashed {
+		f.mu.Unlock()
+		return ErrCrashed
+	}
+	f.syncs++
+	fail := every(f.faults.SyncErrEvery, f.syncs)
+	f.mu.Unlock()
+	if fail {
+		return ErrInjected
+	}
+	return ff.inner.Sync()
+}
+
+// Truncate implements File.
+func (ff *faultFile) Truncate(size int64) error {
+	if ff.fs.Crashed() {
+		return ErrCrashed
+	}
+	return ff.inner.Truncate(size)
+}
+
+// Close implements File. Close succeeds even after a crash so tests can
+// release OS handles; the data outcome is already decided.
+func (ff *faultFile) Close() error { return ff.inner.Close() }
+
+// mix64 is one splitmix64 round (the repo's standard seeded mixer).
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

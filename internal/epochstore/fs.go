@@ -1,0 +1,81 @@
+package epochstore
+
+import (
+	"io"
+	iofs "io/fs"
+	"os"
+)
+
+// FS is the slice of the filesystem the store runs on. Every byte the
+// store reads or writes goes through this interface, so the recovery path
+// can be driven against simulated power cuts (see FaultFS) instead of
+// only the happy path the OS gives a test.
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics for the given flags.
+	OpenFile(name string, flag int, perm iofs.FileMode) (File, error)
+	// Rename atomically replaces newpath with oldpath (same directory).
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// MkdirAll creates a directory and any missing parents.
+	MkdirAll(path string, perm iofs.FileMode) error
+	// ReadDir lists the file names in a directory, sorted.
+	ReadDir(dir string) ([]string, error)
+	// Size returns a file's length in bytes.
+	Size(name string) (int64, error)
+}
+
+// File is the handle shape the store needs: append-only writes, random
+// reads, durability, and tail truncation for torn-write repair.
+type File interface {
+	io.Writer
+	io.ReaderAt
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+}
+
+// OSFS is the production FS: plain os calls.
+type OSFS struct{}
+
+// OpenFile implements FS.
+func (OSFS) OpenFile(name string, flag int, perm iofs.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Rename implements FS.
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(path string, perm iofs.FileMode) error { return os.MkdirAll(path, perm) }
+
+// ReadDir implements FS.
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil // os.ReadDir sorts by name
+}
+
+// Size implements FS.
+func (OSFS) Size(name string) (int64, error) {
+	fi, err := os.Stat(name)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}

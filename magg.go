@@ -36,6 +36,7 @@ import (
 	"repro/internal/collision"
 	"repro/internal/core"
 	"repro/internal/cost"
+	"repro/internal/epochstore"
 	"repro/internal/feedgraph"
 	"repro/internal/gen"
 	"repro/internal/hfta"
@@ -320,6 +321,36 @@ func NewSkipSource(src Source, n uint64) *stream.SkipSource {
 // ErrBadCheckpoint reports a malformed or workload-mismatched checkpoint
 // on Engine.Restore.
 var ErrBadCheckpoint = core.ErrBadCheckpoint
+
+// EpochStore is the durable, append-only, crash-safe store for finalized
+// epochs. Attach one to an engine via Options.Store: every closed epoch's
+// answers are persisted asynchronously (never blocking ingest), and after
+// a crash Engine.RestoreCheckpointFile + Engine.ReplayStore resume with
+// byte-identical answers for every persisted epoch. See docs/ROBUSTNESS.md.
+type EpochStore = epochstore.Store
+
+// EpochStoreOptions configure OpenEpochStore.
+type EpochStoreOptions = epochstore.Options
+
+// EpochStoreRecord is one persisted (epoch, query) result set with its
+// epoch's degradation ledger.
+type EpochStoreRecord = epochstore.Record
+
+// EpochStoreRecovery describes what recovery repaired while opening a
+// store (torn tails truncated, segments dropped, manifest rebuilt).
+type EpochStoreRecovery = epochstore.Recovery
+
+// OpenEpochStore opens (or creates) a durable epoch store in dir,
+// running crash recovery: torn tails are truncated to the last intact
+// record and the manifest is rebuilt if damaged. The handle is safe for
+// one writer (the engine's persister) plus concurrent readers.
+func OpenEpochStore(dir string, opts EpochStoreOptions) (*EpochStore, error) {
+	return epochstore.Open(dir, opts)
+}
+
+// Durability is the engine's durable-store accounting: how many closed
+// epochs reached the store, and which degraded to unpersisted.
+type Durability = core.Durability
 
 // EncodePlan serializes a plan (configuration + allocation + modeled
 // cost) as JSON for shipping between the planner and the executing node.

@@ -1,6 +1,7 @@
 package magg
 
 import (
+	"repro/internal/epochstore"
 	"repro/internal/hfta"
 	"repro/internal/lfta"
 )
@@ -66,3 +67,19 @@ func Reference(recs []Record, queries []Relation, aggs []AggSpec, epochLen uint3
 
 // RowsEqual reports whether two row sets are identical.
 func RowsEqual(a, b []Row) bool { return hfta.Equal(a, b) }
+
+// EpochStoreFS is the filesystem interface all EpochStore I/O goes
+// through; substitute one (e.g. NewEpochStoreFaultFS) to test durability
+// under injected failures.
+type EpochStoreFS = epochstore.FS
+
+// EpochStoreFaults select the failures a fault-injecting filesystem
+// returns: every-Nth write/short-write/fsync/rename/open errors, plus a
+// simulated power cut after a byte budget.
+type EpochStoreFaults = epochstore.Faults
+
+// NewEpochStoreFaultFS wraps inner (nil for the real filesystem) with
+// seeded, deterministic fault injection for crash testing an EpochStore.
+func NewEpochStoreFaultFS(inner EpochStoreFS, f EpochStoreFaults) *epochstore.FaultFS {
+	return epochstore.NewFaultFS(inner, f)
+}
