@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race fuzz-short crash-test check bench bench-json bench-compare
+.PHONY: build test vet race fuzz-short crash-test windows-test check bench bench-json bench-compare
 
 build:
 	$(GO) build ./...
@@ -37,7 +37,16 @@ fuzz-short:
 crash-test:
 	$(GO) test -run 'TestCrashPoint|TestCrashDuring|TestEngineCrashPoints|TestKillRestoreWithStore|TestReplayMatches' -count=1 ./internal/epochstore ./internal/core
 
-check: build vet test race fuzz-short crash-test
+# The sliding-window / sketch suites on their own: the oracle-equivalence
+# grid (pane-composed windows vs the brute-force oracle, clean and under
+# chaos), shard equivalence, kill+restore byte-identity, the chaos window
+# ledger identity, and the sketch merge laws + error bounds.
+windows-test:
+	$(GO) test -run 'TestWindowed|TestGoldenWindowed|TestChaosWindowLedger|TestLateFirstRecord|TestWindowHandler|TestSketchOnly' -count=1 ./internal/core
+	$(GO) test -count=1 ./internal/hfta ./internal/sketch
+	$(GO) test -run 'TestWindow|TestSketch' -count=1 ./internal/query
+
+check: build vet test race fuzz-short crash-test windows-test
 
 # Quick perf numbers for the engine hot path (see docs/PERF.md).
 bench:
@@ -45,7 +54,7 @@ bench:
 
 # Machine-readable summary, the BENCH_PR<N>.json trajectory format.
 bench-json:
-	$(GO) run ./cmd/maggbench -json BENCH_PR7.json
+	$(GO) run ./cmd/maggbench -json BENCH_PR8.json
 
 # Diff two bench-json reports; fails on a ns/op regression beyond
 # THRESHOLD (fractional, default 10%). CI widens it for its short

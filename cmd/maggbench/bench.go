@@ -26,6 +26,7 @@ import (
 	"repro/internal/hashtab"
 	"repro/internal/hfta"
 	"repro/internal/lfta"
+	"repro/internal/sketch"
 	"repro/internal/stream"
 )
 
@@ -87,6 +88,8 @@ func benchSuite() []namedBench {
 		{name: "lfta-probe-large-scalar", recordsPerOp: 1, fn: benchLFTAProbeLarge(false)},
 		{name: "lfta-probe-large-batch", recordsPerOp: 1, fn: benchLFTAProbeLarge(true)},
 		{name: "hfta-merge", recordsPerOp: 0, fn: benchHFTAMerge},
+		{name: "window-compose", recordsPerOp: 0, fn: benchWindowCompose},
+		{name: "sketch-merge", recordsPerOp: 0, fn: benchSketchMerge},
 		{name: "sharded-sequential", recordsPerOp: shardedBenchRecords, fn: shardedBench(false)},
 		{name: "sharded-parallel", recordsPerOp: shardedBenchRecords, fn: shardedBench(true)},
 	}
@@ -363,6 +366,99 @@ func benchHFTAMerge(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		agg.Consume(evs[i%len(evs)])
 	}
+}
+
+// benchWindowCompose measures one pane through the sliding-window
+// composer: ClosePane over a 256-group pane (exact rows plus serialized
+// sketch partials) followed by CloseThrough, so steady state alternates
+// pane retention and full window composition at size 4 / slide 2.
+func benchWindowCompose(b *testing.B) {
+	const (
+		paneGroups    = 256
+		paneTemplates = 8
+	)
+	queries := []attr.Set{attr.MustParseSet("AB"), attr.MustParseSet("BC")}
+	saggs := []sketch.Agg{
+		{Kind: sketch.Distinct, Input: 3},
+		{Kind: sketch.Quantile, Input: 2, Q: 0.9},
+	}
+	comp, err := hfta.NewComposer(hfta.WindowSpec{Size: 4, Slide: 2}, queries, lfta.CountStar, saggs, 0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Pane templates are safe to re-feed: the composer stores row slots
+	// and sketch blobs without mutating them, and composition folds into
+	// fresh accumulators.
+	rng := rand.New(rand.NewSource(9))
+	templates := make([][]hfta.PaneInput, paneTemplates)
+	for t := range templates {
+		for _, q := range queries {
+			in := hfta.PaneInput{Rel: q, Sketches: make(map[string][]byte, paneGroups)}
+			for g := 0; g < paneGroups; g++ {
+				key := []uint32{uint32(g), uint32(g % 60)}
+				in.Rows = append(in.Rows, hfta.Row{Rel: q, Key: key, Aggs: []int64{int64(rng.Intn(500) + 1)}})
+				p, err := sketch.NewPartial(saggs, 0, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for r := 0; r < 8; r++ {
+					p.Observe([]uint32{key[0], key[1], rng.Uint32() % 1000, rng.Uint32() % 5000})
+				}
+				in.Sketches[hfta.PackKey(key)] = p.AppendBinary(nil)
+			}
+			templates[t] = append(templates[t], in)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		epoch := uint32(i)
+		comp.ClosePane(epoch, hfta.PaneStats{Offered: paneGroups, Processed: paneGroups}, templates[i%paneTemplates])
+		comp.CloseThrough(int64(epoch))
+	}
+}
+
+// benchSketchMerge measures the composer's blob-merge path in isolation:
+// decode two serialized sketch partials (HLL + two t-digests), merge,
+// and re-encode — the per-duplicate-group cost of pane composition and
+// the LFTA→HFTA sketch transfer.
+func benchSketchMerge(b *testing.B) {
+	const blobCount = 64
+	saggs := []sketch.Agg{
+		{Kind: sketch.Distinct, Input: 0},
+		{Kind: sketch.Quantile, Input: 1, Q: 0.5},
+		{Kind: sketch.Quantile, Input: 1, Q: 0.99},
+	}
+	rng := rand.New(rand.NewSource(12))
+	blobs := make([][]byte, blobCount)
+	for i := range blobs {
+		p, err := sketch.NewPartial(saggs, 0, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for r := 0; r < 512; r++ {
+			p.Observe([]uint32{rng.Uint32() % 20000, rng.Uint32() % 100000})
+		}
+		blobs[i] = p.AppendBinary(nil)
+	}
+	var out []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pa, _, err := sketch.DecodePartial(saggs, 0, 0, blobs[i%blobCount])
+		if err != nil {
+			b.Fatal(err)
+		}
+		pb, _, err := sketch.DecodePartial(saggs, 0, 0, blobs[(i+1)%blobCount])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := pa.Merge(pb); err != nil {
+			b.Fatal(err)
+		}
+		out = pa.AppendBinary(out[:0])
+	}
+	_ = out
 }
 
 // shardedBenchRecords is the trace length of the sharded benchmarks; one

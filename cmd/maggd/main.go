@@ -12,6 +12,11 @@
 // A query file holds one GSQL query per line ('#' comments allowed). The
 // queries must differ only in their grouping attributes.
 //
+// Queries with a window clause ("... time/10 window 4 slide 2") and/or
+// sketch aggregates (count_distinct, median, percentile) report
+// per-window answers composed from panes instead of raw per-epoch rows;
+// see docs/WINDOWS.md.
+//
 // Robustness flags:
 //
 //   - -budget N enables overload control: the LFTA spends at most N
@@ -225,15 +230,22 @@ func run(cfg runConfig) error {
 
 	// The sample drives the initial group-count estimates.
 	var rels []attr.Set
+	var spec0 *query.Spec
 	for _, sql := range cfg.sqls {
 		// Parse leniently here just to collect the grouping relations;
 		// engine construction re-validates the full set.
-		spec, err := parseGroupBy(sql)
+		spec, err := query.Parse(sql)
 		if err != nil {
 			return err
 		}
-		rels = append(rels, spec)
+		if spec0 == nil {
+			spec0 = spec
+		}
+		rels = append(rels, spec.GroupBy)
 	}
+	// Windowed (or sketch-carrying) workloads report per-window answers
+	// composed from panes rather than raw per-epoch rows.
+	windowed := spec0.Windowed() || len(spec0.Sketches) > 0
 	groups, err := core.EstimateGroups(recs[:sampleN], rels)
 	if err != nil {
 		return err
@@ -269,7 +281,7 @@ func run(cfg runConfig) error {
 	// Stream results out as epochs close (daemon behaviour: memory stays
 	// bounded regardless of stream length).
 	opts.OnResults = func(rel attr.Set, epoch uint32, rows []hfta.Row, deg core.Degradation) {
-		if cfg.quiet {
+		if cfg.quiet || windowed {
 			return
 		}
 		fmt.Printf("-- query %v, epoch %d: %d groups\n", rel, epoch, len(rows))
@@ -286,6 +298,36 @@ func run(cfg runConfig) error {
 		}
 		if limit < len(rows) {
 			fmt.Printf("   ... %d more\n", len(rows)-limit)
+		}
+	}
+	if windowed {
+		// Stream windows as they close (one call per query per window);
+		// per-epoch rows are folded into panes instead of printed.
+		opts.OnWindow = func(rel attr.Set, led hfta.WindowLedger, rows []hfta.WindowRow) {
+			if cfg.quiet {
+				return
+			}
+			fmt.Printf("== window %d [epochs %d..%d], query %v: %d groups\n",
+				led.Window, led.Start, led.End, rel, len(rows))
+			s := led.Stats
+			if s.Dropped+s.Late > 0 {
+				fmt.Printf("   (degraded: offered %d = processed %d + dropped %d + late %d)\n",
+					s.Offered, s.Processed, s.Dropped, s.Late)
+			}
+			limit := len(rows)
+			if cfg.top > 0 && cfg.top < limit {
+				limit = cfg.top
+			}
+			for _, r := range rows[:limit] {
+				if len(r.Sketch) > 0 {
+					fmt.Printf("   %v -> %v  ~%s\n", r.Key, r.Aggs, fmtEstimates(r.Sketch))
+				} else {
+					fmt.Printf("   %v -> %v\n", r.Key, r.Aggs)
+				}
+			}
+			if limit < len(rows) {
+				fmt.Printf("   ... %d more\n", len(rows)-limit)
+			}
 		}
 	}
 	eng, err := core.New(cfg.sqls, groups, opts)
@@ -354,6 +396,9 @@ func run(cfg runConfig) error {
 	fmt.Printf("transfers: %d (c2 operations)\n", st.Ops.Transfers)
 	fmt.Printf("actual cost/record: %.4f (c2/c1 = 50)\n", st.Ops.PerRecordCost(1, 50))
 	fmt.Printf("epochs: %d, adaptive re-plans: %d\n", st.Epochs, st.Replans)
+	if eng.Windowed() {
+		fmt.Printf("windows closed: %d\n", st.Windows)
+	}
 	d := st.Degradation
 	if d.Dropped+d.Late > 0 || cfg.budget > 0 {
 		fmt.Printf("degradation: offered %d = processed %d + dropped %d + late %d (shedding rate %.2f%%)\n",
@@ -453,11 +498,17 @@ func printHistory(store *epochstore.Store, sel string, top int) error {
 	return nil
 }
 
-// parseGroupBy extracts just the grouping relation from a GSQL query.
-func parseGroupBy(sql string) (attr.Set, error) {
-	spec, err := query.Parse(sql)
-	if err != nil {
-		return 0, err
+// fmtEstimates renders a row's sketch estimates (count_distinct and
+// quantile values) compactly.
+func fmtEstimates(est []float64) string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i, v := range est {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%.4g", v)
 	}
-	return spec.GroupBy, nil
+	sb.WriteByte(']')
+	return sb.String()
 }

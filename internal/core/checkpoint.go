@@ -13,7 +13,9 @@ import (
 
 	"repro/internal/attr"
 	"repro/internal/feedgraph"
+	"repro/internal/hfta"
 	"repro/internal/lfta"
+	"repro/internal/sketch"
 )
 
 // Epoch checkpoint/restore. A checkpoint captures everything the engine
@@ -51,10 +53,22 @@ import (
 // engine writes version 3 only when it carries durability state (a store
 // attached, or a ledger restored from a v3 image); otherwise it writes
 // version 2 byte-identically to previous releases.
+//
+// Version 4 appends, after the v3 footer, the sliding-window section:
+// the window geometry and sketch aggregate list (echoed for validation —
+// they are also folded into the workload hash), the composer's window
+// cursor, every retained pane (stats, per-relation rows, and serialized
+// sketch partials, all in deterministic order with blobs carried
+// verbatim so a restore → checkpoint round trip is byte-identical), the
+// closed-window ledger history, and any retained window result rows. The
+// engine writes version 4 only when the workload composes windows;
+// tumbling workloads keep producing v2/v3 images byte-identically to
+// previous releases.
 
 const (
 	ckptMagic     = "MAGK"
-	ckptVersion   = 3
+	ckptVersion   = 4
+	ckptVersionV3 = 3
 	ckptVersionV2 = 2
 	ckptVersionV1 = 1
 
@@ -65,6 +79,8 @@ const (
 	ckptMaxRows      = 1 << 28
 	ckptMaxShedWords = 1 << 10
 	ckptMaxShards    = 1 << 16
+	ckptMaxPanes     = 1 << 17 // window size is capped at 65536 epochs
+	ckptMaxBlob      = 1 << 24
 )
 
 // ErrBadCheckpoint reports a malformed or mismatched checkpoint.
@@ -86,6 +102,22 @@ func (e *Engine) workloadHash() uint64 {
 		le(uint32(a.Op))
 		le(int64(a.Input))
 	}
+	if e.winComposer != nil {
+		// Windowed workloads fold the window geometry and sketch spec in
+		// too; tumbling workloads hash exactly as before, so v1–v3 images
+		// stay restorable byte-for-byte.
+		spec := e.winComposer.Spec()
+		le(spec.Size)
+		le(spec.Slide)
+		le(uint32(len(e.sketchAggs)))
+		for _, sa := range e.sketchAggs {
+			le(uint8(sa.Kind))
+			le(int64(sa.Input))
+			le(math.Float64bits(sa.Q))
+		}
+		le(e.sketchPrecision())
+		le(math.Float64bits(e.digestCompression()))
+	}
 	return h.Sum64()
 }
 
@@ -98,6 +130,9 @@ func (e *Engine) workloadHash() uint64 {
 func (e *Engine) Checkpoint(w io.Writer) error {
 	version := uint8(ckptVersionV2)
 	if e.hasDurabilityState() {
+		version = ckptVersionV3
+	}
+	if e.winComposer != nil {
 		version = ckptVersion
 	}
 	return e.checkpointVersion(w, version)
@@ -230,6 +265,83 @@ func (e *Engine) checkpointVersion(w io.Writer, version uint8) error {
 			le(ep)
 		}
 	}
+	if version >= 4 {
+		// Sliding-window section: geometry and sketch spec (echoed for
+		// validation), the window cursor, retained panes, closed-window
+		// ledgers, and retained window rows. Pane sketch blobs are written
+		// verbatim from the composer.
+		spec := e.winComposer.Spec()
+		le(spec.Size)
+		le(spec.Slide)
+		le(uint32(len(e.sketchAggs)))
+		for _, sa := range e.sketchAggs {
+			le(uint8(sa.Kind))
+			le(int64(sa.Input))
+			le(math.Float64bits(sa.Q))
+		}
+		le(e.sketchPrecision())
+		le(math.Float64bits(e.digestCompression()))
+		le(uint64(e.winComposer.Next()))
+		panes := e.winComposer.SnapshotPanes()
+		le(uint32(len(panes)))
+		for _, p := range panes {
+			le(p.Epoch)
+			le(p.Stats.Offered)
+			le(p.Stats.Processed)
+			le(p.Stats.Dropped)
+			le(p.Stats.Late)
+			le(uint8(len(p.Rels)))
+			for _, rs := range p.Rels {
+				le(uint32(rs.Rel))
+				le(uint32(len(rs.Rows)))
+				for i := range rs.Rows {
+					r := &rs.Rows[i]
+					for _, k := range r.Key {
+						le(k)
+					}
+					for _, a := range r.Aggs {
+						le(uint64(a))
+					}
+				}
+				le(uint32(len(rs.Sketches)))
+				for _, kb := range rs.Sketches {
+					for _, k := range kb.Key {
+						le(k)
+					}
+					le(uint32(len(kb.Blob)))
+					le(kb.Blob)
+				}
+			}
+		}
+		le(uint32(len(e.windowLeds)))
+		for _, l := range e.windowLeds {
+			le(l.Window)
+			le(l.Start)
+			le(l.End)
+			le(l.Stats.Offered)
+			le(l.Stats.Processed)
+			le(l.Stats.Dropped)
+			le(l.Stats.Late)
+		}
+		le(uint64(len(e.windowRows)))
+		for i := range e.windowRows {
+			r := &e.windowRows[i]
+			le(uint32(r.Rel))
+			le(r.Window)
+			le(r.Start)
+			le(r.End)
+			for _, k := range r.Key {
+				le(k)
+			}
+			for _, a := range r.Aggs {
+				le(uint64(a))
+			}
+			le(uint8(len(r.Sketch)))
+			for _, s := range r.Sketch {
+				le(math.Float64bits(s))
+			}
+		}
+	}
 	if err != nil {
 		return err
 	}
@@ -295,6 +407,12 @@ func (e *Engine) Restore(r io.Reader) (consumed uint64, err error) {
 	le(&version)
 	if rerr == nil && (version < ckptVersionV1 || version > ckptVersion) {
 		return 0, fmt.Errorf("%w: unsupported version %d", ErrBadCheckpoint, version)
+	}
+	if rerr == nil && version < 4 && e.winComposer != nil {
+		// A windowed workload only ever writes v4 images, so an older
+		// version here means a relabeled or foreign image; accepting it
+		// would silently drop the pane state.
+		return 0, fmt.Errorf("%w: windowed workload requires a v4 checkpoint, got v%d", ErrBadCheckpoint, version)
 	}
 	var hash uint64
 	le(&hash)
@@ -483,6 +601,186 @@ func (e *Engine) Restore(r io.Reader) (consumed uint64, err error) {
 			durUnpersisted = append(durUnpersisted, ep)
 		}
 	}
+
+	// Version-4 section: the sliding-window composer state. Parsed only
+	// into local state here; the composer is mutated after every
+	// cross-check passes.
+	knownRel := func(rel attr.Set) bool {
+		for _, q := range e.queries {
+			if q == rel {
+				return true
+			}
+		}
+		return false
+	}
+	var winNext uint64
+	var winPanes []hfta.PaneSnapshot
+	var winLeds []hfta.WindowLedger
+	var winRows []hfta.WindowRow
+	haveWindow := false
+	if rerr == nil && version >= 4 {
+		haveWindow = true
+		if e.winComposer == nil {
+			return 0, fmt.Errorf("%w: checkpoint carries window state but the workload is tumbling", ErrBadCheckpoint)
+		}
+		spec := e.winComposer.Spec()
+		var size, slide uint32
+		le(&size)
+		le(&slide)
+		if rerr == nil && (size != spec.Size || slide != spec.Slide) {
+			return 0, fmt.Errorf("%w: window %d/%d, engine runs %d/%d", ErrBadCheckpoint, size, slide, spec.Size, spec.Slide)
+		}
+		var nSaggs uint32
+		le(&nSaggs)
+		if rerr == nil && int(nSaggs) != len(e.sketchAggs) {
+			return 0, fmt.Errorf("%w: %d sketch aggregates, workload has %d", ErrBadCheckpoint, nSaggs, len(e.sketchAggs))
+		}
+		for i := uint32(0); rerr == nil && i < nSaggs; i++ {
+			var kind uint8
+			var input int64
+			var qbits uint64
+			le(&kind)
+			le(&input)
+			le(&qbits)
+			if rerr == nil {
+				sa := e.sketchAggs[i]
+				if sketch.AggKind(kind) != sa.Kind || int(input) != sa.Input || math.Float64frombits(qbits) != sa.Q {
+					return 0, fmt.Errorf("%w: sketch aggregate %d differs from the workload", ErrBadCheckpoint, i)
+				}
+			}
+		}
+		var prec uint8
+		var compBits uint64
+		le(&prec)
+		le(&compBits)
+		if rerr == nil && (prec != e.sketchPrecision() || math.Float64frombits(compBits) != e.digestCompression()) {
+			return 0, fmt.Errorf("%w: sketch parameters differ from the workload", ErrBadCheckpoint)
+		}
+		le(&winNext)
+		if rerr == nil && winNext > math.MaxInt64 {
+			return 0, fmt.Errorf("%w: implausible window cursor %d", ErrBadCheckpoint, winNext)
+		}
+		var nPanes uint32
+		le(&nPanes)
+		if rerr == nil && nPanes > ckptMaxPanes {
+			return 0, fmt.Errorf("%w: implausible pane count %d", ErrBadCheckpoint, nPanes)
+		}
+		for i := uint32(0); rerr == nil && i < nPanes; i++ {
+			var ps hfta.PaneSnapshot
+			le(&ps.Epoch)
+			le(&ps.Stats.Offered)
+			le(&ps.Stats.Processed)
+			le(&ps.Stats.Dropped)
+			le(&ps.Stats.Late)
+			var nRels uint8
+			le(&nRels)
+			if rerr == nil && int(nRels) > len(e.queries) {
+				return 0, fmt.Errorf("%w: pane %d names %d relations, workload has %d", ErrBadCheckpoint, ps.Epoch, nRels, len(e.queries))
+			}
+			for j := uint8(0); rerr == nil && j < nRels; j++ {
+				var rel uint32
+				le(&rel)
+				rs := hfta.PaneRelSnapshot{Rel: attr.Set(rel)}
+				if rerr == nil && !knownRel(rs.Rel) {
+					return 0, fmt.Errorf("%w: pane %d names %v, not a workload query", ErrBadCheckpoint, ps.Epoch, rs.Rel)
+				}
+				arity := rs.Rel.Size()
+				var nRows uint32
+				le(&nRows)
+				if rerr == nil && uint64(nRows) > ckptMaxRows {
+					return 0, fmt.Errorf("%w: implausible pane row count %d", ErrBadCheckpoint, nRows)
+				}
+				for r := uint32(0); rerr == nil && r < nRows; r++ {
+					key := make([]uint32, arity)
+					for k := range key {
+						le(&key[k])
+					}
+					aggs := make([]int64, len(e.aggs))
+					for a := range aggs {
+						var u uint64
+						le(&u)
+						aggs[a] = int64(u)
+					}
+					rs.Rows = append(rs.Rows, hfta.Row{Rel: rs.Rel, Epoch: ps.Epoch, Key: key, Aggs: aggs})
+				}
+				var nSk uint32
+				le(&nSk)
+				if rerr == nil && uint64(nSk) > ckptMaxRows {
+					return 0, fmt.Errorf("%w: implausible pane sketch count %d", ErrBadCheckpoint, nSk)
+				}
+				for s := uint32(0); rerr == nil && s < nSk; s++ {
+					key := make([]uint32, arity)
+					for k := range key {
+						le(&key[k])
+					}
+					var blobLen uint32
+					le(&blobLen)
+					if rerr == nil && blobLen > ckptMaxBlob {
+						return 0, fmt.Errorf("%w: implausible sketch blob size %d", ErrBadCheckpoint, blobLen)
+					}
+					blob := make([]byte, blobLen)
+					le(blob)
+					rs.Sketches = append(rs.Sketches, hfta.KeyBlob{Key: key, Blob: blob})
+				}
+				ps.Rels = append(ps.Rels, rs)
+			}
+			winPanes = append(winPanes, ps)
+		}
+		var nLeds uint32
+		le(&nLeds)
+		if rerr == nil && nLeds > ckptMaxHistory {
+			return 0, fmt.Errorf("%w: implausible window ledger count %d", ErrBadCheckpoint, nLeds)
+		}
+		for i := uint32(0); rerr == nil && i < nLeds; i++ {
+			var l hfta.WindowLedger
+			le(&l.Window)
+			le(&l.Start)
+			le(&l.End)
+			le(&l.Stats.Offered)
+			le(&l.Stats.Processed)
+			le(&l.Stats.Dropped)
+			le(&l.Stats.Late)
+			winLeds = append(winLeds, l)
+		}
+		var nWRows uint64
+		le(&nWRows)
+		if rerr == nil && nWRows > ckptMaxRows {
+			return 0, fmt.Errorf("%w: implausible window row count %d", ErrBadCheckpoint, nWRows)
+		}
+		for i := uint64(0); rerr == nil && i < nWRows; i++ {
+			var rel uint32
+			le(&rel)
+			r := hfta.WindowRow{Rel: attr.Set(rel)}
+			if rerr == nil && !knownRel(r.Rel) {
+				return 0, fmt.Errorf("%w: window row for %v, not a workload query", ErrBadCheckpoint, r.Rel)
+			}
+			le(&r.Window)
+			le(&r.Start)
+			le(&r.End)
+			r.Key = make([]uint32, r.Rel.Size())
+			for k := range r.Key {
+				le(&r.Key[k])
+			}
+			r.Aggs = make([]int64, len(e.aggs))
+			for a := range r.Aggs {
+				var u uint64
+				le(&u)
+				r.Aggs[a] = int64(u)
+			}
+			var skLen uint8
+			le(&skLen)
+			if rerr == nil && int(skLen) != len(e.sketchAggs) {
+				return 0, fmt.Errorf("%w: window row has %d sketch slots, workload has %d", ErrBadCheckpoint, skLen, len(e.sketchAggs))
+			}
+			r.Sketch = make([]float64, skLen)
+			for s := range r.Sketch {
+				var bits uint64
+				le(&bits)
+				r.Sketch[s] = math.Float64frombits(bits)
+			}
+			winRows = append(winRows, r)
+		}
+	}
 	if rerr != nil {
 		return 0, fmt.Errorf("%w: truncated: %v", ErrBadCheckpoint, rerr)
 	}
@@ -552,6 +850,14 @@ func (e *Engine) Restore(r io.Reader) (consumed uint64, err error) {
 	}
 	if haveDurability {
 		e.durable.restore(int(durPersisted), durUnpersisted, int(durQueueFull))
+	}
+	if haveWindow {
+		if err := e.winComposer.RestorePanes(int64(winNext), winPanes); err != nil {
+			return 0, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+		}
+		e.windowLeds = winLeds
+		e.windowRows = winRows
+		e.stats.Windows = len(winLeds)
 	}
 	if e.persist != nil {
 		// With a store attached its contents are authoritative over the

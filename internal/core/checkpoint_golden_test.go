@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"testing"
 
+	"reflect"
+
 	"repro/internal/hashtab"
 	"repro/internal/hfta"
 	"repro/internal/stream"
@@ -312,5 +314,90 @@ func TestGoldenCheckpointByteIdentity(t *testing.T) {
 				t.Errorf("re-serialized checkpoint differs from golden %s", tc.want)
 			}
 		})
+	}
+}
+
+// --- windowed v4 golden ---
+
+// goldenWindowedSQL is the windowed workload of the v4 golden image:
+// overlapping 3/2 windows with all three sketch kinds, so the image
+// carries live panes with serialized sketch partials mid-window.
+func goldenWindowedSQL() []string { return windowSQL(3, 2) }
+
+func maybeWriteGoldenWindowed(t *testing.T) {
+	t.Helper()
+	if os.Getenv("MAGG_WRITE_GOLDEN") == "" {
+		return
+	}
+	recs, _ := testWorkload(t, 30000)
+	if err := os.MkdirAll(goldenDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	copts := goldenPlainOpts()
+	copts.CheckpointPath = goldenPath("windowed_v4.ckpt")
+	e, err := NewFromSample(goldenWindowedSQL(), recs, copts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < goldenCrashAt; i++ {
+		if err := e.Process(recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Stats().Epochs == 0 {
+		t.Fatal("windowed golden run never crossed an epoch boundary")
+	}
+	t.Logf("wrote %s", copts.CheckpointPath)
+}
+
+// TestGoldenWindowedCheckpoint pins the v4 format: the golden image must
+// keep restoring (with its panes and sketch blobs carried verbatim,
+// proven by byte-identical re-serialization) and resuming to the same
+// window output as an uninterrupted run.
+func TestGoldenWindowedCheckpoint(t *testing.T) {
+	maybeWriteGoldenWindowed(t)
+	recs, _ := testWorkload(t, 30000)
+	img, err := os.ReadFile(goldenPath("windowed_v4.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img[4] != 4 {
+		t.Fatalf("windowed golden version = %d; want 4", img[4])
+	}
+
+	ref, err := NewFromSample(goldenWindowedSQL(), recs, goldenPlainOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Run(stream.NewSliceSource(recs)); err != nil {
+		t.Fatal(err)
+	}
+
+	e, err := NewFromSample(goldenWindowedSQL(), recs, goldenPlainOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	consumed, err := e.Restore(bytes.NewReader(img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if consumed == 0 || consumed >= goldenCrashAt {
+		t.Fatalf("restored stream position %d, want in (0, %d)", consumed, goldenCrashAt)
+	}
+	var buf bytes.Buffer
+	if err := e.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), img) {
+		t.Error("restored engine does not re-serialize the windowed golden byte-identically")
+	}
+	if err := e.Run(stream.NewSkipSource(stream.NewSliceSource(recs), consumed)); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(e.WindowLedgers(), ref.WindowLedgers()) {
+		t.Error("resumed window ledgers differ from the uninterrupted run")
+	}
+	if !reflect.DeepEqual(e.WindowResults(), ref.WindowResults()) {
+		t.Error("resumed windowed rows differ from the uninterrupted run")
 	}
 }

@@ -159,6 +159,21 @@ type Options struct {
 	// OnResults streams finalized epochs out of the engine and bounds
 	// its memory; see ResultHandler.
 	OnResults ResultHandler
+
+	// OnWindow streams closed sliding windows out of the engine (one
+	// call per query relation per window, HAVING applied); see
+	// WindowHandler. Without a handler, windowed results accumulate for
+	// retrieval via WindowResults/WindowLedgers. Ignored unless the
+	// workload declares a window or sketch aggregates.
+	OnWindow WindowHandler
+
+	// WindowSketchPrecision is the HLL register exponent for
+	// count_distinct sketch aggregates (0 = sketch.DefaultPrecision).
+	WindowSketchPrecision uint8
+
+	// DigestCompression is the t-digest δ for percentile/median sketch
+	// aggregates (0 = sketch.DefaultCompression).
+	DigestCompression float64
 }
 
 // Stats summarize an engine's execution.
@@ -185,6 +200,9 @@ type Stats struct {
 	// Durability is the durable epoch store's accounting (persisted and
 	// unpersisted epochs); Enabled is false when no store is attached.
 	Durability Durability
+
+	// Windows counts closed sliding windows (0 for tumbling workloads).
+	Windows int
 }
 
 // Engine is the assembled two-level system.
@@ -290,6 +308,21 @@ type Engine struct {
 	stageWidth int
 	stageEpoch uint32
 	shardArena [][]uint32
+
+	// Sliding-window state (active when the workload declares a window
+	// or sketch aggregates): the pane→window composer, the sketch agg
+	// list, the open pane's per-(relation, group) sketch partials, and
+	// the closed windows' ledgers plus (without an OnWindow handler)
+	// their result rows. Pane sketch accumulation runs in the
+	// single-threaded admission path, so serialized pane partials — and
+	// therefore windowed results — are identical across shard counts.
+	winComposer  *hfta.Composer
+	sketchAggs   []sketch.Agg
+	paneSk       map[attr.Set]map[string]*sketch.Partial
+	paneKeyBuf   []uint32
+	paneKeyBytes []byte
+	windowLeds   []hfta.WindowLedger
+	windowRows   []hfta.WindowRow
 }
 
 // stageRun is the staged-run capacity, matching the SPSC pipeline's
@@ -427,6 +460,9 @@ func NewFromSpecs(specs []*query.Spec, groups feedgraph.GroupCounts, opts Option
 			}
 			e.sketches[ph] = h
 		}
+	}
+	if err := e.initWindowing(); err != nil {
+		return nil, err
 	}
 	e.clock = stream.NewClock(e.epochLen)
 	if opts.Store != nil {
@@ -589,6 +625,14 @@ func (e *Engine) Process(rec stream.Record) error {
 	}
 	epoch, rolled, late := e.clock.Observe(rec.Time)
 	if late {
+		// A late record is charged to its *arrival* epoch (the clamped
+		// current one); if it is the epoch's first record, the ledger
+		// must still open here so the epoch — and its pane — closes
+		// with the Late count instead of leaking it.
+		if !e.degInit {
+			e.degInit = true
+			e.deg.Epoch = epoch
+		}
 		e.consumed++
 		e.deg.Offered++
 		e.deg.Late++
@@ -635,6 +679,9 @@ func (e *Engine) Process(rec stream.Record) error {
 			e.sketchBuf = rel.Project(rec.Attrs, e.sketchBuf)
 			h.AddKey(e.sketchBuf)
 		}
+	}
+	if e.paneSk != nil {
+		e.observePaneSketches(rec.Attrs)
 	}
 	return nil
 }
@@ -788,8 +835,13 @@ func (e *Engine) closeEpochState() Degradation {
 	// Persist before emit: emitEpoch drops the epoch's HFTA state when a
 	// result handler is installed, so the durable copy must be captured
 	// first. The capture is synchronous (cheap row copies); the store I/O
-	// runs on the persister goroutine.
+	// runs on the persister goroutine. The pane feed sits between them
+	// for the same reason: it reads the epoch's HFTA rows before emit
+	// can drop them.
 	e.persistEpoch(closed)
+	if e.winComposer != nil {
+		e.feedPane(closed)
+	}
 	e.emitEpoch(closed)
 	return closed
 }
@@ -1046,6 +1098,10 @@ func (e *Engine) Finish() error {
 	if e.degInit {
 		e.closeEpochState()
 	}
+	if e.winComposer != nil {
+		// Flush trailing windows, including partially-filled ones.
+		e.deliverWindows(e.winComposer.CloseAll())
+	}
 	if e.persist != nil {
 		// Drain the persister so every finalized epoch has been resolved
 		// (persisted or recorded as unpersisted) before the caller reads
@@ -1214,6 +1270,12 @@ type Diagnostics struct {
 	// Durability is the durable epoch store's ledger: which closed epochs
 	// reached the store and which degraded to unpersisted.
 	Durability Durability
+
+	// Windows holds the ledger of every closed sliding window (empty
+	// for tumbling workloads); RetainedPanes is the composer's live
+	// pane count.
+	Windows       []hfta.WindowLedger
+	RetainedPanes int
 }
 
 // Diagnostics reports modeled-vs-measured statistics for every
@@ -1244,12 +1306,17 @@ func (e *Engine) Diagnostics() (*Diagnostics, error) {
 	}
 	total := e.cumDeg
 	total.add(e.deg)
-	return &Diagnostics{
+	d := &Diagnostics{
 		Tables:     out,
 		Epochs:     e.EpochDegradations(),
 		Total:      total,
 		Durability: e.Durability(),
-	}, nil
+	}
+	if e.winComposer != nil {
+		d.Windows = e.WindowLedgers()
+		d.RetainedPanes = e.winComposer.PaneCount()
+	}
+	return d, nil
 }
 
 // EstimateGroups measures g_R for every relation of the queries' feeding

@@ -108,12 +108,44 @@ func fuzzImageV3(tb testing.TB) []byte {
 	return b.Bytes()
 }
 
+// fuzzWinSQL is the windowed variant of the fuzz workload: sliding 3/2
+// windows with both sketch kinds, so v4 images carry panes with HLL and
+// t-digest blobs.
+var fuzzWinSQL = []string{
+	"select A, B, count(*) as cnt, count_distinct(C) as uniq, percentile(C, 90) as p90 from R group by A, B, time/10 window 3 slide 2",
+	"select B, C, count(*) as cnt, count_distinct(C) as uniq, percentile(C, 90) as p90 from R group by B, C, time/10 window 3 slide 2",
+}
+
+func fuzzWinOptions() Options { return Options{M: 600, Seed: 3} }
+
+// fuzzImageV4 writes a v4 image: the windowed workload run to the same
+// stream position, panes and sketch blobs included.
+func fuzzImageV4(tb testing.TB) []byte {
+	tb.Helper()
+	recs, groups := fuzzWorkload(tb)
+	e, err := New(fuzzWinSQL, groups, fuzzWinOptions())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := e.Process(r); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	var b bytes.Buffer
+	if err := e.Checkpoint(&b); err != nil {
+		tb.Fatal(err)
+	}
+	return b.Bytes()
+}
+
 // fuzzSeeds enumerates the seed inputs shared by the fuzz target and the
 // checked-in corpus generator.
 func fuzzSeeds(tb testing.TB) [][]byte {
 	tb.Helper()
 	v2, v1 := fuzzImages(tb)
 	v3 := fuzzImageV3(tb)
+	v4 := fuzzImageV4(tb)
 	flip := func(img []byte, off int, xor byte) []byte {
 		b := append([]byte(nil), img...)
 		b[off] ^= xor
@@ -137,6 +169,11 @@ func fuzzSeeds(tb testing.TB) [][]byte {
 		v3[:len(v3)-3],            // truncated durability footer
 		flip(v3, len(v3)-4, 0xff), // mangled unpersisted-epoch count/entry
 		flip(v2, 4, 1),            // v2 payload relabeled v3: footer missing
+		v4,
+		v4[:len(v4)-9],            // truncated window section
+		flip(v4, 4, 7),            // v4 relabeled as v3: pane state sheared off
+		flip(v4, len(v4)-1, 0xff), // mangled window-section tail
+		flip(v4, len(v4)/2, 0xff), // corrupted pane body
 	}
 }
 
@@ -150,25 +187,34 @@ func FuzzCheckpointDecode(f *testing.F) {
 	recs, groups := fuzzWorkload(f)
 	probe := recs[:50]
 	f.Fuzz(func(t *testing.T, data []byte) {
-		e, err := New(fuzzSQL, groups, fuzzOptions())
-		if err != nil {
-			t.Fatal(err)
+		// Decode into both deployment shapes: the sharded tumbling engine
+		// (v1–v3 sections) and the windowed engine (v4 pane section).
+		engines := []func() (*Engine, error){
+			func() (*Engine, error) { return New(fuzzSQL, groups, fuzzOptions()) },
+			func() (*Engine, error) { return New(fuzzWinSQL, groups, fuzzWinOptions()) },
 		}
-		if _, err := e.Restore(bytes.NewReader(data)); err != nil {
-			return
-		}
-		// Whatever the decoder accepted must leave a usable engine: feed
-		// it records and drain results without panicking.
-		for _, r := range probe {
-			if err := e.Process(r); err != nil {
-				t.Fatalf("restored engine cannot process: %v", err)
+		for _, mk := range engines {
+			e, err := mk()
+			if err != nil {
+				t.Fatal(err)
 			}
+			if _, err := e.Restore(bytes.NewReader(data)); err != nil {
+				continue
+			}
+			// Whatever the decoder accepted must leave a usable engine:
+			// feed it records and drain results without panicking.
+			for _, r := range probe {
+				if err := e.Process(r); err != nil {
+					t.Fatalf("restored engine cannot process: %v", err)
+				}
+			}
+			if err := e.Finish(); err != nil {
+				t.Fatalf("restored engine cannot finish: %v", err)
+			}
+			_ = e.AllResults()
+			_ = e.WindowResults()
+			_ = e.Stats()
 		}
-		if err := e.Finish(); err != nil {
-			t.Fatalf("restored engine cannot finish: %v", err)
-		}
-		_ = e.AllResults()
-		_ = e.Stats()
 	})
 }
 
@@ -237,7 +283,7 @@ func TestRestoreRejectsCorruptV2(t *testing.T) {
 	t.Run("v1 payload relabeled v2", func(t *testing.T) {
 		// Claiming version 2 obliges the image to carry the v2 section.
 		b := append([]byte(nil), v1...)
-		b[4] = ckptVersion
+		b[4] = ckptVersionV3
 		mustReject(t, b)
 	})
 
@@ -275,6 +321,166 @@ func TestWriteFuzzCorpus(t *testing.T) {
 		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
 		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
 			t.Fatal(err)
+		}
+	}
+}
+
+// TestRestoreRejectsCorruptV4 covers the v4 window-section framing:
+// corrupt pane counts, blob sizes, blob bytes, stale pane epochs, and
+// truncations must all reject with ErrBadCheckpoint, and a v4 image
+// relabeled as v3 must not silently shed its pane state.
+func TestRestoreRejectsCorruptV4(t *testing.T) {
+	recs, groups := fuzzWorkload(t)
+	e, err := New(fuzzWinSQL, groups, fuzzWinOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := e.Process(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var b4, b3 bytes.Buffer
+	if err := e.Checkpoint(&b4); err != nil {
+		t.Fatal(err)
+	}
+	// The v4 section starts where a v3 serialization of the identical
+	// state ends (same prefix, different version byte).
+	if err := e.checkpointVersion(&b3, ckptVersionV3); err != nil {
+		t.Fatal(err)
+	}
+	img := b4.Bytes()
+	if img[4] != ckptVersion {
+		t.Fatalf("windowed image version = %d; want %d", img[4], ckptVersion)
+	}
+	v4Off := b3.Len()
+	if e.winComposer.Next() == 0 || e.winComposer.PaneCount() == 0 {
+		t.Fatal("fuzz image carries no closed windows or panes; the corrupt-v4 suite is vacuous")
+	}
+
+	fresh := func() *Engine {
+		f, err := New(fuzzWinSQL, groups, fuzzWinOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	mustReject := func(t *testing.T, data []byte) {
+		t.Helper()
+		if _, err := fresh().Restore(bytes.NewReader(data)); !errors.Is(err, ErrBadCheckpoint) {
+			t.Errorf("err = %v; want ErrBadCheckpoint", err)
+		}
+	}
+	get32 := func(off int) uint32 { return binary.LittleEndian.Uint32(img[off:]) }
+	put32 := func(off int, v uint32) []byte {
+		b := append([]byte(nil), img...)
+		binary.LittleEndian.PutUint32(b[off:], v)
+		return b
+	}
+	flip := func(off int, xor byte) []byte {
+		b := append([]byte(nil), img...)
+		b[off] ^= xor
+		return b
+	}
+
+	// Walk the v4 section to the first pane's first sketch blob. Layout:
+	// size, slide | nSaggs ×(kind,input,q) | prec, comp | next | panes.
+	arity := 2            // both fuzz queries group two attributes
+	nAggs := len(e.aggs)  // exact slots per row
+	off := v4Off + 8      // size, slide
+	nS := int(get32(off)) // sketch agg count
+	off += 4 + nS*17      // kind u8 + input i64 + q f64
+	off += 9              // precision u8 + compression f64
+	off += 8              // window cursor
+	nPanesOff := off
+	if get32(nPanesOff) == 0 {
+		t.Fatal("image carries zero panes")
+	}
+	off += 4
+	paneEpochOff := off
+	off += 4 + 32 // epoch + stats
+	if img[off] == 0 {
+		t.Fatal("first pane names no relations")
+	}
+	off++    // nRels
+	off += 4 // rel
+	nRows := int(get32(off))
+	off += 4 + nRows*(arity*4+nAggs*8)
+	nSk := int(get32(off))
+	if nSk == 0 {
+		t.Fatal("first pane relation carries no sketch blobs")
+	}
+	off += 4
+	off += arity * 4 // first blob's key
+	blobLenOff := off
+	blobOff := off + 4
+
+	t.Run("pane count over cap", func(t *testing.T) {
+		mustReject(t, put32(nPanesOff, ckptMaxPanes+1))
+	})
+	t.Run("blob size over cap", func(t *testing.T) {
+		mustReject(t, put32(blobLenOff, ckptMaxBlob+1))
+	})
+	t.Run("corrupt sketch blob", func(t *testing.T) {
+		mustReject(t, flip(blobOff, 0xff))
+	})
+	t.Run("stale pane epoch", func(t *testing.T) {
+		// An epoch older than the live window range must be rejected, not
+		// silently resurrected.
+		mustReject(t, put32(paneEpochOff, 0))
+	})
+	t.Run("v4 relabeled v3", func(t *testing.T) {
+		mustReject(t, flip(4, ckptVersion^ckptVersionV3))
+	})
+	t.Run("window section truncations", func(t *testing.T) {
+		// Sample with a stride plus the section boundaries; the fuzz
+		// target covers the space continuously.
+		cuts := []int{v4Off, nPanesOff, paneEpochOff, blobLenOff, blobOff, len(img) - 1}
+		for cut := v4Off; cut < len(img); cut += 211 {
+			cuts = append(cuts, cut)
+		}
+		for _, cut := range cuts {
+			mustReject(t, img[:cut])
+		}
+	})
+}
+
+// TestFuzzCorpusCoversCurrentVersion fails the build when the checked-in
+// fuzz corpus lags the checkpoint format: at least one seed must be a
+// well-formed image of the current version, so CI's short fuzz run
+// always starts from current framing. Regenerate with
+// MAGG_WRITE_CORPUS=1 when the format version bumps.
+func TestFuzzCorpusCoversCurrentVersion(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzCheckpointDecode")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("seed corpus missing: %v", err)
+	}
+	versions := map[byte]bool{}
+	for _, ent := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, ent.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Corpus files are `go test fuzz v1` format: a header line, then
+		// one []byte("...") line per argument.
+		for _, line := range bytes.Split(data, []byte("\n")) {
+			if !bytes.HasPrefix(line, []byte("[]byte(")) {
+				continue
+			}
+			q := string(line[len("[]byte(") : len(line)-1])
+			seed, err := strconv.Unquote(q)
+			if err != nil {
+				t.Fatalf("%s: unparseable corpus line: %v", ent.Name(), err)
+			}
+			if len(seed) >= 5 && seed[:4] == ckptMagic {
+				versions[seed[4]] = true
+			}
+		}
+	}
+	for v := byte(ckptVersionV1); v <= ckptVersion; v++ {
+		if !versions[v] {
+			t.Errorf("no corpus seed carries a v%d image; regenerate with MAGG_WRITE_CORPUS=1 go test -run TestWriteFuzzCorpus ./internal/core", v)
 		}
 	}
 }

@@ -665,8 +665,8 @@ func TestCheckpointV3DurabilityRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	img := buf.Bytes()
-	if img[4] != ckptVersion {
-		t.Fatalf("image version = %d; want v%d with durability state", img[4], ckptVersion)
+	if img[4] != ckptVersionV3 {
+		t.Fatalf("image version = %d; want v%d with durability state", img[4], ckptVersionV3)
 	}
 	d0 := e.Durability()
 	if len(d0.Unpersisted) == 0 {

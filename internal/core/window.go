@@ -1,0 +1,169 @@
+package core
+
+import (
+	"repro/internal/attr"
+	"repro/internal/hfta"
+	"repro/internal/sketch"
+)
+
+// Sliding-window wiring: every closed LFTA epoch becomes a pane, and the
+// hfta.Composer folds panes into overlapping windows. The engine's part
+// is deliberately thin — at each epoch close it hands the composer the
+// epoch's finalized HFTA rows plus the pane's serialized sketch partials,
+// then delivers whatever windows the composer says are complete. Sketch
+// accumulation runs in the single-threaded admission path (Process),
+// never inside the sharded probe pipeline, so the SIMD probe hot path is
+// byte-identical with and without windowing and windowed results match
+// across shard counts.
+
+// WindowHandler streams closed windows out of the engine: one call per
+// query relation per closed window, rows sorted by group key, HAVING
+// applied to the composed exact aggregates. rows is only valid during
+// the call.
+type WindowHandler func(rel attr.Set, led hfta.WindowLedger, rows []hfta.WindowRow)
+
+// initWindowing builds the pane→window composer when the workload
+// declares a window clause or sketch aggregates. A sketch-only workload
+// (no window clause) runs as size-1 tumbling windows: each epoch closes
+// its own window, which is exactly per-epoch sketch read-out.
+func (e *Engine) initWindowing() error {
+	s0 := e.specs[0]
+	if !s0.Windowed() && len(s0.Sketches) == 0 {
+		return nil
+	}
+	win := hfta.WindowSpec{Size: s0.WindowSize, Slide: s0.WindowSlide}
+	if !s0.Windowed() {
+		win = hfta.WindowSpec{Size: 1, Slide: 1}
+	}
+	e.sketchAggs = s0.SketchSpecs()
+	comp, err := hfta.NewComposer(win, e.queries, e.aggs, e.sketchAggs,
+		e.opts.WindowSketchPrecision, e.opts.DigestCompression)
+	if err != nil {
+		return err
+	}
+	e.winComposer = comp
+	if len(e.sketchAggs) > 0 {
+		e.paneSk = make(map[attr.Set]map[string]*sketch.Partial, len(e.queries))
+		for _, q := range e.queries {
+			e.paneSk[q] = make(map[string]*sketch.Partial)
+		}
+	}
+	return nil
+}
+
+// Windowed reports whether the engine composes sliding windows (true for
+// any workload with a window clause or sketch aggregates).
+func (e *Engine) Windowed() bool { return e.winComposer != nil }
+
+// sketchPrecision returns the resolved HLL precision (options value or
+// the sketch package default), so an explicit default and a zero option
+// configure — and checkpoint — identically.
+func (e *Engine) sketchPrecision() uint8 {
+	if e.opts.WindowSketchPrecision != 0 {
+		return e.opts.WindowSketchPrecision
+	}
+	return sketch.DefaultPrecision
+}
+
+// digestCompression returns the resolved t-digest compression.
+func (e *Engine) digestCompression() float64 {
+	if e.opts.DigestCompression != 0 {
+		return e.opts.DigestCompression
+	}
+	return sketch.DefaultCompression
+}
+
+// observePaneSketches feeds one admitted record into the open pane's
+// per-group sketch partials, for every query relation. Runs on the
+// admission path before sharding, so partials are deterministic in the
+// stream order regardless of deployment shape. Alloc-free on the hot
+// path: the packed-key lookup uses the compiler's map[string] byte-slice
+// optimization and only a first-seen group allocates.
+func (e *Engine) observePaneSketches(attrs []uint32) {
+	for _, q := range e.queries {
+		e.paneKeyBuf = q.Project(attrs, e.paneKeyBuf[:0])
+		e.paneKeyBytes = hfta.AppendKeyBytes(e.paneKeyBytes[:0], e.paneKeyBuf)
+		m := e.paneSk[q]
+		p := m[string(e.paneKeyBytes)]
+		if p == nil {
+			var err error
+			p, err = sketch.NewPartial(e.sketchAggs, e.opts.WindowSketchPrecision, e.opts.DigestCompression)
+			if err != nil {
+				// Spec list was validated at construction; unreachable.
+				continue
+			}
+			m[string(e.paneKeyBytes)] = p
+		}
+		p.Observe(attrs)
+	}
+}
+
+// feedPane hands the closing epoch to the composer as a pane — the
+// epoch's finalized HFTA rows plus the serialized sketch partials — and
+// delivers every window the pane completes. Runs after persistEpoch
+// (the durable copy is captured first) and before emitEpoch (which drops
+// the epoch's HFTA state).
+func (e *Engine) feedPane(closed Degradation) {
+	inputs := make([]hfta.PaneInput, 0, len(e.queries))
+	for _, q := range e.queries {
+		in := hfta.PaneInput{Rel: q, Rows: e.agg.Rows(q, closed.Epoch)}
+		if m := e.paneSk[q]; len(m) > 0 {
+			in.Sketches = make(map[string][]byte, len(m))
+			for k, p := range m {
+				in.Sketches[k] = p.AppendBinary(nil)
+			}
+			e.paneSk[q] = make(map[string]*sketch.Partial)
+		}
+		inputs = append(inputs, in)
+	}
+	e.winComposer.ClosePane(closed.Epoch, hfta.PaneStats{
+		Offered:   closed.Offered,
+		Processed: closed.Processed,
+		Dropped:   closed.Dropped,
+		Late:      closed.Late,
+	}, inputs)
+	// Every epoch before the clock's current one is final (the clock is
+	// monotone and late records are dropped), so any window ending there
+	// can close now.
+	if _, cur, _ := e.clock.Snapshot(); cur > closed.Epoch {
+		e.deliverWindows(e.winComposer.CloseThrough(int64(cur) - 1))
+	}
+}
+
+// deliverWindows applies HAVING to the composed rows and either streams
+// each window through Options.OnWindow or retains it for
+// WindowResults/WindowLedgers.
+func (e *Engine) deliverWindows(results []hfta.WindowResult) {
+	for _, res := range results {
+		e.stats.Windows++
+		e.windowLeds = append(e.windowLeds, res.Ledger)
+		for _, q := range e.queries {
+			spec := e.specByRel[q]
+			rows := res.Rows[:0:0]
+			for _, r := range res.Rows {
+				if r.Rel != q {
+					continue
+				}
+				if spec != nil && !spec.MatchHaving(r.Aggs) {
+					continue
+				}
+				rows = append(rows, r)
+			}
+			if e.opts.OnWindow != nil {
+				e.opts.OnWindow(q, res.Ledger, rows)
+			} else {
+				e.windowRows = append(e.windowRows, rows...)
+			}
+		}
+	}
+}
+
+// WindowResults returns every closed window's rows (HAVING applied),
+// ordered by window close then query then group key. Empty when an
+// OnWindow handler streams them instead.
+func (e *Engine) WindowResults() []hfta.WindowRow { return e.windowRows }
+
+// WindowLedgers returns the ledger of every closed window in close
+// order. Each ledger satisfies Offered == Processed + Dropped + Late
+// summed over the window's panes.
+func (e *Engine) WindowLedgers() []hfta.WindowLedger { return e.windowLeds }

@@ -1,0 +1,423 @@
+package hfta
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/hashtab"
+	"repro/internal/lfta"
+	"repro/internal/sketch"
+	"repro/internal/stream"
+)
+
+func TestPackKeyRoundTrip(t *testing.T) {
+	for _, key := range [][]uint32{{}, {0}, {7}, {1, 2}, {0xFFFFFFFF, 0, 42}, {9, 9, 9, 9, 9}} {
+		got := UnpackKey(PackKey(key))
+		if len(got) != len(key) {
+			t.Fatalf("arity %d became %d", len(key), len(got))
+		}
+		for i := range key {
+			if got[i] != key[i] {
+				t.Fatalf("key %v round-tripped to %v", key, got)
+			}
+		}
+	}
+	// Packed byte order must equal per-attribute numeric order.
+	a, b := PackKey([]uint32{1, 500}), PackKey([]uint32{2, 3})
+	if !(a < b) {
+		t.Fatal("packed order does not follow attribute order")
+	}
+	if lessKeys([]uint32{1, 500}, []uint32{2, 3}) != (a < b) {
+		t.Fatal("PackKey order disagrees with lessKeys")
+	}
+}
+
+// feedPanes drives a composer the way the engine does — one pane per
+// observed epoch, exact rows via per-epoch grouping, sketch partials per
+// group — and returns everything emitted (steady closes plus CloseAll).
+func feedPanes(t *testing.T, c *Composer, recs []stream.Record, queries []attr.Set, aggs []lfta.AggSpec, saggs []sketch.Agg, epochLen uint32) []WindowResult {
+	t.Helper()
+	clock := &stream.Clock{Length: epochLen}
+	type gstate struct {
+		rows map[string][]int64
+		sk   map[string]*sketch.Partial
+	}
+	cur := map[attr.Set]*gstate{}
+	var stats PaneStats
+	var results []WindowResult
+	var keyBuf []uint32
+
+	closeEpoch := func(epoch uint32) {
+		var inputs []PaneInput
+		for _, q := range queries {
+			gs := cur[q]
+			if gs == nil {
+				continue
+			}
+			in := PaneInput{Rel: q, Sketches: map[string][]byte{}}
+			for k, slots := range gs.rows {
+				in.Rows = append(in.Rows, Row{Rel: q, Epoch: epoch, Key: UnpackKey(k), Aggs: slots})
+			}
+			for k, p := range gs.sk {
+				in.Sketches[k] = p.AppendBinary(nil)
+			}
+			inputs = append(inputs, in)
+		}
+		c.ClosePane(epoch, stats, inputs)
+		cur = map[attr.Set]*gstate{}
+		stats = PaneStats{}
+		_, now, _ := clock.Snapshot()
+		if now > epoch {
+			results = append(results, c.CloseThrough(int64(now)-1)...)
+		}
+	}
+
+	for _, rec := range recs {
+		_, prev, _ := clock.Snapshot()
+		started := clockStarted(clock)
+		_, rolled, late := clock.Observe(rec.Time)
+		if started && rolled {
+			closeEpoch(prev)
+		}
+		stats.Offered++
+		if late {
+			stats.Late++
+			continue
+		}
+		stats.Processed++
+		for _, q := range queries {
+			gs := cur[q]
+			if gs == nil {
+				gs = &gstate{rows: map[string][]int64{}, sk: map[string]*sketch.Partial{}}
+				cur[q] = gs
+			}
+			keyBuf = q.Project(rec.Attrs, keyBuf)
+			k := PackKey(keyBuf)
+			slots := gs.rows[k]
+			if slots == nil {
+				slots = identities(aggs)
+				gs.rows[k] = slots
+			}
+			for j, spec := range aggs {
+				d := int64(1)
+				if spec.Input >= 0 {
+					d = int64(rec.Attrs[spec.Input])
+				}
+				slots[j] = spec.Op.Combine(slots[j], d)
+			}
+			if len(saggs) > 0 {
+				p := gs.sk[k]
+				if p == nil {
+					p, _ = sketch.NewPartial(saggs, 0, 0)
+					gs.sk[k] = p
+				}
+				p.Observe(rec.Attrs)
+			}
+		}
+	}
+	if clockStarted(clock) {
+		_, now, _ := clock.Snapshot()
+		closeEpoch(now)
+	}
+	results = append(results, c.CloseAll()...)
+	return results
+}
+
+func clockStarted(c *stream.Clock) bool {
+	started, _, _ := c.Snapshot()
+	return started
+}
+
+func windowRecords(seed int64, n int, maxTime uint32) []stream.Record {
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([]stream.Record, n)
+	t := uint32(0)
+	for i := range recs {
+		if rng.Intn(4) == 0 {
+			t += uint32(rng.Intn(7))
+		}
+		if rng.Intn(50) == 0 {
+			t += uint32(rng.Intn(40)) // epoch gaps
+		}
+		if t > maxTime {
+			t = maxTime
+		}
+		at := t
+		if rng.Intn(20) == 0 && at > 25 {
+			at -= uint32(rng.Intn(25)) // regressions, some crossing epochs
+		}
+		recs[i] = stream.Record{
+			Attrs: []uint32{uint32(rng.Intn(4)), uint32(rng.Intn(1000)), uint32(rng.Intn(5000)), uint32(rng.Intn(3))},
+			Time:  at,
+		}
+	}
+	return recs
+}
+
+// TestComposerMatchesOracle drives the composer pane-by-pane over a
+// (size, slide) grid and checks every emitted window — ledger, exact
+// rows, HLL estimates — equals the brute-force recompute. T-digest
+// estimates are checked by rank error against the exact value sets.
+func TestComposerMatchesOracle(t *testing.T) {
+	queries := []attr.Set{attr.MustParseSet("A"), attr.MustParseSet("AD")}
+	aggs := []lfta.AggSpec{
+		{Op: hashtab.Sum, Input: -1},
+		{Op: hashtab.Sum, Input: 1},
+		{Op: hashtab.Min, Input: 2},
+		{Op: hashtab.Max, Input: 2},
+	}
+	saggs := []sketch.Agg{
+		{Kind: sketch.Distinct, Input: 1},
+		{Kind: sketch.Quantile, Input: 2, Q: 0.5},
+		{Kind: sketch.Quantile, Input: 2, Q: 0.95},
+	}
+	const epochLen = 10
+	grid := []WindowSpec{{1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {4, 4}, {2, 3}}
+	for _, win := range grid {
+		recs := windowRecords(int64(win.Size)*100+int64(win.Slide), 6000, 400)
+		c, err := NewComposer(win, queries, aggs, saggs, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := feedPanes(t, c, recs, queries, aggs, saggs, epochLen)
+		want := WindowOracle(recs, queries, aggs, saggs, 0, 0, epochLen, win)
+		compareWindows(t, win, got, want)
+		if c.PaneCount() != 0 {
+			t.Errorf("win %v: %d panes left after CloseAll", win, c.PaneCount())
+		}
+	}
+}
+
+func compareWindows(t *testing.T, win WindowSpec, got []WindowResult, want []OracleWindow) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("win %v: %d windows, oracle has %d", win, len(got), len(want))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g.Ledger != w.Ledger {
+			t.Fatalf("win %v window %d: ledger %+v, oracle %+v", win, i, g.Ledger, w.Ledger)
+		}
+		if st := g.Ledger.Stats; st.Offered != st.Processed+st.Dropped+st.Late {
+			t.Fatalf("win %v window %d: ledger identity broken: %+v", win, i, st)
+		}
+		if len(g.Rows) != len(w.Rows) {
+			t.Fatalf("win %v window %d: %d rows, oracle %d", win, i, len(g.Rows), len(w.Rows))
+		}
+		for j := range g.Rows {
+			gr, wr := g.Rows[j], w.Rows[j]
+			if gr.Rel != wr.Rel || gr.Window != wr.Window || gr.Start != wr.Start || gr.End != wr.End ||
+				!reflect.DeepEqual(gr.Key, wr.Key) || !reflect.DeepEqual(gr.Aggs, wr.Aggs) {
+				t.Fatalf("win %v window %d row %d:\n got %+v\nwant %+v", win, i, j, gr, wr)
+			}
+			for s := range gr.Sketch {
+				if wr.ExactDistinct[s] >= 0 {
+					// HLL: pane-merged must equal direct-fed bitwise.
+					if gr.Sketch[s] != wr.Sketch[s] {
+						t.Fatalf("win %v window %d row %d sketch %d: %v != oracle %v", win, i, j, s, gr.Sketch[s], wr.Sketch[s])
+					}
+					continue
+				}
+				// t-digest: engine estimate must sit within rank
+				// tolerance of the exact value set.
+				assertRank(t, wr.Values[s], gr.Sketch[s], 0.5, 0.95, s)
+			}
+		}
+	}
+}
+
+// assertRank checks est's rank in vals is within tolerance of one of the
+// candidate quantiles (the test carries two quantile aggs; slot s picks
+// which).
+func assertRank(t *testing.T, vals []float64, est float64, q50, q95 float64, slot int) {
+	t.Helper()
+	if len(vals) == 0 {
+		return
+	}
+	q := q50
+	if slot == 2 {
+		q = q95
+	}
+	n := float64(len(vals))
+	// The estimate covers a rank interval [lo, hi] when the data holds
+	// duplicates: lo = fraction strictly below, hi = fraction ≤ est.
+	lo := float64(sort.SearchFloat64s(vals, est)) / n
+	hi := float64(sort.Search(len(vals), func(i int) bool { return vals[i] > est })) / n
+	// Small windows hold few values, where rank granularity dominates:
+	// allow 0.08 + one value's worth of slack.
+	tol := 0.08 + 1.0/n
+	if q < lo-tol || q > hi+tol {
+		t.Fatalf("quantile slot %d: estimate %v covers ranks [%.3f, %.3f], want %.2f ± %.3f (n=%d)", slot, est, lo, hi, q, tol, len(vals))
+	}
+}
+
+// TestComposerEviction pins the ring bound: after each CloseThrough the
+// composer retains no pane older than the oldest live window.
+func TestComposerEviction(t *testing.T) {
+	queries := []attr.Set{attr.MustParseSet("A")}
+	aggs := []lfta.AggSpec{{Op: hashtab.Sum, Input: -1}}
+	c, err := NewComposer(WindowSpec{Size: 3, Slide: 2}, queries, aggs, nil, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := uint32(0); e < 100; e++ {
+		c.ClosePane(e, PaneStats{Offered: 1, Processed: 1}, []PaneInput{{
+			Rel:  queries[0],
+			Rows: []Row{{Rel: queries[0], Epoch: e, Key: []uint32{1}, Aggs: []int64{1}}},
+		}})
+		c.CloseThrough(int64(e)) // epoch e is final once e+1 starts; harmless here
+		for _, ps := range c.SnapshotPanes() {
+			if int64(ps.Epoch) < c.Next()*2 {
+				t.Fatalf("epoch %d: pane %d survived past live window %d", e, ps.Epoch, c.Next())
+			}
+		}
+		if c.PaneCount() > 4 {
+			t.Fatalf("epoch %d: %d panes retained, want ≤ 4", e, c.PaneCount())
+		}
+	}
+}
+
+// TestComposerGapFastForward: a clock jump of ~2^31 epochs must not
+// spin per-window, and windows resume correctly after the gap.
+func TestComposerGapFastForward(t *testing.T) {
+	queries := []attr.Set{attr.MustParseSet("A")}
+	aggs := []lfta.AggSpec{{Op: hashtab.Sum, Input: -1}}
+	c, err := NewComposer(WindowSpec{Size: 4, Slide: 1}, queries, aggs, nil, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := func(e uint32) []PaneInput {
+		return []PaneInput{{Rel: queries[0], Rows: []Row{{Rel: queries[0], Epoch: e, Key: []uint32{1}, Aggs: []int64{1}}}}}
+	}
+	c.ClosePane(5, PaneStats{Offered: 1, Processed: 1}, row(5))
+	const far = 1 << 31
+	got := c.CloseThrough(far - 1) // a giant jump: everything through epoch far-1 is final
+	// Windows overlapping pane 5: indices 2..5 (size 4, slide 1).
+	if len(got) != 4 {
+		t.Fatalf("%d windows after jump, want 4", len(got))
+	}
+	for i, r := range got {
+		if r.Ledger.Window != uint32(2+i) || r.Ledger.Stats.Processed != 1 {
+			t.Fatalf("window %d: %+v", i, r.Ledger)
+		}
+	}
+	if c.PaneCount() != 0 {
+		t.Fatalf("%d panes left after jump", c.PaneCount())
+	}
+	c.ClosePane(far, PaneStats{Offered: 2, Processed: 2}, row(far))
+	got = c.CloseAll()
+	if len(got) != 4 {
+		t.Fatalf("%d windows after gap, want 4", len(got))
+	}
+	if got[0].Ledger.Start != far-3 || got[3].Ledger.Start != far {
+		t.Fatalf("windows after gap span %d..%d", got[0].Ledger.Start, got[3].Ledger.Start)
+	}
+}
+
+// TestComposerSnapshotRoundTrip: snapshot → restore → snapshot must be
+// deeply identical, including sketch blobs byte-for-byte, and a restored
+// composer must close the same windows.
+func TestComposerSnapshotRoundTrip(t *testing.T) {
+	queries := []attr.Set{attr.MustParseSet("A"), attr.MustParseSet("AB")}
+	aggs := []lfta.AggSpec{{Op: hashtab.Sum, Input: -1}, {Op: hashtab.Max, Input: 2}}
+	saggs := []sketch.Agg{{Kind: sketch.Distinct, Input: 1}, {Kind: sketch.Quantile, Input: 2, Q: 0.9}}
+	mk := func() *Composer {
+		c, err := NewComposer(WindowSpec{Size: 3, Slide: 1}, queries, aggs, saggs, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	c := mk()
+	rng := rand.New(rand.NewSource(21))
+	for e := uint32(0); e < 6; e++ {
+		var inputs []PaneInput
+		for _, q := range queries {
+			in := PaneInput{Rel: q, Sketches: map[string][]byte{}}
+			for g := 0; g < 3; g++ {
+				key := make([]uint32, q.Size())
+				for i := range key {
+					key[i] = uint32(g)
+				}
+				in.Rows = append(in.Rows, Row{Rel: q, Epoch: e, Key: key, Aggs: []int64{int64(rng.Intn(50)), int64(rng.Intn(100))}})
+				p, _ := sketch.NewPartial(saggs, 0, 0)
+				for n := 0; n < 30; n++ {
+					p.Observe([]uint32{uint32(g), rng.Uint32() % 40, rng.Uint32() % 500})
+				}
+				in.Sketches[PackKey(key)] = p.AppendBinary(nil)
+			}
+			inputs = append(inputs, in)
+		}
+		c.ClosePane(e, PaneStats{Offered: 10, Processed: 9, Late: 1}, inputs)
+	}
+	c.CloseThrough(3) // advance next, evict some panes
+
+	snap := c.SnapshotPanes()
+	next := c.Next()
+	r := mk()
+	if err := r.RestorePanes(next, snap); err != nil {
+		t.Fatal(err)
+	}
+	snap2 := r.SnapshotPanes()
+	if !reflect.DeepEqual(snap, snap2) {
+		t.Fatal("snapshot changed across restore")
+	}
+	for i := range snap {
+		for j := range snap[i].Rels {
+			for k := range snap[i].Rels[j].Sketches {
+				if !bytes.Equal(snap[i].Rels[j].Sketches[k].Blob, snap2[i].Rels[j].Sketches[k].Blob) {
+					t.Fatal("sketch blob not byte-identical across restore")
+				}
+			}
+		}
+	}
+	a, b := c.CloseAll(), r.CloseAll()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("restored composer closed different windows")
+	}
+
+	// Corrupt restores must be rejected.
+	bad := mk()
+	if err := bad.RestorePanes(-1, nil); err == nil {
+		t.Fatal("negative next accepted")
+	}
+	if err := bad.RestorePanes(10, snap); err == nil {
+		t.Fatal("panes preceding the live window accepted")
+	}
+	if len(snap) > 0 && len(snap[0].Rels) > 0 && len(snap[0].Rels[0].Sketches) > 0 {
+		mangled := make([]PaneSnapshot, len(snap))
+		copy(mangled, snap)
+		kb := mangled[0].Rels[0].Sketches[0]
+		kb.Blob = kb.Blob[:len(kb.Blob)-3]
+		rels := make([]PaneRelSnapshot, len(mangled[0].Rels))
+		copy(rels, mangled[0].Rels)
+		sks := append([]KeyBlob(nil), rels[0].Sketches...)
+		sks[0] = kb
+		rels[0].Sketches = sks
+		mangled[0].Rels = rels
+		if err := mk().RestorePanes(next, mangled); err == nil {
+			t.Fatal("truncated sketch blob accepted")
+		}
+	}
+}
+
+func TestNewComposerValidation(t *testing.T) {
+	q := []attr.Set{attr.MustParseSet("A")}
+	aggs := []lfta.AggSpec{{Op: hashtab.Sum, Input: -1}}
+	if _, err := NewComposer(WindowSpec{Size: 0, Slide: 1}, q, aggs, nil, 0, 0); err == nil {
+		t.Fatal("size 0 accepted")
+	}
+	if _, err := NewComposer(WindowSpec{Size: 1, Slide: 0}, q, aggs, nil, 0, 0); err == nil {
+		t.Fatal("slide 0 accepted")
+	}
+	if _, err := NewComposer(WindowSpec{Size: 1, Slide: 1}, nil, aggs, nil, 0, 0); err == nil {
+		t.Fatal("no queries accepted")
+	}
+	if _, err := NewComposer(WindowSpec{Size: 1, Slide: 1}, q, aggs, []sketch.Agg{{Kind: 99}}, 0, 0); err == nil {
+		t.Fatal("bad sketch kind accepted")
+	}
+}

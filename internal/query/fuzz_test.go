@@ -14,6 +14,10 @@ func FuzzParse(f *testing.F) {
 		"select A, count(*) as cnt, sum(D) as bytes from R where C >= 1024 and B != 80 or A = 1 group by A having cnt > 100",
 		"select a from r group by",
 		"select count(*) from R group by A, time/0",
+		"select A, count(*), count_distinct(B) from R group by A, time/10 window 4 slide 2",
+		"select A, median(C) as med, percentile(C, 95) as p95 from R group by A, time/10 window 3",
+		"select count_distinct(B) from R group by A, time/5 window 70000",
+		"select A, count(*) from R group by A window 4",
 		"((((",
 		"select",
 	} {
@@ -30,7 +34,9 @@ func FuzzParse(f *testing.F) {
 			t.Fatalf("accepted %q but rejected own rendering %q: %v", sql, rendered, err)
 		}
 		if again.GroupBy != spec.GroupBy || again.EpochLen != spec.EpochLen ||
-			len(again.Aggs) != len(spec.Aggs) || !again.Where.Equal(spec.Where) {
+			len(again.Aggs) != len(spec.Aggs) || !again.Where.Equal(spec.Where) ||
+			again.WindowSize != spec.WindowSize || again.WindowSlide != spec.WindowSlide ||
+			!sameSketches(again.Sketches, spec.Sketches) {
 			t.Fatalf("round trip changed structure: %q -> %q", sql, rendered)
 		}
 	})

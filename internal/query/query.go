@@ -23,6 +23,7 @@ import (
 	"repro/internal/attr"
 	"repro/internal/hashtab"
 	"repro/internal/lfta"
+	"repro/internal/sketch"
 )
 
 // CmpOp is a comparison operator in WHERE/HAVING predicates.
@@ -177,6 +178,40 @@ func (a Agg) callString() string {
 	return call
 }
 
+// SketchAgg is one approximate aggregate column: count_distinct(X)
+// (HLL), percentile(X, p) or median(X) (t-digest). Sketch aggregates are
+// computed at the HFTA from mergeable pane partials, never inside the
+// LFTA hash tables, so they ride alongside the exact Aggs rather than
+// occupying physical slots.
+type SketchAgg struct {
+	Agg     sketch.Agg
+	Alias   string // output column name (defaults to the call syntax)
+	Percent int    // percentile as written, 1..99; 0 for count_distinct
+	Median  bool   // written as median(X) rather than percentile(X, 50)
+}
+
+// callString renders the sketch aggregate as re-parseable SQL.
+func (a SketchAgg) callString() string {
+	name := attr.ID(a.Agg.Input).Name()
+	var call string
+	switch {
+	case a.Agg.Kind == sketch.Distinct:
+		call = fmt.Sprintf("count_distinct(%s)", name)
+	case a.Median:
+		call = fmt.Sprintf("median(%s)", name)
+	default:
+		call = fmt.Sprintf("percentile(%s, %d)", name, a.Percent)
+	}
+	if a.Alias != "" && a.Alias != call {
+		call += " as " + a.Alias
+	}
+	return call
+}
+
+// MaxWindowEpochs bounds window size and slide; it caps how many window
+// closes a single clock jump can force the composer to emit.
+const MaxWindowEpochs = 65536
+
 // Spec is a parsed aggregation query.
 type Spec struct {
 	Name     string   // optional label (set by the caller)
@@ -184,9 +219,28 @@ type Spec struct {
 	EpochLen uint32   // seconds per epoch; 0 if no time bucket
 	EpochVar string   // alias of the time bucket column, if any
 	Aggs     []Agg
-	Where    Filter   // WHERE clause in DNF (and/or)
-	HavingCl []Having // conjunction
-	Source   string   // FROM relation name
+	Sketches []SketchAgg // approximate HFTA-side aggregates, if any
+	Where    Filter      // WHERE clause in DNF (and/or)
+	HavingCl []Having    // conjunction
+	Source   string      // FROM relation name
+
+	// WindowSize/WindowSlide express a sliding window in epochs
+	// ("window N slide M" after group by): window i covers epochs
+	// [i·M, i·M+N). 0/0 means tumbling per-epoch output, the default.
+	WindowSize  uint32
+	WindowSlide uint32
+}
+
+// Windowed reports whether the query declares a sliding window.
+func (s *Spec) Windowed() bool { return s.WindowSize > 0 }
+
+// SketchSpecs extracts the sketch.Agg list.
+func (s *Spec) SketchSpecs() []sketch.Agg {
+	out := make([]sketch.Agg, len(s.Sketches))
+	for i, a := range s.Sketches {
+		out[i] = a.Agg
+	}
+	return out
 }
 
 // AggSpecs extracts the lfta.AggSpec list.
@@ -284,6 +338,9 @@ func (s *Spec) String() string {
 			cols = append(cols, a.callString())
 		}
 	}
+	for _, a := range s.Sketches {
+		cols = append(cols, a.callString())
+	}
 	b.WriteString(strings.Join(cols, ", "))
 	b.WriteString(" from ")
 	src := s.Source
@@ -308,6 +365,12 @@ func (s *Spec) String() string {
 		gs = append(gs, g)
 	}
 	b.WriteString(strings.Join(gs, ", "))
+	if s.WindowSize > 0 {
+		fmt.Fprintf(&b, " window %d", s.WindowSize)
+		if s.WindowSlide != 1 {
+			fmt.Fprintf(&b, " slide %d", s.WindowSlide)
+		}
+	}
 	if len(s.HavingCl) > 0 {
 		var hs []string
 		for _, h := range s.HavingCl {
@@ -372,6 +435,12 @@ func ParseSet(sqls []string) ([]*Spec, error) {
 		if !s.Where.Equal(base.Where) {
 			return nil, fmt.Errorf("query: WHERE clauses differ between queries; shared phantoms need a common filter")
 		}
+		if s.WindowSize != base.WindowSize || s.WindowSlide != base.WindowSlide {
+			return nil, fmt.Errorf("query: mixed window clauses (%d/%d and %d/%d)", base.WindowSize, base.WindowSlide, s.WindowSize, s.WindowSlide)
+		}
+		if !sameSketches(s.Sketches, base.Sketches) {
+			return nil, fmt.Errorf("query: sketch aggregate lists differ between queries")
+		}
 	}
 	return specs, nil
 }
@@ -382,6 +451,18 @@ func sameAggs(a, b []Agg) bool {
 	}
 	for i := range a {
 		if a[i].Spec != b[i].Spec {
+			return false
+		}
+	}
+	return true
+}
+
+func sameSketches(a, b []SketchAgg) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Agg != b[i].Agg {
 			return false
 		}
 	}
@@ -497,10 +578,15 @@ func (p *parser) expectPunct(s string) error {
 // selectItem captures a select-list entry before resolution.
 type selectItem struct {
 	isAgg bool
-	op    string // count/sum/min/max
+	op    string // count/sum/min/max/avg/count_distinct/percentile/median
 	arg   string // "*" or attribute name
+	pct   int    // percentile argument, 1..99
 	name  string // plain column name when !isAgg
 	alias string
+}
+
+func isSketchOp(op string) bool {
+	return op == "count_distinct" || op == "percentile" || op == "median"
 }
 
 func (p *parser) parseQuery() (*Spec, error) {
@@ -544,6 +630,9 @@ func (p *parser) parseQuery() (*Spec, error) {
 	if err := p.parseGroupBy(spec); err != nil {
 		return nil, err
 	}
+	if err := p.parseWindow(spec); err != nil {
+		return nil, err
+	}
 
 	// Resolve select list against the group by.
 	aliasToAgg := map[string]int{}
@@ -552,7 +641,20 @@ func (p *parser) parseQuery() (*Spec, error) {
 		if it.isAgg {
 			alias := it.alias
 			if alias == "" {
-				alias = fmt.Sprintf("%s(%s)", strings.ToLower(it.op), it.arg)
+				if it.op == "percentile" {
+					alias = fmt.Sprintf("percentile(%s, %d)", it.arg, it.pct)
+				} else {
+					alias = fmt.Sprintf("%s(%s)", strings.ToLower(it.op), it.arg)
+				}
+			}
+			if isSketchOp(it.op) {
+				sa, err := resolveSketchAgg(it)
+				if err != nil {
+					return nil, err
+				}
+				sa.Alias = alias
+				spec.Sketches = append(spec.Sketches, sa)
+				continue
 			}
 			if it.op == "avg" {
 				// avg(X) → physical sum(X); the count slot is resolved
@@ -589,7 +691,18 @@ func (p *parser) parseQuery() (*Spec, error) {
 		}
 	}
 	if len(spec.Aggs) == 0 {
-		return nil, fmt.Errorf("query has no aggregate")
+		if len(spec.Sketches) == 0 {
+			return nil, fmt.Errorf("query has no aggregate")
+		}
+		// Sketch-only select list: the engine's exact pipeline still
+		// needs at least one physical slot per group, so add a hidden
+		// count(*) — it also backs the window ledger row counts.
+		spec.Aggs = append(spec.Aggs, Agg{
+			Spec:   lfta.AggSpec{Op: hashtab.Sum, Input: -1},
+			Alias:  "__cnt",
+			AvgOf:  -1,
+			Hidden: true,
+		})
 	}
 
 	// Resolve the count slot for any avg rewrites: reuse a visible
@@ -639,7 +752,7 @@ func (p *parser) parseSelectItem() (selectItem, error) {
 		return selectItem{}, fmt.Errorf("expected select column, got %q", t.text)
 	}
 	lower := strings.ToLower(t.text)
-	if (lower == "count" || lower == "sum" || lower == "min" || lower == "max" || lower == "avg") && p.acceptPunct("(") {
+	if (lower == "count" || lower == "sum" || lower == "min" || lower == "max" || lower == "avg" || isSketchOp(lower)) && p.acceptPunct("(") {
 		var arg string
 		if p.acceptPunct("*") {
 			arg = "*"
@@ -650,10 +763,24 @@ func (p *parser) parseSelectItem() (selectItem, error) {
 			}
 			arg = at.text
 		}
+		it := selectItem{isAgg: true, op: lower, arg: arg}
+		if lower == "percentile" {
+			if err := p.expectPunct(","); err != nil {
+				return selectItem{}, err
+			}
+			num := p.next()
+			if num.kind != "num" {
+				return selectItem{}, fmt.Errorf("expected percentile rank, got %q", num.text)
+			}
+			n, err := strconv.Atoi(num.text)
+			if err != nil || n < 1 || n > 99 {
+				return selectItem{}, fmt.Errorf("percentile rank must be an integer in [1, 99], got %q", num.text)
+			}
+			it.pct = n
+		}
 		if err := p.expectPunct(")"); err != nil {
 			return selectItem{}, err
 		}
-		it := selectItem{isAgg: true, op: lower, arg: arg}
 		if p.acceptKeyword("as") {
 			al := p.next()
 			if al.kind != "ident" {
@@ -699,6 +826,61 @@ func resolveAgg(op, arg string) (lfta.AggSpec, error) {
 	default:
 		return lfta.AggSpec{}, fmt.Errorf("unknown aggregate %q", op)
 	}
+}
+
+func resolveSketchAgg(it selectItem) (SketchAgg, error) {
+	if it.arg == "*" {
+		return SketchAgg{}, fmt.Errorf("%s(*) is not a valid aggregate", it.op)
+	}
+	set, err := attr.ParseSet(it.arg)
+	if err != nil || set.Size() != 1 {
+		return SketchAgg{}, fmt.Errorf("aggregate argument %q must be a single attribute", it.arg)
+	}
+	input := int(set.IDs()[0])
+	switch it.op {
+	case "count_distinct":
+		return SketchAgg{Agg: sketch.Agg{Kind: sketch.Distinct, Input: input}}, nil
+	case "median":
+		return SketchAgg{Agg: sketch.Agg{Kind: sketch.Quantile, Input: input, Q: 0.5}, Percent: 50, Median: true}, nil
+	case "percentile":
+		return SketchAgg{Agg: sketch.Agg{Kind: sketch.Quantile, Input: input, Q: float64(it.pct) / 100}, Percent: it.pct}, nil
+	default:
+		return SketchAgg{}, fmt.Errorf("unknown aggregate %q", it.op)
+	}
+}
+
+// parseWindow parses the optional "window N [slide M]" clause following
+// the group by. The window is expressed in epochs, so it requires a
+// time/N bucket in the group by.
+func (p *parser) parseWindow(spec *Spec) error {
+	if !p.acceptKeyword("window") {
+		return nil
+	}
+	if spec.EpochLen == 0 {
+		return fmt.Errorf("window clause requires a time/N bucket in the group by")
+	}
+	num := p.next()
+	if num.kind != "num" {
+		return fmt.Errorf("expected window size, got %q", num.text)
+	}
+	n, err := strconv.ParseUint(num.text, 10, 32)
+	if err != nil || n == 0 || n > MaxWindowEpochs {
+		return fmt.Errorf("window size must be in [1, %d], got %q", MaxWindowEpochs, num.text)
+	}
+	spec.WindowSize = uint32(n)
+	spec.WindowSlide = 1
+	if p.acceptKeyword("slide") {
+		num := p.next()
+		if num.kind != "num" {
+			return fmt.Errorf("expected window slide, got %q", num.text)
+		}
+		m, err := strconv.ParseUint(num.text, 10, 32)
+		if err != nil || m == 0 || m > MaxWindowEpochs {
+			return fmt.Errorf("window slide must be in [1, %d], got %q", MaxWindowEpochs, num.text)
+		}
+		spec.WindowSlide = uint32(m)
+	}
+	return nil
 }
 
 func (p *parser) parseGroupBy(spec *Spec) error {

@@ -130,7 +130,7 @@ func TestParseErrors(t *testing.T) {
 		"select count(B) from R group by A",                      // count takes *
 		"select sum(*) from R group by A",                        // sum takes an attribute
 		"select avg(*) from R group by A",                        // avg takes an attribute
-		"select median(B) from R group by A",                     // unknown aggregate
+		"select stddev(B) from R group by A",                     // unknown aggregate
 		"select X1, count(*) from R group by X1",                 // bad attribute
 		"select A, count(*) from R group by A, time/0",           // zero epoch
 		"select A, count(*) from R group by A, time/60, time/60", // duplicate epoch

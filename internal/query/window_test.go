@@ -1,0 +1,134 @@
+package query
+
+import (
+	"testing"
+
+	"repro/internal/sketch"
+)
+
+func TestParseWindowClause(t *testing.T) {
+	s := MustParse("select A, tb, count(*) as cnt from R group by A, time/10 as tb window 4 slide 2")
+	if !s.Windowed() || s.WindowSize != 4 || s.WindowSlide != 2 {
+		t.Fatalf("window = %d/%d", s.WindowSize, s.WindowSlide)
+	}
+	// Slide defaults to 1.
+	s = MustParse("select A, count(*) from R group by A, time/10 window 3")
+	if s.WindowSize != 3 || s.WindowSlide != 1 {
+		t.Fatalf("window = %d/%d, want 3/1", s.WindowSize, s.WindowSlide)
+	}
+	// Slide larger than size is legal: sampled, non-overlapping windows.
+	s = MustParse("select A, count(*) from R group by A, time/10 window 2 slide 3")
+	if s.WindowSize != 2 || s.WindowSlide != 3 {
+		t.Fatalf("window = %d/%d, want 2/3", s.WindowSize, s.WindowSlide)
+	}
+	if MustParse("select A, count(*) from R group by A, time/10").Windowed() {
+		t.Fatal("unwindowed query reports Windowed")
+	}
+}
+
+func TestParseSketchAggs(t *testing.T) {
+	s := MustParse("select A, count_distinct(B) as uniq, median(C), percentile(C, 95) as p95 from R group by A, time/10 window 2")
+	if len(s.Sketches) != 3 {
+		t.Fatalf("got %d sketches", len(s.Sketches))
+	}
+	want := []sketch.Agg{
+		{Kind: sketch.Distinct, Input: 1},
+		{Kind: sketch.Quantile, Input: 2, Q: 0.5},
+		{Kind: sketch.Quantile, Input: 2, Q: 0.95},
+	}
+	for i, w := range want {
+		if s.Sketches[i].Agg != w {
+			t.Errorf("sketch %d = %+v, want %+v", i, s.Sketches[i].Agg, w)
+		}
+	}
+	if s.Sketches[0].Alias != "uniq" || s.Sketches[1].Alias != "median(C)" || s.Sketches[2].Alias != "p95" {
+		t.Errorf("aliases %q %q %q", s.Sketches[0].Alias, s.Sketches[1].Alias, s.Sketches[2].Alias)
+	}
+	got := s.SketchSpecs()
+	for i, w := range want {
+		if got[i] != w {
+			t.Errorf("SketchSpecs[%d] = %+v", i, got[i])
+		}
+	}
+	// Sketch-only select list gets a hidden count(*) backing slot.
+	s = MustParse("select A, count_distinct(B) from R group by A, time/10 window 2")
+	if len(s.Aggs) != 1 || !s.Aggs[0].Hidden || s.Aggs[0].Spec.Input != -1 {
+		t.Fatalf("hidden count not added: %+v", s.Aggs)
+	}
+	if cols := s.OutputColumns(); len(cols) != 0 {
+		t.Fatalf("hidden slot leaked into OutputColumns: %v", cols)
+	}
+}
+
+func TestParseWindowErrors(t *testing.T) {
+	for _, sql := range []string{
+		"select A, count(*) from R group by A window 4",               // no time bucket
+		"select A, count(*) from R group by A, time/10 window 0",      // zero size
+		"select A, count(*) from R group by A, time/10 window 70000",  // size over cap
+		"select A, count(*) from R group by A, time/10 window x",      // non-numeric
+		"select A, count(*) from R group by A, time/10 window 2 slide 0",
+		"select A, count(*) from R group by A, time/10 window 2 slide 70000",
+		"select count_distinct(*) from R group by A, time/10",  // needs an attribute
+		"select percentile(C) from R group by A, time/10",      // missing rank
+		"select percentile(C, 0) from R group by A, time/10",   // rank out of range
+		"select percentile(C, 100) from R group by A, time/10", // rank out of range
+		"select median(*) from R group by A, time/10",
+		"select A, count_distinct(B) as u from R group by A, time/10 having u > 3", // having on a sketch
+	} {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) succeeded; want error", sql)
+		}
+	}
+}
+
+func TestWindowStringRoundTrip(t *testing.T) {
+	for _, sql := range []string{
+		"select A, tb, count(*) as cnt from R group by A, time/10 as tb window 4 slide 2",
+		"select A, count(*) from R group by A, time/10 window 3",
+		"select A, count(*), count_distinct(B) as uniq from R group by A, time/10 window 2 slide 3",
+		"select A, median(C), percentile(C, 99) as p99 from R group by A, time/10 window 5 slide 5",
+		"select count_distinct(B) from R group by A, time/10",
+	} {
+		s1 := MustParse(sql)
+		s2, err := Parse(s1.String())
+		if err != nil {
+			t.Fatalf("%q: rendering %q does not re-parse: %v", sql, s1.String(), err)
+		}
+		if s2.WindowSize != s1.WindowSize || s2.WindowSlide != s1.WindowSlide ||
+			!sameSketches(s2.Sketches, s1.Sketches) || len(s2.Aggs) != len(s1.Aggs) {
+			t.Fatalf("%q: round trip changed structure to %q", sql, s1.String())
+		}
+		for i := range s1.Sketches {
+			if s2.Sketches[i].Alias != s1.Sketches[i].Alias {
+				t.Fatalf("%q: alias %q became %q", sql, s1.Sketches[i].Alias, s2.Sketches[i].Alias)
+			}
+		}
+	}
+}
+
+func TestParseSetWindowChecks(t *testing.T) {
+	if _, err := ParseSet([]string{
+		"select A, count(*) from R group by A, time/10 window 4 slide 2",
+		"select B, count(*) from R group by B, time/10 window 4 slide 2",
+	}); err != nil {
+		t.Fatalf("matching windows rejected: %v", err)
+	}
+	if _, err := ParseSet([]string{
+		"select A, count(*) from R group by A, time/10 window 4 slide 2",
+		"select B, count(*) from R group by B, time/10 window 4",
+	}); err == nil {
+		t.Fatal("mixed slides accepted")
+	}
+	if _, err := ParseSet([]string{
+		"select A, count(*) from R group by A, time/10 window 4",
+		"select B, count(*) from R group by B, time/10",
+	}); err == nil {
+		t.Fatal("windowed + unwindowed accepted")
+	}
+	if _, err := ParseSet([]string{
+		"select A, count(*), count_distinct(B) from R group by A, time/10",
+		"select B, count(*), count_distinct(C) from R group by B, time/10",
+	}); err == nil {
+		t.Fatal("differing sketch lists accepted")
+	}
+}

@@ -1,0 +1,41 @@
+package sketch
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Little-endian append/take helpers shared by the sketch serializers.
+// Decoders return the unconsumed tail so blobs concatenate.
+
+func appendU32(dst []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(dst, v)
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, v)
+}
+
+func appendF64(dst []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+func takeU32(data []byte) (uint32, []byte, error) {
+	if len(data) < 4 {
+		return 0, nil, fmt.Errorf("sketch: blob truncated")
+	}
+	return binary.LittleEndian.Uint32(data), data[4:], nil
+}
+
+func takeU64(data []byte) (uint64, []byte, error) {
+	if len(data) < 8 {
+		return 0, nil, fmt.Errorf("sketch: blob truncated")
+	}
+	return binary.LittleEndian.Uint64(data), data[8:], nil
+}
+
+func takeF64(data []byte) (float64, []byte, error) {
+	v, rest, err := takeU64(data)
+	return math.Float64frombits(v), rest, err
+}

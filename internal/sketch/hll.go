@@ -149,3 +149,30 @@ func (h *HLL) Reset() {
 func (h *HLL) Clone() *HLL {
 	return &HLL{p: h.p, regs: append([]uint8(nil), h.regs...)}
 }
+
+// AppendBinary serializes the counter as one precision byte followed by
+// the raw register array. Register-max merge means the serialized form
+// of a merged counter is exactly the lane-wise max of the inputs, so
+// HLL partials shipped between pipeline levels compose losslessly.
+func (h *HLL) AppendBinary(dst []byte) []byte {
+	dst = append(dst, h.p)
+	return append(dst, h.regs...)
+}
+
+// DecodeHLL parses one counter from the front of data and returns the
+// remaining bytes.
+func DecodeHLL(data []byte) (*HLL, []byte, error) {
+	if len(data) < 1 {
+		return nil, nil, fmt.Errorf("sketch: hll blob truncated")
+	}
+	p := data[0]
+	if p < MinPrecision || p > MaxPrecision {
+		return nil, nil, fmt.Errorf("sketch: hll blob precision %d out of range", p)
+	}
+	n := 1 << p
+	if len(data) < 1+n {
+		return nil, nil, fmt.Errorf("sketch: hll blob truncated: want %d register bytes, have %d", n, len(data)-1)
+	}
+	h := &HLL{p: p, regs: append([]uint8(nil), data[1:1+n]...)}
+	return h, data[1+n:], nil
+}

@@ -260,6 +260,27 @@ func NewOrderedSource(src Source, slack uint32) *stream.OrderedSource {
 // bounds the engine's memory.
 type ResultHandler = core.ResultHandler
 
+// WindowSpec is a sliding window in epochs: each window covers Size
+// consecutive epochs and a new window starts every Slide epochs. Declare
+// one in GSQL with "... time/10 window 4 slide 2"; every closed epoch
+// becomes a pane the HFTA composes into overlapping windows. See
+// docs/WINDOWS.md.
+type WindowSpec = hfta.WindowSpec
+
+// WindowRow is one group's answer for one closed window: the exact
+// aggregates composed over the window's panes plus the sketch-aggregate
+// estimates (count_distinct, median, percentile) in query order.
+type WindowRow = hfta.WindowRow
+
+// WindowLedger is the degradation accounting of one closed window: the
+// summed pane ledgers, satisfying Offered == Processed + Dropped + Late.
+type WindowLedger = hfta.WindowLedger
+
+// WindowHandler streams closed windows out of the engine (one call per
+// query per window); installing one in Options.OnWindow bounds the
+// engine's memory on unbounded streams.
+type WindowHandler = core.WindowHandler
+
 // TableDiagnostic compares a table's modeled and measured behaviour; see
 // Engine.Diagnostics.
 type TableDiagnostic = core.TableDiagnostic
