@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race fuzz-short crash-test windows-test check bench bench-json bench-compare
+.PHONY: build test vet race fuzz-short crash-test windows-test columnar-test check bench bench-json bench-compare
 
 build:
 	$(GO) build ./...
@@ -46,7 +46,16 @@ windows-test:
 	$(GO) test -count=1 ./internal/hfta ./internal/sketch
 	$(GO) test -run 'TestWindow|TestSketch' -count=1 ./internal/query
 
-check: build vet test race fuzz-short crash-test windows-test
+# The columnar-pipeline equivalence suite under the race detector:
+# ReadColumns ≡ ReadBatch on every source, columnar probes ≡ batch
+# probes (victims, stats, contents), ProcessColumns ≡ Process, the fully
+# columnar routed sharded path at 1/2/4/8 shards vs sequential + oracle,
+# and MergeRun ≡ per-entry Consume including forced lock-shard
+# collisions and concurrent folds.
+columnar-test:
+	$(GO) test -race -count=1 -run 'TestReadColumns|TestColumnBatch|TestColumnar|TestProbeColumns|TestHashColumns|TestMergeRun' ./internal/stream ./internal/hashtab ./internal/lfta ./internal/hfta ./internal/core
+
+check: build vet test race fuzz-short crash-test windows-test columnar-test
 
 # Quick perf numbers for the engine hot path (see docs/PERF.md).
 bench:
@@ -54,7 +63,7 @@ bench:
 
 # Machine-readable summary, the BENCH_PR<N>.json trajectory format.
 bench-json:
-	$(GO) run ./cmd/maggbench -json BENCH_PR8.json
+	$(GO) run ./cmd/maggbench -json BENCH_PR9.json
 
 # Diff two bench-json reports; fails on a ns/op regression beyond
 # THRESHOLD (fractional, default 10%). CI widens it for its short

@@ -45,9 +45,13 @@ type benchResult struct {
 // shardScalePoint is one shard-count measurement of the sharded ingest
 // path: the same trace routed through n shards sequentially and through
 // the pipelined parallel path, with the parallel speedup (sequential
-// wall time / parallel wall time; >1 means the pipeline wins). On a
-// single-CPU host the speedup hovers near or below 1 — the point of the
-// series is the trajectory across shard counts on multicore hosts.
+// wall time / parallel wall time; >1 means the pipeline wins). Starved
+// marks points measured with fewer schedulable procs than shards — the
+// pipeline's router plus workers are then time-slicing one core, so a
+// speedup number would measure the scheduler, not the pipeline, and
+// ParallelSpeedup is left 0 rather than reported as a (meaningless)
+// slowdown. The point of the series is the trajectory across shard
+// counts on multicore hosts.
 type shardScalePoint struct {
 	Shards            int     `json:"shards"`
 	SequentialNsPerOp float64 `json:"sequential_ns_per_op"`
@@ -55,15 +59,20 @@ type shardScalePoint struct {
 	SeqRecordsPerSec  float64 `json:"sequential_records_per_sec"`
 	ParRecordsPerSec  float64 `json:"parallel_records_per_sec"`
 	ParallelSpeedup   float64 `json:"parallel_speedup"`
+	Starved           bool    `json:"starved,omitempty"`
 }
 
-// benchReport is the file-level JSON document.
+// benchReport is the file-level JSON document. GoMaxProcs records the
+// scheduler's actual parallelism budget (NumCPU alone overstates it in
+// cgroup-limited CI containers), so readers of the shard-scaling series
+// can tell a pipeline regression from a starved runner.
 type benchReport struct {
 	Generated    string            `json:"generated"`
 	GoVersion    string            `json:"go_version"`
 	GOOS         string            `json:"goos"`
 	GOARCH       string            `json:"goarch"`
 	NumCPU       int               `json:"num_cpu"`
+	GoMaxProcs   int               `json:"gomaxprocs"`
 	Benchmarks   []benchResult     `json:"benchmarks"`
 	ShardScaling []shardScalePoint `json:"shard_scaling,omitempty"`
 }
@@ -88,6 +97,8 @@ func benchSuite() []namedBench {
 		{name: "lfta-probe-large-scalar", recordsPerOp: 1, fn: benchLFTAProbeLarge(false)},
 		{name: "lfta-probe-large-batch", recordsPerOp: 1, fn: benchLFTAProbeLarge(true)},
 		{name: "hfta-merge", recordsPerOp: 0, fn: benchHFTAMerge},
+		{name: "hfta-merge-run", recordsPerOp: mergeRunEntries, fn: benchHFTAMergeRun},
+		{name: "columnar-route", recordsPerOp: 1, fn: benchColumnarRoute},
 		{name: "window-compose", recordsPerOp: 0, fn: benchWindowCompose},
 		{name: "sketch-merge", recordsPerOp: 0, fn: benchSketchMerge},
 		{name: "sharded-sequential", recordsPerOp: shardedBenchRecords, fn: shardedBench(false)},
@@ -99,11 +110,12 @@ func benchSuite() []namedBench {
 // ("-" for stdout), echoing human-readable lines to log.
 func runBenchSuite(path string, log io.Writer) error {
 	report := benchReport{
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
 	for _, nb := range benchSuite() {
 		res := testing.Benchmark(nb.fn)
@@ -368,6 +380,80 @@ func benchHFTAMerge(b *testing.B) {
 	}
 }
 
+// mergeRunEntries is the entry count of one sealed eviction run in the
+// merge-run benchmark — lfta.DefaultEvictionBatch, the size SetRunSink
+// seals at by default.
+const mergeRunEntries = 256
+
+// benchHFTAMergeRun measures one sealed columnar run through the
+// batched HFTA merge path (MergeRun: pre-hash, partition by lock shard,
+// one lock hold per touched shard) — the transfer shape the run sink
+// delivers. Compare against hfta-merge × mergeRunEntries for the
+// per-entry-vs-batched ratio.
+func benchHFTAMergeRun(b *testing.B) {
+	rel := attr.MustParseSet("AB")
+	agg, err := hfta.New([]attr.Set{rel}, lfta.CountStar)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]uint32, 2*mergeRunEntries)
+	deltas := make([]int64, mergeRunEntries)
+	for i := 0; i < mergeRunEntries; i++ {
+		keys[2*i] = rng.Uint32() % 500
+		keys[2*i+1] = rng.Uint32() % 500
+		deltas[i] = int64(rng.Intn(100) + 1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg.MergeRun(rel, uint32(i%4), keys, deltas)
+	}
+}
+
+// benchColumnarRoute isolates the router's per-record work on the
+// columnar ingest path: fill a ColumnBatch from the source
+// (ReadColumns), hash the key columns (HashColumns — same mixing as the
+// record-major routing hash), and reduce each hash to a shard index.
+// This is pass 1 of the pipelined router with no rings or workers
+// attached, so the number is pure routing cost per record.
+func benchColumnarRoute(b *testing.B) {
+	// Same constant as lfta's routing seed; any fixed seed measures the
+	// same kernel.
+	const routeSeed = 0x5bd1e995bc9e3779
+	const routeShards = 8
+	rng := rand.New(rand.NewSource(4))
+	schema := stream.MustSchema(4)
+	u, err := gen.UniformUniverse(rng, schema, 2000, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs := gen.Uniform(rng, u, shardedBenchRecords, 50)
+	src := stream.NewSliceSource(recs)
+	var cb stream.ColumnBatch
+	hv := make([]uint64, stream.ColumnBatchLen)
+	six := make([]int32, stream.ColumnBatchLen)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		limit := stream.ColumnBatchLen
+		if b.N-done < limit {
+			limit = b.N - done
+		}
+		n := stream.ReadColumns(src, &cb, limit)
+		if n == 0 {
+			src.Reset()
+			continue
+		}
+		hashtab.HashColumns(routeSeed, cb.Cols, hv[:n])
+		for i := 0; i < n; i++ {
+			six[i] = int32(hashtab.Reduce(hv[i], routeShards))
+		}
+		done += n
+	}
+	_ = six
+}
+
 // benchWindowCompose measures one pane through the sliding-window
 // composer: ClosePane over a 256-group pane (exact rows plus serialized
 // sketch partials) followed by CloseThrough, so steady state alternates
@@ -414,7 +500,12 @@ func benchWindowCompose(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		epoch := uint32(i)
 		comp.ClosePane(epoch, hfta.PaneStats{Offered: paneGroups, Processed: paneGroups}, templates[i%paneTemplates])
-		comp.CloseThrough(int64(epoch))
+		// Recycling delivered results mirrors the engine's OnWindow
+		// handler path and keeps the composer's freelists stocked, so
+		// the measurement is the recycled steady state.
+		for _, res := range comp.CloseThrough(int64(epoch)) {
+			comp.Recycle(res)
+		}
 	}
 }
 
@@ -504,7 +595,10 @@ func newShardedFixture(shards int) (*shardedFixture, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.SetBatchSink(agg.ConsumeBatch, 0)
+	// Columnar transfer: shards seal eviction runs and the HFTA folds
+	// each with one lock hold per touched shard (the engine's default
+	// hookup since the columnar pipeline landed).
+	s.SetRunSink(agg.MergeRun, 0)
 	return &shardedFixture{src: stream.NewSliceSource(recs), agg: agg, s: s}, nil
 }
 
@@ -566,17 +660,25 @@ func runShardScaling(log io.Writer) []shardScalePoint {
 			Shards:            n,
 			SequentialNsPerOp: float64(seq.T.Nanoseconds()) / float64(seq.N),
 			ParallelNsPerOp:   float64(par.T.Nanoseconds()) / float64(par.N),
+			Starved:           runtime.GOMAXPROCS(0) < n,
 		}
 		if p.SequentialNsPerOp > 0 {
 			p.SeqRecordsPerSec = shardedBenchRecords * 1e9 / p.SequentialNsPerOp
 		}
 		if p.ParallelNsPerOp > 0 {
 			p.ParRecordsPerSec = shardedBenchRecords * 1e9 / p.ParallelNsPerOp
-			p.ParallelSpeedup = p.SequentialNsPerOp / p.ParallelNsPerOp
+			if !p.Starved {
+				p.ParallelSpeedup = p.SequentialNsPerOp / p.ParallelNsPerOp
+			}
 		}
 		out = append(out, p)
-		fmt.Fprintf(log, "shard-scaling n=%d   %12.0f rec/s seq %12.0f rec/s par  speedup %.2fx\n",
-			n, p.SeqRecordsPerSec, p.ParRecordsPerSec, p.ParallelSpeedup)
+		if p.Starved {
+			fmt.Fprintf(log, "shard-scaling n=%d   %12.0f rec/s seq %12.0f rec/s par  speedup n/a (starved: %d procs < %d shards)\n",
+				n, p.SeqRecordsPerSec, p.ParRecordsPerSec, runtime.GOMAXPROCS(0), n)
+		} else {
+			fmt.Fprintf(log, "shard-scaling n=%d   %12.0f rec/s seq %12.0f rec/s par  speedup %.2fx\n",
+				n, p.SeqRecordsPerSec, p.ParRecordsPerSec, p.ParallelSpeedup)
+		}
 	}
 	return out
 }

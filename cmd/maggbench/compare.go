@@ -79,7 +79,22 @@ func compareBenchReports(oldPath, newPath string, threshold float64, w io.Writer
 			fmt.Fprintf(w, "%-20s %14.1f %14s %9s\n", ob.Name, ob.NsPerOp, "-", "removed")
 		}
 	}
+	// Shard scaling is informational only — the regression gate above
+	// covers ns/op on named benchmarks and has never gated speedup, so a
+	// starved runner (fewer procs than shards; the router and workers
+	// time-slice one core) cannot fail a PR on a number that measures
+	// the scheduler. Reports written before the starved field derive it
+	// from gomaxprocs (or, older still, num_cpu).
+	procs := newR.GoMaxProcs
+	if procs == 0 {
+		procs = newR.NumCPU
+	}
 	for _, p := range newR.ShardScaling {
+		if p.Starved || (procs > 0 && procs < p.Shards) {
+			fmt.Fprintf(w, "shard-scaling n=%-3d %14.0f rec/s par  speedup n/a (starved)\n",
+				p.Shards, p.ParRecordsPerSec)
+			continue
+		}
 		fmt.Fprintf(w, "shard-scaling n=%-3d %14.0f rec/s par  speedup %.2fx\n",
 			p.Shards, p.ParRecordsPerSec, p.ParallelSpeedup)
 	}

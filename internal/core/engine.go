@@ -296,18 +296,23 @@ type Engine struct {
 	// opts.Budget == 0: overload control must charge each record's
 	// measured cost before admitting the next, which forces the scalar
 	// path). On-time records accumulate in runs of up to stageRun records
-	// — per shard when sharded — as one flat record-major attribute block
-	// per run (callers may reuse rec.Attrs after Process returns, so the
-	// words are copied exactly once), and drain through
-	// Runtime.ProcessRun when a run fills, at every epoch boundary, and
-	// before any counter read. The flat block is the zero-copy probe run
-	// of a full-width raw relation. Ledgers, sketches, and the stream
-	// position are all maintained at Process time, so staging is
-	// invisible everywhere except the memory access schedule.
-	stageArena []uint32
+	// — per shard when sharded — column-major: one preallocated slice per
+	// attribute written by index (callers may reuse rec.Attrs after
+	// Process returns, so the words are copied exactly once), draining
+	// through Runtime.ProcessColumns when a run fills, at every epoch
+	// boundary, and before any counter read. The staged columns ARE the
+	// probe key columns of a raw relation — the batch kernel reads them
+	// with no per-record gather — and the cascade's delta run builds from
+	// them stride-1. Ledgers, sketches, and the stream position are all
+	// maintained at Process time, so staging is invisible everywhere
+	// except the memory access schedule.
+	stageCols  [][]uint32
+	stageLen   int
 	stageWidth int
 	stageEpoch uint32
-	shardArena [][]uint32
+	shardCols  [][][]uint32
+	shardLens  []int
+	colView    [][]uint32 // reused column views handed to ProcessColumns
 
 	// Sliding-window state (active when the workload declares a window
 	// or sketch aggregates): the pane→window composer, the sketch agg
@@ -323,6 +328,11 @@ type Engine struct {
 	paneKeyBytes []byte
 	windowLeds   []hfta.WindowLedger
 	windowRows   []hfta.WindowRow
+
+	// winRowScratch is deliverWindows' reused per-query HAVING filter
+	// buffer (safe to reuse across handler calls: rows are only valid
+	// during the call).
+	winRowScratch []hfta.WindowRow
 }
 
 // stageRun is the staged-run capacity, matching the SPSC pipeline's
@@ -424,7 +434,8 @@ func NewFromSpecs(specs []*query.Spec, groups feedgraph.GroupCounts, opts Option
 		e.shardCum = make([]Degradation, e.nShards)
 		e.shardRouted = make([]uint64, e.nShards)
 		if opts.Budget == 0 {
-			e.shardArena = make([][]uint32, e.nShards)
+			e.shardCols = make([][][]uint32, e.nShards)
+			e.shardLens = make([]int, e.nShards)
 		}
 	}
 	for _, s := range specs {
@@ -514,9 +525,13 @@ func (e *Engine) adopt(res *choose.Result) error {
 		}
 		e.agg = agg
 	}
-	// Batched transfers: evictions reach the HFTA through the runtime's
-	// arena-backed buffer instead of a per-eviction sink call, keeping the
-	// record hot path allocation-free. FlushEpoch drains the buffer, so
+	// Buffered transfers: evictions reach the HFTA through the runtime's
+	// buffers instead of a per-eviction sink call, keeping the record hot
+	// path allocation-free. The default path is columnar — sealed
+	// (keys, aggs) runs folded by the batched MergeRun, one lock hold per
+	// touched HFTA shard. A WrapBatchSink hook (chaos/fault injection)
+	// forces the per-Eviction batch path, which is what the hook's
+	// signature intercepts. Either way FlushEpoch drains the buffers, so
 	// every endEpoch read of HFTA state still sees the complete epoch.
 	sink := lfta.BatchSink(e.agg.ConsumeBatch)
 	if e.opts.WrapBatchSink != nil {
@@ -527,7 +542,11 @@ func (e *Engine) adopt(res *choose.Result) error {
 		if err != nil {
 			return err
 		}
-		srt.SetBatchSink(sink, 0)
+		if e.opts.WrapBatchSink != nil {
+			srt.SetBatchSink(sink, 0)
+		} else {
+			srt.SetRunSink(e.agg.MergeRun, 0)
+		}
 		e.retireRuntimeOps()
 		e.plan, e.srt = res, srt
 	} else {
@@ -535,7 +554,11 @@ func (e *Engine) adopt(res *choose.Result) error {
 		if err != nil {
 			return err
 		}
-		rt.SetBatchSink(sink, 0)
+		if e.opts.WrapBatchSink != nil {
+			rt.SetBatchSink(sink, 0)
+		} else {
+			rt.SetRunSink(e.agg.MergeRun, 0)
+		}
 		e.retireRuntimeOps()
 		e.plan, e.rt = res, rt
 	}
@@ -729,34 +752,77 @@ func (e *Engine) processSharded(rec stream.Record, epoch uint32) bool {
 	return true
 }
 
-// stageRecord appends one on-time record's attributes to the
-// single-runtime staging block and drains when the run fills. A record
-// width change (possible only if the caller switches schemas mid-stream)
-// drains the pending runs first, so every block stays rectangular.
+// stageRecord scatters one on-time record's attributes into the
+// single-runtime staging columns (one indexed store per attribute — the
+// transpose happens here, once, instead of a gather at probe time) and
+// drains when the run fills. A record width change (possible only if
+// the caller switches schemas mid-stream) drains the pending runs
+// first, so every staged run stays rectangular.
 func (e *Engine) stageRecord(rec stream.Record, epoch uint32) {
 	if len(rec.Attrs) != e.stageWidth {
 		e.drainStage()
-		e.stageWidth = len(rec.Attrs)
+		e.setStageWidth(len(rec.Attrs))
 	}
 	e.stageEpoch = epoch
-	e.stageArena = append(e.stageArena, rec.Attrs...)
-	if len(e.stageArena) >= stageRun*e.stageWidth {
+	n := e.stageLen
+	for a, v := range rec.Attrs {
+		e.stageCols[a][n] = v
+	}
+	e.stageLen = n + 1
+	if e.stageLen == stageRun {
 		e.drainStage()
 	}
 }
 
-// stageShardRecord is stageRecord for one shard's staging block.
+// stageShardRecord is stageRecord for one shard's staging columns.
 func (e *Engine) stageShardRecord(s int, rec stream.Record, epoch uint32) {
 	if len(rec.Attrs) != e.stageWidth {
 		e.drainStage()
-		e.stageWidth = len(rec.Attrs)
+		e.setStageWidth(len(rec.Attrs))
 	}
 	e.stageEpoch = epoch
-	e.shardArena[s] = append(e.shardArena[s], rec.Attrs...)
-	if len(e.shardArena[s]) >= stageRun*e.stageWidth {
-		e.srt.Shard(s).ProcessRun(e.shardArena[s], e.stageWidth, epoch)
-		e.shardArena[s] = e.shardArena[s][:0]
+	cols := e.shardCols[s]
+	n := e.shardLens[s]
+	for a, v := range rec.Attrs {
+		cols[a][n] = v
 	}
+	n++
+	e.shardLens[s] = n
+	if n == stageRun {
+		e.srt.Shard(s).ProcessColumns(e.stageView(cols, n), epoch)
+		e.shardLens[s] = 0
+	}
+}
+
+// setStageWidth sizes the staging columns (and the reused view headers)
+// for a new record width; existing column storage is retained when the
+// width shrinks back.
+func (e *Engine) setStageWidth(w int) {
+	e.stageWidth = w
+	if e.nShards > 1 {
+		for s := range e.shardCols {
+			for len(e.shardCols[s]) < w {
+				e.shardCols[s] = append(e.shardCols[s], make([]uint32, stageRun))
+			}
+		}
+	} else {
+		for len(e.stageCols) < w {
+			e.stageCols = append(e.stageCols, make([]uint32, stageRun))
+		}
+	}
+	if cap(e.colView) < w {
+		e.colView = make([][]uint32, w)
+	}
+}
+
+// stageView returns the first n records of a staging column set as the
+// reused slice-header view ProcessColumns consumes (no copying).
+func (e *Engine) stageView(cols [][]uint32, n int) [][]uint32 {
+	v := e.colView[:e.stageWidth]
+	for a := range v {
+		v[a] = cols[a][:n]
+	}
+	return v
 }
 
 // drainStage flushes every staged run into the LFTA. Called when a run
@@ -764,14 +830,14 @@ func (e *Engine) stageShardRecord(s int, rec stream.Record, epoch uint32) {
 // read of runtime counters, so staged records are never observable as
 // unprocessed.
 func (e *Engine) drainStage() {
-	if len(e.stageArena) > 0 {
-		e.rt.ProcessRun(e.stageArena, e.stageWidth, e.stageEpoch)
-		e.stageArena = e.stageArena[:0]
+	if e.stageLen > 0 {
+		e.rt.ProcessColumns(e.stageView(e.stageCols, e.stageLen), e.stageEpoch)
+		e.stageLen = 0
 	}
-	for s := range e.shardArena {
-		if len(e.shardArena[s]) > 0 {
-			e.srt.Shard(s).ProcessRun(e.shardArena[s], e.stageWidth, e.stageEpoch)
-			e.shardArena[s] = e.shardArena[s][:0]
+	for s := range e.shardCols {
+		if e.shardLens[s] > 0 {
+			e.srt.Shard(s).ProcessColumns(e.stageView(e.shardCols[s], e.shardLens[s]), e.stageEpoch)
+			e.shardLens[s] = 0
 		}
 	}
 }

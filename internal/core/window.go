@@ -18,8 +18,10 @@ import (
 
 // WindowHandler streams closed windows out of the engine: one call per
 // query relation per closed window, rows sorted by group key, HAVING
-// applied to the composed exact aggregates. rows is only valid during
-// the call.
+// applied to the composed exact aggregates. rows — including each row's
+// Key, Aggs, and Sketch slices — is only valid during the call: once
+// every relation of a window has been delivered the storage is recycled
+// into the composer, so a handler that retains results must deep-copy.
 type WindowHandler func(rel attr.Set, led hfta.WindowLedger, rows []hfta.WindowRow)
 
 // initWindowing builds the pane→window composer when the workload
@@ -132,14 +134,17 @@ func (e *Engine) feedPane(closed Degradation) {
 
 // deliverWindows applies HAVING to the composed rows and either streams
 // each window through Options.OnWindow or retains it for
-// WindowResults/WindowLedgers.
+// WindowResults/WindowLedgers. On the handler path each result's
+// storage is recycled into the composer once every query's rows have
+// been delivered (the WindowHandler contract makes rows transient); the
+// retention path keeps the rows and must not recycle.
 func (e *Engine) deliverWindows(results []hfta.WindowResult) {
 	for _, res := range results {
 		e.stats.Windows++
 		e.windowLeds = append(e.windowLeds, res.Ledger)
 		for _, q := range e.queries {
 			spec := e.specByRel[q]
-			rows := res.Rows[:0:0]
+			rows := e.winRowScratch[:0]
 			for _, r := range res.Rows {
 				if r.Rel != q {
 					continue
@@ -149,11 +154,15 @@ func (e *Engine) deliverWindows(results []hfta.WindowResult) {
 				}
 				rows = append(rows, r)
 			}
+			e.winRowScratch = rows
 			if e.opts.OnWindow != nil {
 				e.opts.OnWindow(q, res.Ledger, rows)
 			} else {
 				e.windowRows = append(e.windowRows, rows...)
 			}
+		}
+		if e.opts.OnWindow != nil {
+			e.winComposer.Recycle(res)
 		}
 	}
 }

@@ -395,7 +395,16 @@ func TestWindowHandlerStreams(t *testing.T) {
 			seen[led.Window] = true
 			gotLeds = append(gotLeds, led)
 		}
-		gotRows = append(gotRows, append([]hfta.WindowRow(nil), rows...)...)
+		// Deep-copy: row storage is recycled after delivery, so a
+		// retaining handler must copy the inner slices too.
+		for _, r := range rows {
+			r.Key = append([]uint32(nil), r.Key...)
+			r.Aggs = append([]int64(nil), r.Aggs...)
+			if r.Sketch != nil {
+				r.Sketch = append([]float64(nil), r.Sketch...)
+			}
+			gotRows = append(gotRows, r)
+		}
 	}
 	e := runWindowed(t, sqls, recs, opts)
 	if len(e.WindowResults()) != 0 {

@@ -1,0 +1,157 @@
+package hfta
+
+import (
+	"sync"
+
+	"repro/internal/attr"
+	"repro/internal/lfta"
+)
+
+// Batched columnar merge. Per-entry merges (Consume/ConsumeBatch) pay
+// one lock acquisition per partial even though a sealed eviction run
+// from one LFTA shard typically touches only a handful of the keyShards
+// lock shards. MergeRun restructures the work: pre-hash every key in
+// the run with no lock held, partition the entries by lock shard with a
+// stable counting scatter, then acquire each touched shard's mutex ONCE
+// and fold all of its entries under that single hold. With s LFTA
+// shards flushing concurrently, lock traffic drops from O(entries) to
+// O(touched shards) per run, and entries within a shard fold with the
+// map and arena already hot.
+//
+// Correctness: the scatter is stable, so within each lock shard the
+// entries apply in run order — and all of a group's partials hash to the
+// same shard, so per-group combine order is exactly the per-entry
+// order. Results are identical to n Consume calls (the MergeRun ≡
+// per-entry equivalence suite pins this, including forced lock-shard
+// collisions).
+
+// mergeScratch is the reusable partitioning scratch of one MergeRun
+// call, pooled because run sinks are invoked concurrently from LFTA
+// shard workers.
+type mergeScratch struct {
+	shard []uint8
+	order []int32
+}
+
+var mergeScratchPool = sync.Pool{New: func() any { return &mergeScratch{} }}
+
+// upsertLocked folds one partial into gm: map-variant dispatch,
+// accumulator get-or-alloc, combine. The caller holds sh.mu and has
+// resolved gm for the entry's epoch. Key packing and accumulator
+// handling mirror relState.merge exactly.
+func (sh *relShard) upsertLocked(gm *groupMap, key []uint32, deltas []int64, aggs []lfta.AggSpec) {
+	var acc []int64
+	switch {
+	case gm.small != nil:
+		sk := packSmall(key)
+		acc = gm.small[sk]
+		if acc == nil {
+			acc = sh.alloc(aggs)
+			gm.small[sk] = acc
+		}
+	case gm.wide != nil:
+		wk := packWide(key)
+		acc = gm.wide[wk]
+		if acc == nil {
+			acc = sh.alloc(aggs)
+			gm.wide[wk] = acc
+		}
+	default:
+		jk := packJumbo(key)
+		acc = gm.jumbo[jk]
+		if acc == nil {
+			acc = sh.alloc(aggs)
+			gm.jumbo[jk] = acc
+		}
+	}
+	for i, spec := range aggs {
+		acc[i] = spec.Op.Combine(acc[i], deltas[i])
+	}
+}
+
+// MergeRun folds a sealed columnar run of partials for one query
+// relation and epoch: keys is flat n×arity, aggs flat n×NumAggs, in
+// transfer order (exactly the layout lfta.RunSink delivers). Safe for
+// concurrent use; the slices are not retained. Unknown relations are
+// ignored, like Consume.
+func (a *Aggregator) MergeRun(rel attr.Set, epoch uint32, keys []uint32, aggs []int64) {
+	rs := a.state[rel]
+	if rs == nil {
+		return
+	}
+	arity := rs.arity
+	if arity == 0 || len(keys) == 0 {
+		return
+	}
+	n := len(keys) / arity
+	if n == 1 {
+		rs.merge(keys[:arity], aggs, epoch, a.aggs)
+		return
+	}
+	sc := mergeScratchPool.Get().(*mergeScratch)
+	if cap(sc.shard) < n {
+		sc.shard = make([]uint8, n)
+		sc.order = make([]int32, n)
+	}
+	shard := sc.shard[:n]
+	order := sc.order[:n]
+
+	// Pass 1 (no locks): hash every key to its lock shard, counting
+	// occupancy. Shard selection matches relState.merge bit-for-bit.
+	var counts [keyShards]int32
+	if arity <= smallArity {
+		for i := 0; i < n; i++ {
+			s := uint8(mix64(packSmall(keys[i*arity:(i+1)*arity])) & (keyShards - 1))
+			shard[i] = s
+			counts[s]++
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s := uint8(hashWords(keys[i*arity:(i+1)*arity]) & (keyShards - 1))
+			shard[i] = s
+			counts[s]++
+		}
+	}
+
+	// Stable counting scatter: prefix offsets, then entry indices in run
+	// order within each shard's span.
+	var offs [keyShards]int32
+	var off int32
+	for s := 0; s < keyShards; s++ {
+		offs[s] = off
+		off += counts[s]
+	}
+	cur := offs
+	for i := 0; i < n; i++ {
+		s := shard[i]
+		order[cur[s]] = int32(i)
+		cur[s]++
+	}
+
+	// Pass 2: one lock hold per touched shard, folding its whole span.
+	na := len(a.aggs)
+	for s := 0; s < keyShards; s++ {
+		cnt := counts[s]
+		if cnt == 0 {
+			continue
+		}
+		sh := &rs.shards[s]
+		sh.mu.Lock()
+		gm := sh.epochs[epoch]
+		if gm == nil {
+			gm = sh.take(arity)
+			sh.epochs[epoch] = gm
+		}
+		for _, oi := range order[offs[s] : offs[s]+cnt] {
+			i := int(oi)
+			sh.upsertLocked(gm, keys[i*arity:(i+1)*arity:(i+1)*arity], aggs[i*na:(i+1)*na:(i+1)*na], a.aggs)
+		}
+		sh.mu.Unlock()
+	}
+	mergeScratchPool.Put(sc)
+}
+
+// RunSink returns the aggregator's batched columnar merge as an
+// lfta.RunSink, the preferred hookup for runtimes with columnar
+// eviction buffers (lfta.Runtime.SetRunSink).
+func (a *Aggregator) RunSink() lfta.RunSink { return a.MergeRun }

@@ -1,0 +1,176 @@
+package hfta
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/hashtab"
+	"repro/internal/lfta"
+)
+
+// mergeRunRel returns a query relation with the given arity, spanning
+// the small (packSmall), wide (packWide), and jumbo (packJumbo) group
+// map variants.
+func mergeRunRel(arity int) attr.Set {
+	return attr.MustParseSet("ABCDEFGHIJKLMNOPQRSTUVWXYZ"[:arity])
+}
+
+// TestMergeRunMatchesPerEntry: folding a run through MergeRun must
+// produce exactly the state n Consume calls produce — across the
+// small/wide/jumbo key packings, several epochs interleaved across
+// runs, and duplicate groups within one run (where the stable scatter's
+// in-order combine matters for non-commutative-looking sequences like
+// Min/Max chains).
+func TestMergeRunMatchesPerEntry(t *testing.T) {
+	specs := []lfta.AggSpec{
+		{Op: hashtab.Sum, Input: -1},
+		{Op: hashtab.Min, Input: 0},
+		{Op: hashtab.Max, Input: 1},
+	}
+	for _, arity := range []int{1, 2, 4, 8, 12} {
+		t.Run(fmt.Sprintf("arity=%d", arity), func(t *testing.T) {
+			rel := mergeRunRel(arity)
+			rng := rand.New(rand.NewSource(int64(80 + arity)))
+
+			runAgg, err := New([]attr.Set{rel}, specs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			entAgg, err := New([]attr.Set{rel}, specs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			na := len(specs)
+			for round := 0; round < 20; round++ {
+				n := 1 + rng.Intn(400)
+				epoch := uint32(rng.Intn(4))
+				keys := make([]uint32, 0, n*arity)
+				deltas := make([]int64, 0, n*na)
+				for i := 0; i < n; i++ {
+					g := rng.Intn(40) // small universe: many in-run duplicates
+					for a := 0; a < arity; a++ {
+						keys = append(keys, uint32(g*(a+2)))
+					}
+					for j := 0; j < na; j++ {
+						deltas = append(deltas, int64(rng.Intn(100)+1))
+					}
+				}
+				runAgg.MergeRun(rel, epoch, keys, deltas)
+				for i := 0; i < n; i++ {
+					entAgg.Consume(lfta.Eviction{
+						Rel:   rel,
+						Key:   keys[i*arity : (i+1)*arity],
+						Aggs:  deltas[i*na : (i+1)*na],
+						Epoch: epoch,
+					})
+				}
+			}
+			if !Equal(runAgg.AllRows(), entAgg.AllRows()) {
+				t.Fatal("MergeRun state differs from per-entry Consume state")
+			}
+		})
+	}
+}
+
+// TestMergeRunLockShardCollisions drives a run whose keys all hash to
+// ONE lock shard (brute-forced via the same shard-pick the aggregator
+// uses), so the whole run folds under a single mutex hold and the
+// within-shard ordering path carries every entry.
+func TestMergeRunLockShardCollisions(t *testing.T) {
+	rel := mergeRunRel(2)
+	specs := lfta.CountStar
+	var keys []uint32
+	var g uint32
+	for cnt := 0; cnt < 64; g++ {
+		k := []uint32{g, g * 7}
+		if mix64(packSmall(k))&(keyShards-1) != 0 {
+			continue
+		}
+		keys = append(keys, k...)
+		cnt++
+	}
+	n := len(keys) / 2
+	deltas := make([]int64, n)
+	for i := range deltas {
+		deltas[i] = int64(i + 1)
+	}
+	runAgg, err := New([]attr.Set{rel}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entAgg, err := New([]attr.Set{rel}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed the run twice so every group is both an insert and a combine.
+	for pass := 0; pass < 2; pass++ {
+		runAgg.MergeRun(rel, 0, keys, deltas)
+		for i := 0; i < n; i++ {
+			entAgg.Consume(lfta.Eviction{Rel: rel, Key: keys[i*2 : (i+1)*2], Aggs: deltas[i : i+1], Epoch: 0})
+		}
+	}
+	if !Equal(runAgg.AllRows(), entAgg.AllRows()) {
+		t.Fatal("single-lock-shard MergeRun state differs from per-entry state")
+	}
+}
+
+// TestMergeRunConcurrent folds disjoint runs from several goroutines —
+// the shape concurrent LFTA shard workers produce — and checks the
+// total against a sequential fold. Run under -race in CI.
+func TestMergeRunConcurrent(t *testing.T) {
+	rel := mergeRunRel(2)
+	specs := lfta.CountStar
+	const (
+		workers = 8
+		rounds  = 50
+		perRun  = 256
+	)
+	type run struct {
+		epoch  uint32
+		keys   []uint32
+		deltas []int64
+	}
+	runs := make([][]run, workers)
+	for w := range runs {
+		rng := rand.New(rand.NewSource(int64(90 + w)))
+		for r := 0; r < rounds; r++ {
+			ru := run{epoch: uint32(r % 3)}
+			for i := 0; i < perRun; i++ {
+				g := rng.Intn(300)
+				ru.keys = append(ru.keys, uint32(g), uint32(g*13))
+				ru.deltas = append(ru.deltas, int64(rng.Intn(50)+1))
+			}
+			runs[w] = append(runs[w], ru)
+		}
+	}
+	conc, err := New([]attr.Set{rel}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, ru := range runs[w] {
+				conc.MergeRun(rel, ru.epoch, ru.keys, ru.deltas)
+			}
+		}(w)
+	}
+	wg.Wait()
+	seq, err := New([]attr.Set{rel}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < workers; w++ {
+		for _, ru := range runs[w] {
+			seq.MergeRun(rel, ru.epoch, ru.keys, ru.deltas)
+		}
+	}
+	if !Equal(conc.AllRows(), seq.AllRows()) {
+		t.Fatal("concurrent MergeRun total differs from sequential")
+	}
+}

@@ -100,7 +100,22 @@ type pane struct {
 	rels  map[attr.Set]*relPane
 }
 
+// winAcc is one group's in-flight accumulator during composition.
+type winAcc struct {
+	aggs []int64
+	sk   *sketch.Partial
+}
+
 // Composer retains panes and closes sliding windows over them.
+//
+// Steady-state composition recycles its storage: evicted panes (struct +
+// cleared maps) and delivered results (row slices, per-group agg/key/
+// estimate slices, accumulators) return to freelists instead of the
+// heap, so a caller that hands results back via Recycle composes
+// windows with only the per-new-group map-key strings and the sketch
+// decode path still allocating. The freelists are plain slices — the
+// composer is single-goroutine by contract (it runs on the engine's
+// epoch-close path), so no locking.
 type Composer struct {
 	win     WindowSpec
 	queries []attr.Set
@@ -111,6 +126,18 @@ type Composer struct {
 
 	panes map[uint32]*pane
 	next  int64 // lowest window index not yet closed
+
+	// freelists and reusable scratch (see type comment)
+	panePool []*pane
+	relPool  []*relPane
+	accPool  []*winAcc
+	rowsPool [][]WindowRow
+	aggsPool [][]int64
+	keyPool  [][]uint32
+	estPool  [][]float64
+	groups   map[string]*winAcc // reused across compose calls, cleared after each query
+	sortKeys []string
+	kbuf     []byte // packed-key scratch for allocation-free map hits
 }
 
 // NewComposer builds a composer for a workload's query relations, exact
@@ -188,25 +215,27 @@ func (c *Composer) ClosePane(epoch uint32, stats PaneStats, inputs []PaneInput) 
 	}
 	p := c.panes[epoch]
 	if p == nil {
-		p = &pane{rels: make(map[attr.Set]*relPane, len(c.queries))}
+		p = c.takePane()
 		c.panes[epoch] = p
 	}
 	p.stats.add(stats)
 	for _, in := range inputs {
 		rp := p.rels[in.Rel]
 		if rp == nil {
-			rp = &relPane{rows: make(map[string][]int64), sk: make(map[string][]byte)}
+			rp = c.takeRelPane()
 			p.rels[in.Rel] = rp
 		}
 		for i := range in.Rows {
 			r := &in.Rows[i]
-			k := PackKey(r.Key)
-			if acc, ok := rp.rows[k]; ok {
+			// Pack into the scratch buffer: the map hit needs no string
+			// allocation, only a genuinely new group pays for its key.
+			c.kbuf = AppendKeyBytes(c.kbuf[:0], r.Key)
+			if acc, ok := rp.rows[string(c.kbuf)]; ok {
 				for j, spec := range c.aggs {
 					acc[j] = spec.Op.Combine(acc[j], r.Aggs[j])
 				}
 			} else {
-				rp.rows[k] = r.Aggs
+				rp.rows[string(c.kbuf)] = r.Aggs
 			}
 		}
 		for k, blob := range in.Sketches {
@@ -307,13 +336,107 @@ func (c *Composer) closeWindows(maxEnd int64) []WindowResult {
 	return out
 }
 
-// evict drops every pane no window at index ≥ next can reference.
+// evict drops every pane no window at index ≥ next can reference,
+// returning its storage to the freelists.
 func (c *Composer) evict() {
 	start := c.win.start(c.next)
-	for e := range c.panes {
+	for e, p := range c.panes {
 		if int64(e) < start {
 			delete(c.panes, e)
+			c.releasePane(p)
 		}
+	}
+}
+
+// releasePane clears a pane's maps (the map values — caller-owned agg
+// slices and sketch blobs — are simply dropped) and pools the structs.
+func (c *Composer) releasePane(p *pane) {
+	for rel, rp := range p.rels {
+		clear(rp.rows)
+		clear(rp.sk)
+		c.relPool = append(c.relPool, rp)
+		delete(p.rels, rel)
+	}
+	p.stats = PaneStats{}
+	c.panePool = append(c.panePool, p)
+}
+
+func (c *Composer) takePane() *pane {
+	if n := len(c.panePool); n > 0 {
+		p := c.panePool[n-1]
+		c.panePool = c.panePool[:n-1]
+		return p
+	}
+	return &pane{rels: make(map[attr.Set]*relPane, len(c.queries))}
+}
+
+func (c *Composer) takeRelPane() *relPane {
+	if n := len(c.relPool); n > 0 {
+		rp := c.relPool[n-1]
+		c.relPool = c.relPool[:n-1]
+		return rp
+	}
+	return &relPane{rows: make(map[string][]int64), sk: make(map[string][]byte)}
+}
+
+func (c *Composer) takeAcc() *winAcc {
+	if n := len(c.accPool); n > 0 {
+		a := c.accPool[n-1]
+		c.accPool = c.accPool[:n-1]
+		return a
+	}
+	return &winAcc{}
+}
+
+// takeAggs returns a pooled (or fresh) slice of len(c.aggs) identity
+// values.
+func (c *Composer) takeAggs() []int64 {
+	var s []int64
+	if n := len(c.aggsPool); n > 0 {
+		s = c.aggsPool[n-1]
+		c.aggsPool = c.aggsPool[:n-1]
+	}
+	for _, a := range c.aggs {
+		s = append(s, a.Op.Identity())
+	}
+	return s
+}
+
+// unpackKeyInto decodes a packed group key into a pooled (or fresh)
+// slice — UnpackKey without the per-row allocation.
+func (c *Composer) unpackKeyInto(s string) []uint32 {
+	var k []uint32
+	if n := len(c.keyPool); n > 0 {
+		k = c.keyPool[n-1]
+		c.keyPool = c.keyPool[:n-1]
+	}
+	for i := 0; i+4 <= len(s); i += 4 {
+		k = append(k, uint32(s[i])|uint32(s[i+1])<<8|uint32(s[i+2])<<16|uint32(s[i+3])<<24)
+	}
+	return k
+}
+
+// Recycle returns a delivered WindowResult's storage — the row slice and
+// every row's key, agg, and sketch-estimate slice — to the composer's
+// freelists. Call only once the result is fully consumed: later
+// compositions reuse the returned storage. Callers that retain rows
+// (or hand them to retaining consumers) must simply not recycle.
+func (c *Composer) Recycle(res WindowResult) {
+	for i := range res.Rows {
+		r := &res.Rows[i]
+		if r.Key != nil {
+			c.keyPool = append(c.keyPool, r.Key[:0])
+		}
+		if r.Aggs != nil {
+			c.aggsPool = append(c.aggsPool, r.Aggs[:0])
+		}
+		if r.Sketch != nil {
+			c.estPool = append(c.estPool, r.Sketch[:0])
+		}
+		res.Rows[i] = WindowRow{}
+	}
+	if res.Rows != nil {
+		c.rowsPool = append(c.rowsPool, res.Rows[:0])
 	}
 }
 
@@ -332,19 +455,27 @@ func fastForward(cur, target int64, w WindowSpec) int64 {
 	return i
 }
 
-// compose merges the panes of [start, end] into one WindowResult.
+// compose merges the panes of [start, end] into one WindowResult. Group
+// accumulators, agg slices, key slices, estimate buffers, and the row
+// slice itself come from the freelists (refilled by Recycle); the
+// decoded sketch partials do not — sketch.DecodePartial builds fresh
+// structures per blob and dominates the remaining allocation on
+// sketched workloads.
 func (c *Composer) compose(start, end int64) WindowResult {
 	res := WindowResult{Ledger: WindowLedger{
 		Window: uint32(c.next),
 		Start:  uint32(start),
 		End:    uint32(end),
 	}}
-	type acc struct {
-		aggs []int64
-		sk   *sketch.Partial
+	if n := len(c.rowsPool); n > 0 {
+		res.Rows = c.rowsPool[n-1]
+		c.rowsPool = c.rowsPool[:n-1]
+	}
+	if c.groups == nil {
+		c.groups = make(map[string]*winAcc)
 	}
 	for _, q := range c.queries {
-		groups := map[string]*acc{}
+		groups := c.groups
 		// Ascending epoch order keeps t-digest merge sequences — and so
 		// serialized results — identical across runs and shard counts.
 		for e := start; e <= end; e++ {
@@ -359,7 +490,8 @@ func (c *Composer) compose(start, end int64) WindowResult {
 			for k, slots := range rp.rows {
 				a := groups[k]
 				if a == nil {
-					a = &acc{aggs: identities(c.aggs)}
+					a = c.takeAcc()
+					a.aggs = c.takeAggs()
 					groups[k] = a
 				}
 				for j, spec := range c.aggs {
@@ -376,7 +508,8 @@ func (c *Composer) compose(start, end int64) WindowResult {
 				}
 				a := groups[k]
 				if a == nil {
-					a = &acc{aggs: identities(c.aggs)}
+					a = c.takeAcc()
+					a.aggs = c.takeAggs()
 					groups[k] = a
 				}
 				if a.sk == nil {
@@ -386,11 +519,12 @@ func (c *Composer) compose(start, end int64) WindowResult {
 				}
 			}
 		}
-		keys := make([]string, 0, len(groups))
+		keys := c.sortKeys[:0]
 		for k := range groups {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
+		c.sortKeys = keys[:0]
 		for _, k := range keys {
 			a := groups[k]
 			row := WindowRow{
@@ -398,17 +532,27 @@ func (c *Composer) compose(start, end int64) WindowResult {
 				Window: uint32(c.next),
 				Start:  uint32(start),
 				End:    uint32(end),
-				Key:    UnpackKey(k),
+				Key:    c.unpackKeyInto(k),
 				Aggs:   a.aggs,
 			}
 			if len(c.saggs) > 0 {
 				if a.sk == nil {
 					a.sk, _ = sketch.NewPartial(c.saggs, c.prec, c.comp)
 				}
-				row.Sketch = a.sk.Estimates(nil)
+				var est []float64
+				if n := len(c.estPool); n > 0 {
+					est = c.estPool[n-1]
+					c.estPool = c.estPool[:n-1]
+				}
+				row.Sketch = a.sk.Estimates(est)
 			}
 			res.Rows = append(res.Rows, row)
+			// The agg slice escaped into the row; the accumulator struct
+			// itself is done (the decoded partial is garbage either way).
+			a.aggs, a.sk = nil, nil
+			c.accPool = append(c.accPool, a)
 		}
+		clear(groups)
 	}
 	for e := start; e <= end; e++ {
 		if p := c.panes[uint32(e)]; p != nil {
@@ -418,6 +562,8 @@ func (c *Composer) compose(start, end int64) WindowResult {
 	return res
 }
 
+// identities returns a fresh slice of aggregate identity values (the
+// reference oracle folds into these; compose uses pooled takeAggs).
 func identities(aggs []lfta.AggSpec) []int64 {
 	out := make([]int64, len(aggs))
 	for i, a := range aggs {
@@ -565,8 +711,12 @@ func (c *Composer) RestorePanes(next int64, panes []PaneSnapshot) error {
 	return nil
 }
 
-// Reset drops all retained panes and rewinds the window cursor.
+// Reset drops all retained panes and rewinds the window cursor. Pane
+// storage returns to the freelists, so a reset composer re-runs warm.
 func (c *Composer) Reset() {
-	c.panes = make(map[uint32]*pane)
+	for e, p := range c.panes {
+		delete(c.panes, e)
+		c.releasePane(p)
+	}
 	c.next = 0
 }

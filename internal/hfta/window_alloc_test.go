@@ -1,0 +1,65 @@
+package hfta
+
+import (
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/lfta"
+)
+
+// TestComposerSteadyStateAllocs gates the composer's recycling: with
+// results handed back via Recycle, steady-state pane close + window
+// composition must not rebuild its storage per op. The fixture is
+// sketchless on purpose — the sketch path's remaining allocations are
+// sketch.DecodePartial building fresh partials per blob, which pooling
+// at this layer cannot remove. What legitimately remains here is the
+// per-new-group map-key string each pane insert interns (inherent to
+// map[string] storage) plus the CloseThrough result slice, so the bound
+// is a small multiple of the group count rather than the thousands of
+// allocations the unpooled composer paid per op.
+func TestComposerSteadyStateAllocs(t *testing.T) {
+	const (
+		groups    = 64
+		templates = 4
+	)
+	queries := []attr.Set{attr.MustParseSet("AB")}
+	comp, err := NewComposer(WindowSpec{Size: 4, Slide: 2}, queries, lfta.CountStar, nil, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pane templates are safe to re-feed: keys are unique within a pane,
+	// so the composer stores the agg slices without mutating them and
+	// drops them on evict.
+	tmpl := make([][]PaneInput, templates)
+	for ti := range tmpl {
+		in := PaneInput{Rel: queries[0]}
+		for g := 0; g < groups; g++ {
+			in.Rows = append(in.Rows, Row{
+				Rel:  queries[0],
+				Key:  []uint32{uint32(g), uint32(g * 7)},
+				Aggs: []int64{int64(g + ti + 1)},
+			})
+		}
+		tmpl[ti] = []PaneInput{in}
+	}
+	epoch := uint32(0)
+	run := func() {
+		comp.ClosePane(epoch, PaneStats{Offered: groups, Processed: groups}, tmpl[int(epoch)%templates])
+		for _, res := range comp.CloseThrough(int64(epoch)) {
+			comp.Recycle(res)
+		}
+		epoch++
+	}
+	// Warm the freelists: the first few ops stock the pane, accumulator,
+	// and row pools.
+	for i := 0; i < 16; i++ {
+		run()
+	}
+	avg := testing.AllocsPerRun(200, run)
+	// groups map-key strings per pane insert, plus slack for the result
+	// slice and map internals.
+	const maxAllocs = 2 * groups
+	if avg > maxAllocs {
+		t.Errorf("steady-state composer op averaged %.1f allocs, want ≤ %d", avg, maxAllocs)
+	}
+}

@@ -1,0 +1,222 @@
+package lfta_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/cost"
+	"repro/internal/feedgraph"
+	"repro/internal/gen"
+	"repro/internal/hashtab"
+	"repro/internal/hfta"
+	"repro/internal/lfta"
+	"repro/internal/stream"
+)
+
+// Property: ProcessColumns — the column-major run entry point the
+// engine's staging and the shard pipeline feed — is indistinguishable
+// from the scalar Process path: same HFTA rows, same op ledger, same
+// per-table counters. Run boundaries are random, aggregate shapes cover
+// both the constant-delta fast path and attribute-valued deltas, and the
+// cascade depth covers multi-level victim feeding.
+func TestColumnarProcessEquivalence(t *testing.T) {
+	type shape struct {
+		spec    string
+		queries []attr.Set
+		aggs    []lfta.AggSpec
+	}
+	shapes := []shape{
+		{
+			spec:    "ABCD(AB BC CD)",
+			queries: []attr.Set{attr.MustParseSet("AB"), attr.MustParseSet("BC"), attr.MustParseSet("CD")},
+			aggs:    lfta.CountStar,
+		},
+		{
+			spec: "ABCD(ABC(AB(A)) CD)",
+			queries: []attr.Set{
+				attr.MustParseSet("AB"), attr.MustParseSet("A"), attr.MustParseSet("CD"),
+			},
+			aggs: []lfta.AggSpec{
+				{Op: hashtab.Sum, Input: -1},
+				{Op: hashtab.Sum, Input: 2},
+				{Op: hashtab.Min, Input: 1},
+				{Op: hashtab.Max, Input: 3},
+			},
+		},
+	}
+	for si, sh := range shapes {
+		cfg, err := feedgraph.ParseConfig(sh.spec, sh.queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 3; trial++ {
+			rng := rand.New(rand.NewSource(7100 + int64(si*10+trial)))
+			schema := stream.MustSchema(4)
+			groups := 30 + rng.Intn(400)
+			u, err := gen.UniformUniverse(rng, schema, groups, 30)
+			if err != nil {
+				t.Fatal(err)
+			}
+			recs := gen.Uniform(rng, u, 3000+rng.Intn(8000), uint32(20+rng.Intn(60)))
+			alloc := cost.Alloc{}
+			for i, r := range cfg.Rels {
+				alloc[r] = 7 + i*5 + rng.Intn(40)
+			}
+			const epochLen = 10
+			seed := uint64(7200 + trial)
+
+			want := hfta.Reference(recs, sh.queries, sh.aggs, epochLen)
+
+			// Scalar reference leg.
+			scalarAgg, err := hfta.New(sh.queries, sh.aggs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scalar, err := lfta.New(cfg, alloc, sh.aggs, seed, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scalar.SetBatchSink(scalarAgg.ConsumeBatch, 32)
+			clock := stream.NewClock(epochLen)
+			for _, rec := range recs {
+				epoch, rolled := clock.Advance(rec.Time)
+				if rolled {
+					scalar.FlushEpoch()
+				}
+				scalar.Process(rec, epoch)
+			}
+			scalar.FlushEpoch()
+
+			// Columnar leg: the same stream sliced into column-major runs
+			// of random length, each fed through ProcessColumns, with the
+			// run sink delivering sealed eviction runs to MergeRun.
+			colAgg, err := hfta.New(sh.queries, sh.aggs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			columnar, err := lfta.New(cfg, alloc, sh.aggs, seed, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Small run buffers force mid-epoch seals as well as the
+			// FlushEpoch drain.
+			columnar.SetRunSink(colAgg.MergeRun, 16)
+			clock = stream.NewClock(epochLen)
+			const width = 4
+			var cb stream.ColumnBatch
+			cb.Reset(width)
+			runEpoch := uint32(0)
+			flushCols := func() {
+				if cb.Len() > 0 {
+					columnar.ProcessColumns(cb.Cols, runEpoch)
+					cb.Reset(width)
+				}
+			}
+			limit := 1 + rng.Intn(600)
+			for _, rec := range recs {
+				epoch, rolled := clock.Advance(rec.Time)
+				if rolled {
+					flushCols()
+					columnar.FlushEpoch()
+				}
+				if epoch != runEpoch || cb.Len() >= limit {
+					flushCols()
+					runEpoch = epoch
+					limit = 1 + rng.Intn(600)
+				}
+				cb.Append(rec.Attrs, rec.Time)
+			}
+			flushCols()
+			columnar.FlushEpoch()
+
+			if !hfta.Equal(scalarAgg.AllRows(), want) {
+				t.Fatalf("shape %d trial %d: scalar rows differ from oracle", si, trial)
+			}
+			if !hfta.Equal(colAgg.AllRows(), scalarAgg.AllRows()) {
+				t.Fatalf("shape %d trial %d: columnar rows differ from scalar", si, trial)
+			}
+			if so, co := scalar.Ops(), columnar.Ops(); so != co {
+				t.Fatalf("shape %d trial %d: ops diverge: scalar %+v columnar %+v", si, trial, so, co)
+			}
+			sstats, cstats := scalar.TableStats(), columnar.TableStats()
+			for rel, ss := range sstats {
+				if cs := cstats[rel]; cs != ss {
+					t.Fatalf("shape %d trial %d: table %v stats diverge:\nscalar   %+v\ncolumnar %+v", si, trial, rel, ss, cs)
+				}
+			}
+		}
+	}
+}
+
+// Property: the fully columnar routed deployment — ReadColumns source
+// decode, two-pass hash/scatter routing, per-shard ProcessColumns, run
+// sink into the batched HFTA MergeRun — produces exactly the same sorted
+// rows at every shard count as a single sequential runtime, and both
+// match the oracle.
+func TestColumnarRoutedShardedEquivalence(t *testing.T) {
+	queries := []attr.Set{attr.MustParseSet("AB"), attr.MustParseSet("BC"), attr.MustParseSet("CD")}
+	cfg, err := feedgraph.ParseConfig("ABCD(AB BC CD)", queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 4; trial++ {
+		rng := rand.New(rand.NewSource(7300 + int64(trial)))
+		schema := stream.MustSchema(4)
+		u, err := gen.UniformUniverse(rng, schema, 50+rng.Intn(400), 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs := gen.Uniform(rng, u, 2000+rng.Intn(8000), uint32(rng.Intn(90)))
+		epochLen := uint32(10)
+		if trial == 3 {
+			epochLen = 0 // unbounded single epoch
+		}
+		alloc := cost.Alloc{}
+		for i, r := range cfg.Rels {
+			alloc[r] = 7 + i*5 + rng.Intn(40)
+		}
+
+		want := hfta.Reference(recs, queries, lfta.CountStar, epochLen)
+
+		seqAgg, err := hfta.New(queries, lfta.CountStar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := lfta.New(cfg, alloc, lfta.CountStar, 21, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt.SetRunSink(seqAgg.MergeRun, 16)
+		if _, err := rt.Run(stream.NewSliceSource(recs), epochLen); err != nil {
+			t.Fatal(err)
+		}
+		seqRows := seqAgg.AllRows()
+		if !hfta.Equal(seqRows, want) {
+			t.Fatalf("trial %d: sequential run-sink runtime differs from reference", trial)
+		}
+
+		for _, n := range []int{1, 2, 4, 8} {
+			parAgg, err := hfta.New(queries, lfta.CountStar)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := lfta.NewSharded(cfg, alloc, lfta.CountStar, 21, nil, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Small run buffers force concurrent mid-epoch MergeRun calls.
+			s.SetRunSink(parAgg.MergeRun, 16)
+			ops, err := s.RunParallel(stream.NewSliceSource(recs), epochLen)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ops.Records != uint64(len(recs)) {
+				t.Errorf("trial %d, %d shards: processed %d records, want %d", trial, n, ops.Records, len(recs))
+			}
+			if !hfta.Equal(parAgg.AllRows(), seqRows) {
+				t.Errorf("trial %d: %d-shard columnar RunParallel rows differ from sequential", trial, n)
+			}
+		}
+	}
+}

@@ -58,6 +58,15 @@ type Sink func(Eviction)
 // their own state before returning (hfta.(*Aggregator).ConsumeBatch does).
 type BatchSink func([]Eviction)
 
+// RunSink receives HFTA transfers as sealed columnar runs: all entries
+// belong to one query relation and one epoch, keys is flat n×arity and
+// aggs flat n×naggs in transfer order. The slices alias buffer memory
+// owned by the runtime and are valid only for the duration of the call
+// (hfta.(*Aggregator).MergeRun folds them in place). A run sink skips
+// the per-entry Eviction structs of BatchSink entirely and lets the
+// receiver pre-hash and lock-shard the whole run at once.
+type RunSink func(rel attr.Set, epoch uint32, keys []uint32, aggs []int64)
+
 // DefaultEvictionBatch is the eviction-buffer capacity used when
 // SetBatchSink is given a non-positive batch size.
 const DefaultEvictionBatch = 256
@@ -116,9 +125,9 @@ type node struct {
 type Runtime struct {
 	cfg    *feedgraph.Config
 	aggs   []AggSpec
-	nodes  []node         // compiled cascade, indexed as cfg.Rels
-	rawIdx []int          // node indices of the raw (record-probed) relations
-	flush  []int          // node indices, parents strictly before children
+	nodes  []node                      // compiled cascade, indexed as cfg.Rels
+	rawIdx []int                       // node indices of the raw (record-probed) relations
+	flush  []int                       // node indices, parents strictly before children
 	tables map[attr.Set]*hashtab.Table // relation→table view for stats and tests
 	epoch  uint32
 	ops    Ops
@@ -130,9 +139,16 @@ type Runtime struct {
 	keyArena  []uint32
 	aggArena  []int64
 
+	// Columnar transfer path (SetRunSink): one buffered run per query
+	// node. Buffers hold entries of a single epoch — every Process* entry
+	// point flushes them before adopting a new epoch tag.
+	runSink RunSink
+	runBufs []evRunBuf
+
 	keyBuf   []uint32
 	deltaBuf []int64
 	frames   []*frame
+	colSel   [][]uint32 // ProcessColumns per-relation key-column selection scratch
 
 	// Batched-path state (ProcessBatch): whether every aggregate input is
 	// the constant 1 (count(*)-style, the common case — the delta run is
@@ -149,6 +165,15 @@ type Runtime struct {
 type runFrame struct {
 	keys    []uint32
 	victims hashtab.VictimRun
+}
+
+// evRunBuf accumulates one query node's HFTA transfers in columnar form
+// (flat keys, flat aggs) until the run seals — batchCap entries, an
+// epoch change, or FlushEpoch. Victim runs append as whole blocks.
+type evRunBuf struct {
+	keys []uint32
+	aggs []int64
+	n    int
 }
 
 // New builds a runtime for the configuration with the given bucket
@@ -255,6 +280,24 @@ func (r *Runtime) SetBatchSink(fn BatchSink, batchSize int) {
 	}
 }
 
+// SetRunSink installs the columnar transfer path: query evictions
+// accumulate per query node as flat (keys, aggs) runs and are handed to
+// fn sealed — at batchSize entries (DefaultEvictionBatch if batchSize
+// <= 0), at every epoch change, and inside FlushEpoch — so per-epoch
+// results are complete at epoch boundaries and every run carries exactly
+// one epoch tag. A run sink takes precedence over a batch sink and a
+// Sink.
+func (r *Runtime) SetRunSink(fn RunSink, batchSize int) {
+	if batchSize <= 0 {
+		batchSize = DefaultEvictionBatch
+	}
+	r.runSink = fn
+	r.batchCap = batchSize
+	if r.runBufs == nil {
+		r.runBufs = make([]evRunBuf, len(r.nodes))
+	}
+}
+
 // Config returns the configuration the runtime executes.
 func (r *Runtime) Config() *feedgraph.Config { return r.cfg }
 
@@ -296,6 +339,12 @@ func (r *Runtime) Reset() {
 	r.batch = r.batch[:0]
 	r.keyArena = r.keyArena[:0]
 	r.aggArena = r.aggArena[:0]
+	for i := range r.runBufs {
+		b := &r.runBufs[i]
+		b.keys = b.keys[:0]
+		b.aggs = b.aggs[:0]
+		b.n = 0
+	}
 }
 
 // ResetTableStats zeroes the per-table counters while preserving the
@@ -321,7 +370,7 @@ func (r *Runtime) frame(depth int) *frame {
 // it causes; the engine must call FlushEpoch before the first record of a
 // new epoch.
 func (r *Runtime) Process(rec stream.Record, epoch uint32) {
-	r.epoch = epoch
+	r.beginEpoch(epoch)
 	r.ops.Records++
 	if cap(r.deltaBuf) < len(r.aggs) {
 		r.deltaBuf = make([]int64, len(r.aggs))
@@ -366,7 +415,7 @@ func (r *Runtime) ProcessBatch(recs []stream.Record, epoch uint32) {
 	if n == 0 {
 		return
 	}
-	r.epoch = epoch
+	r.beginEpoch(epoch)
 	r.ops.Records += uint64(n)
 	na := len(r.aggs)
 
@@ -441,7 +490,7 @@ func (r *Runtime) ProcessRun(attrs []uint32, width int, epoch uint32) {
 		panic(fmt.Sprintf("lfta: run of %d attribute words at record width %d", len(attrs), width))
 	}
 	n := len(attrs) / width
-	r.epoch = epoch
+	r.beginEpoch(epoch)
 	r.ops.Records += uint64(n)
 	na := len(r.aggs)
 
@@ -504,6 +553,76 @@ func (r *Runtime) ProcessRun(attrs []uint32, width int, epoch uint32) {
 	}
 }
 
+// ProcessColumns feeds a run of records given column-major — cols is one
+// slice per record attribute, all equally long — sharing one epoch: the
+// native path of the columnar pipeline (sealed router runs, the engine's
+// columnar staging). The delta run is built with stride-1 reads of the
+// input columns, and each raw relation's key run is just a selection of
+// the input columns (projection is free: no gather, contiguous or not),
+// probed through ProbeColumnsInto. Outcomes and counters are identical
+// to feeding the same records through Process one at a time; the
+// columnar equivalence property suite pins this.
+func (r *Runtime) ProcessColumns(cols [][]uint32, epoch uint32) {
+	width := len(cols)
+	if width == 0 {
+		return
+	}
+	n := len(cols[0])
+	if n == 0 {
+		return
+	}
+	r.beginEpoch(epoch)
+	r.ops.Records += uint64(n)
+	na := len(r.aggs)
+
+	need := n * na
+	if cap(r.deltaRun) < need {
+		r.deltaRun = make([]int64, need)
+		if r.constDelta {
+			for i := range r.deltaRun {
+				r.deltaRun[i] = 1
+			}
+		}
+	}
+	dr := r.deltaRun[:need]
+	if !r.constDelta {
+		for j, a := range r.aggs {
+			if a.Input < 0 {
+				for i := 0; i < n; i++ {
+					dr[i*na+j] = 1
+				}
+			} else {
+				col := cols[a.Input][:n]
+				for i := 0; i < n; i++ {
+					dr[i*na+j] = int64(col[i])
+				}
+			}
+		}
+	}
+
+	if cap(r.colSel) < width {
+		r.colSel = make([][]uint32, 0, width)
+	}
+	for _, ni := range r.rawIdx {
+		nd := &r.nodes[ni]
+		sel := r.colSel[:0]
+		for _, id := range nd.ids {
+			sel = append(sel, cols[id])
+		}
+		r.colSel = sel
+		f := r.runFrame(0)
+		r.ops.Probes += uint64(n)
+		nd.tab.ProbeColumnsInto(sel, dr, &f.victims)
+		r.cascadeRun(ni, &f.victims, 1)
+	}
+	// Drop the borrowed column references so the caller's batch can be
+	// recycled without this scratch pinning it.
+	for i := range r.colSel {
+		r.colSel[i] = nil
+	}
+	r.colSel = r.colSel[:0]
+}
+
 // runFrame returns the batched-path scratch for one cascade depth,
 // growing the stack on first use of a depth.
 func (r *Runtime) runFrame(depth int) *runFrame {
@@ -546,16 +665,27 @@ func (r *Runtime) cascadeRun(ni int, vr *hashtab.VictimRun, depth int) {
 	}
 	if nd.isQuery {
 		r.ops.Transfers += uint64(m)
-		for i := 0; i < m; i++ {
-			key, aggs := vr.Key(i), vr.AggRow(i)
-			switch {
-			case r.batchSink != nil:
-				r.pushEviction(nd.rel, key, aggs)
-			case r.sink != nil:
+		switch {
+		case r.runSink != nil:
+			// The victim run already is the columnar transfer layout:
+			// append it to the node's buffered run as two block copies.
+			b := &r.runBufs[ni]
+			b.keys = append(b.keys, vr.Keys...)
+			b.aggs = append(b.aggs, vr.Aggs...)
+			b.n += m
+			if b.n >= r.batchCap {
+				r.flushRun(ni)
+			}
+		case r.batchSink != nil:
+			for i := 0; i < m; i++ {
+				r.pushEviction(nd.rel, vr.Key(i), vr.AggRow(i))
+			}
+		case r.sink != nil:
+			for i := 0; i < m; i++ {
 				r.sink(Eviction{
 					Rel:   nd.rel,
-					Key:   append([]uint32(nil), key...),
-					Aggs:  append([]int64(nil), aggs...),
+					Key:   append([]uint32(nil), vr.Key(i)...),
+					Aggs:  append([]int64(nil), vr.AggRow(i)...),
 					Epoch: r.epoch,
 				})
 			}
@@ -594,6 +724,14 @@ func (r *Runtime) emit(ni int, key []uint32, aggs []int64, depth int) {
 	if n.isQuery {
 		r.ops.Transfers++
 		switch {
+		case r.runSink != nil:
+			b := &r.runBufs[ni]
+			b.keys = append(b.keys, key...)
+			b.aggs = append(b.aggs, aggs...)
+			b.n++
+			if b.n >= r.batchCap {
+				r.flushRun(ni)
+			}
 		case r.batchSink != nil:
 			r.pushEviction(n.rel, key, aggs)
 		case r.sink != nil:
@@ -626,6 +764,36 @@ func (r *Runtime) pushEviction(rel attr.Set, key []uint32, aggs []int64) {
 	}
 }
 
+// beginEpoch adopts a batch's epoch tag. Columnar transfer runs carry
+// exactly one epoch, so any runs still buffered under the previous tag
+// seal first.
+func (r *Runtime) beginEpoch(epoch uint32) {
+	if r.runSink != nil && epoch != r.epoch {
+		r.flushRuns()
+	}
+	r.epoch = epoch
+}
+
+// flushRun seals one node's buffered columnar run into the run sink and
+// resets the buffer for reuse.
+func (r *Runtime) flushRun(ni int) {
+	b := &r.runBufs[ni]
+	if b.n == 0 {
+		return
+	}
+	r.runSink(r.nodes[ni].rel, r.epoch, b.keys, b.aggs)
+	b.keys = b.keys[:0]
+	b.aggs = b.aggs[:0]
+	b.n = 0
+}
+
+// flushRuns seals every node's buffered columnar run.
+func (r *Runtime) flushRuns() {
+	for ni := range r.runBufs {
+		r.flushRun(ni)
+	}
+}
+
 // flushBatch hands the buffered evictions to the batch sink and resets
 // the buffer and arenas for reuse.
 func (r *Runtime) flushBatch() {
@@ -649,6 +817,9 @@ func (r *Runtime) FlushEpoch() {
 		r.nodes[ni].tab.Drain(func(e hashtab.Entry) {
 			r.emit(ni, e.Key, e.Aggs, 0)
 		})
+	}
+	if r.runSink != nil {
+		r.flushRuns()
 	}
 	if r.batchSink != nil {
 		r.flushBatch()

@@ -77,6 +77,16 @@ func (s *Sharded) SetBatchSink(fn BatchSink, batchSize int) {
 	}
 }
 
+// SetRunSink installs the columnar transfer path on every shard (see
+// Runtime.SetRunSink). Each shard keeps its own run buffers; with
+// RunParallel the sink receives sealed runs concurrently and must be
+// safe for concurrent use (hfta.(*Aggregator).MergeRun is).
+func (s *Sharded) SetRunSink(fn RunSink, batchSize int) {
+	for _, rt := range s.shards {
+		rt.SetRunSink(fn, batchSize)
+	}
+}
+
 // NumShards returns the number of LFTA instances.
 func (s *Sharded) NumShards() int { return len(s.shards) }
 
@@ -185,4 +195,3 @@ func (s *Sharded) Run(src stream.Source, epochLen uint32) (Ops, error) {
 	}
 	return s.Ops(), nil
 }
-

@@ -62,10 +62,10 @@ func TestParseSketchAggs(t *testing.T) {
 
 func TestParseWindowErrors(t *testing.T) {
 	for _, sql := range []string{
-		"select A, count(*) from R group by A window 4",               // no time bucket
-		"select A, count(*) from R group by A, time/10 window 0",      // zero size
-		"select A, count(*) from R group by A, time/10 window 70000",  // size over cap
-		"select A, count(*) from R group by A, time/10 window x",      // non-numeric
+		"select A, count(*) from R group by A window 4",              // no time bucket
+		"select A, count(*) from R group by A, time/10 window 0",     // zero size
+		"select A, count(*) from R group by A, time/10 window 70000", // size over cap
+		"select A, count(*) from R group by A, time/10 window x",     // non-numeric
 		"select A, count(*) from R group by A, time/10 window 2 slide 0",
 		"select A, count(*) from R group by A, time/10 window 2 slide 70000",
 		"select count_distinct(*) from R group by A, time/10",  // needs an attribute

@@ -38,8 +38,8 @@ type Ring[T any] struct {
 	tail     atomic.Uint64 // next sequence the producer will write
 	tailSeen uint64        // consumer's cached copy of tail
 	_        pad
-	mask uint64
-	buf  []T
+	mask     uint64
+	buf      []T
 }
 
 // New builds a ring with the given capacity, rounded up to a power of

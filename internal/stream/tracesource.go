@@ -17,6 +17,7 @@ type TraceSource struct {
 	schema Schema
 	left   uint64
 	buf    []byte
+	cb     *ColumnBatch // NextBatch's reused columnar decode buffer
 	err    error
 }
 
@@ -104,6 +105,82 @@ func (t *TraceSource) Next() (Record, bool) {
 		t.release()
 	}
 	return rec, true
+}
+
+// NextColumns implements ColumnSource: it reads a block of encoded
+// records in one ReadFull and decodes each attribute with a stride-1
+// destination pass, skipping the per-record attribute allocation Next
+// pays. Truncation behaves exactly like Next: the error is recorded and
+// whatever decoded cleanly before it is discarded.
+func (t *TraceSource) NextColumns(dst *ColumnBatch, limit int) int {
+	w := t.schema.NumAttrs
+	dst.Reset(w)
+	if t.err != nil || t.left == 0 || limit <= 0 {
+		t.release()
+		return 0
+	}
+	n := limit
+	if uint64(n) > t.left {
+		n = int(t.left)
+	}
+	rb := 4 * (w + 1)
+	need := n * rb
+	if cap(t.buf) < need {
+		t.buf = make([]byte, need)
+	}
+	buf := t.buf[:need]
+	if _, err := io.ReadFull(t.r, buf); err != nil {
+		t.err = fmt.Errorf("%w: truncated with %d records left: %v", ErrBadTrace, t.left, err)
+		t.release()
+		return 0
+	}
+	t.left -= uint64(n)
+	for a := 0; a < w; a++ {
+		col := dst.Cols[a]
+		off := 4 * a
+		for i := 0; i < n; i++ {
+			col = append(col, binary.LittleEndian.Uint32(buf[off:]))
+			off += rb
+		}
+		dst.Cols[a] = col
+	}
+	times := dst.Time
+	off := 4 * w
+	for i := 0; i < n; i++ {
+		times = append(times, binary.LittleEndian.Uint32(buf[off:]))
+		off += rb
+	}
+	dst.Time = times
+	if t.left == 0 {
+		t.release()
+	}
+	return n
+}
+
+// NextBatch implements BatchSource as a record-major shim over the
+// columnar decode: records are gathered out of a reused ColumnBatch,
+// with one attribute arena allocation per batch instead of one per
+// record.
+func (t *TraceSource) NextBatch(dst []Record) int {
+	if t.cb == nil {
+		t.cb = &ColumnBatch{}
+	}
+	n := t.NextColumns(t.cb, len(dst))
+	if n == 0 {
+		return 0
+	}
+	w := t.cb.Width()
+	arena := make([]uint32, n*w)
+	for a := 0; a < w; a++ {
+		col := t.cb.Cols[a]
+		for i := 0; i < n; i++ {
+			arena[i*w+a] = col[i]
+		}
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = Record{Attrs: arena[i*w : (i+1)*w : (i+1)*w], Time: t.cb.Time[i]}
+	}
+	return n
 }
 
 // Err implements Source.
