@@ -50,10 +50,14 @@ windows-test:
 # ReadColumns ≡ ReadBatch on every source, columnar probes ≡ batch
 # probes (victims, stats, contents), ProcessColumns ≡ Process, the fully
 # columnar routed sharded path at 1/2/4/8 shards vs sequential + oracle,
-# and MergeRun ≡ per-entry Consume including forced lock-shard
-# collisions and concurrent folds.
+# MergeRun ≡ per-entry Consume including forced lock-shard collisions
+# and concurrent folds, and the vectorized WHERE stack: selection-vector
+# kernels vs their generic forms, compiled filters vs the interpreted
+# DNF walk (scalar and columnar, with adaptive reordering), selection-
+# aware probes/routing vs compacted dense runs, and ProcessColumnBatch
+# vs the scalar engine loop across batch-boundary epoch splits.
 columnar-test:
-	$(GO) test -race -count=1 -run 'TestReadColumns|TestColumnBatch|TestColumnar|TestProbeColumns|TestHashColumns|TestMergeRun' ./internal/stream ./internal/hashtab ./internal/lfta ./internal/hfta ./internal/core
+	$(GO) test -race -count=1 -run 'TestReadColumns|TestColumnBatch|TestColumnar|TestProbeColumns|TestHashColumns|TestMergeRun|TestSelVec|TestFilter|TestInterpretedFilter|TestNoWhere' ./internal/stream ./internal/hashtab ./internal/lfta ./internal/hfta ./internal/core ./internal/selvec ./internal/query
 
 check: build vet test race fuzz-short crash-test windows-test columnar-test
 
@@ -63,7 +67,7 @@ bench:
 
 # Machine-readable summary, the BENCH_PR<N>.json trajectory format.
 bench-json:
-	$(GO) run ./cmd/maggbench -json BENCH_PR9.json
+	$(GO) run ./cmd/maggbench -json BENCH_PR10.json
 
 # Diff two bench-json reports; fails on a ns/op regression beyond
 # THRESHOLD (fractional, default 10%). CI widens it for its short

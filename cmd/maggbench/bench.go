@@ -26,6 +26,8 @@ import (
 	"repro/internal/hashtab"
 	"repro/internal/hfta"
 	"repro/internal/lfta"
+	"repro/internal/query"
+	"repro/internal/selvec"
 	"repro/internal/sketch"
 	"repro/internal/stream"
 )
@@ -96,6 +98,12 @@ func benchSuite() []namedBench {
 		{name: "lfta-probe-dup-heavy", recordsPerOp: 1, fn: benchLFTAProbeDupHeavy},
 		{name: "lfta-probe-large-scalar", recordsPerOp: 1, fn: benchLFTAProbeLarge(false)},
 		{name: "lfta-probe-large-batch", recordsPerOp: 1, fn: benchLFTAProbeLarge(true)},
+		{name: "filter-kernel", recordsPerOp: filterKernelLanes, fn: benchFilterKernel},
+		{name: "engine-filtered-p1", recordsPerOp: 1, fn: benchEngineFiltered(10)},
+		{name: "engine-filtered-p10", recordsPerOp: 1, fn: benchEngineFiltered(100)},
+		{name: "engine-filtered-p50", recordsPerOp: 1, fn: benchEngineFiltered(500)},
+		{name: "engine-filtered-p100", recordsPerOp: 1, fn: benchEngineFiltered(1000)},
+		{name: "engine-filtered-interp-p1", recordsPerOp: 1, fn: benchEngineFilteredInterp(10)},
 		{name: "hfta-merge", recordsPerOp: 0, fn: benchHFTAMerge},
 		{name: "hfta-merge-run", recordsPerOp: mergeRunEntries, fn: benchHFTAMergeRun},
 		{name: "columnar-route", recordsPerOp: 1, fn: benchColumnarRoute},
@@ -180,6 +188,136 @@ func benchEngineThroughput(b *testing.B) {
 		if err := eng.Process(recs[i%len(recs)]); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// Filtered-ingest benchmark parameters: attribute values uniform in
+// [0, filteredValuePool), so a `where A < thr` clause passes thr/10
+// percent of the stream in expectation — the selectivity sweep's knob.
+const (
+	filteredBenchRecords = 65536
+	filteredValuePool    = 1000
+)
+
+// newFilteredEngine builds the engine for the selectivity sweep: the
+// engine-throughput plan with a shared `where A < thr` clause, compiled
+// to columnar kernels by default or forced through the per-record
+// interpreted DNF walk (the measurement baseline).
+func newFilteredEngine(thr int, interp bool) (*core.Engine, []stream.Record, error) {
+	rng := rand.New(rand.NewSource(4))
+	schema := stream.MustSchema(4)
+	u, err := gen.UniformUniverse(rng, schema, 1000, filteredValuePool)
+	if err != nil {
+		return nil, nil, err
+	}
+	recs := gen.Uniform(rng, u, filteredBenchRecords, 0)
+	queries := []attr.Set{attr.MustParseSet("AB"), attr.MustParseSet("BC"), attr.MustParseSet("CD")}
+	groups, err := core.EstimateGroups(recs[:10000], queries)
+	if err != nil {
+		return nil, nil, err
+	}
+	sqls := []string{
+		fmt.Sprintf("select A, B, count(*) as cnt from R where A < %d group by A, B", thr),
+		fmt.Sprintf("select B, C, count(*) as cnt from R where A < %d group by B, C", thr),
+		fmt.Sprintf("select C, D, count(*) as cnt from R where A < %d group by C, D", thr),
+	}
+	eng, err := core.New(sqls, groups, core.Options{M: 20000, InterpretedFilter: interp})
+	if err != nil {
+		return nil, nil, err
+	}
+	return eng, recs, nil
+}
+
+// benchEngineFiltered measures the vectorized filtered-ingest path — a
+// compiled WHERE over whole column batches, survivors threaded through
+// by selection — at the pass rate thr/filteredValuePool. One op is one
+// stream record offered (filtered or not).
+func benchEngineFiltered(thr int) func(b *testing.B) {
+	return func(b *testing.B) {
+		eng, recs, err := newFilteredEngine(thr, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Prebuilt column batches, cycled; each op re-runs the filter
+		// kernels over the batch (the selection vector is recomputed in
+		// place, so no iteration sees a cached verdict).
+		var batches []*stream.ColumnBatch
+		for pos := 0; pos < len(recs); pos += stream.ColumnBatchLen {
+			n := stream.ColumnBatchLen
+			if rest := len(recs) - pos; n > rest {
+				n = rest
+			}
+			cb := &stream.ColumnBatch{}
+			cb.Reset(len(recs[pos].Attrs))
+			for i := 0; i < n; i++ {
+				cb.Append(recs[pos+i].Attrs, recs[pos+i].Time)
+			}
+			batches = append(batches, cb)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		bi := 0
+		for done := 0; done < b.N; {
+			cb := batches[bi%len(batches)]
+			if err := eng.ProcessColumnBatch(cb); err != nil {
+				b.Fatal(err)
+			}
+			done += cb.Len()
+			bi++
+		}
+	}
+}
+
+// benchEngineFilteredInterp is the scalar-interpreted control leg of the
+// selectivity sweep: the same filtered workload with the WHERE walked
+// per record (Options.InterpretedFilter). The engine-filtered-p1 /
+// engine-filtered-interp-p1 ratio is the vectorization win the PR 10
+// acceptance bar is set on.
+func benchEngineFilteredInterp(thr int) func(b *testing.B) {
+	return func(b *testing.B) {
+		eng, recs, err := newFilteredEngine(thr, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := eng.Process(recs[i%len(recs)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// filterKernelLanes is the batch width of the filter microbenchmark —
+// big enough to amortize per-call dispatch, the regime EvalColumns runs
+// in under the engine.
+const filterKernelLanes = 4096
+
+// benchFilterKernel isolates the compiled predicate kernels: one
+// two-conjunction DNF (range ∧ range ∨ equality) evaluated over
+// filterKernelLanes lanes into a selection bitmap, with the adaptive
+// reranker live. Whether the SWAR or vector kernels run follows the
+// process-wide tag-scan selection (MAGG_SIMD).
+func benchFilterKernel(b *testing.B) {
+	f := query.Filter{DNF: [][]query.Predicate{
+		{{Attr: 0, Op: query.Lt, Val: 10}, {Attr: 1, Op: query.Ge, Val: 500}},
+		{{Attr: 2, Op: query.Eq, Val: 77}},
+	}}
+	cf := f.Compile()
+	rng := rand.New(rand.NewSource(6))
+	cols := make([][]uint32, 4)
+	for a := range cols {
+		cols[a] = make([]uint32, filterKernelLanes)
+		for i := range cols[a] {
+			cols[a][i] = rng.Uint32() % filteredValuePool
+		}
+	}
+	sel := selvec.Grow(nil, filterKernelLanes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cf.EvalColumns(cols, filterKernelLanes, sel)
 	}
 }
 

@@ -12,6 +12,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/attr"
 	"repro/internal/backoff"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/hfta"
 	"repro/internal/lfta"
 	"repro/internal/query"
+	"repro/internal/selvec"
 	"repro/internal/sketch"
 	"repro/internal/spacealloc"
 	"repro/internal/stream"
@@ -174,6 +176,13 @@ type Options struct {
 	// DigestCompression is the t-digest δ for percentile/median sketch
 	// aggregates (0 = sketch.DefaultCompression).
 	DigestCompression float64
+
+	// InterpretedFilter forces WHERE evaluation through the interpreted
+	// per-record DNF walk instead of the compiled columnar kernels — the
+	// measurement baseline for the vectorized-filter benchmarks and the
+	// control leg of the filter equivalence suite. Also forces the
+	// per-record admission path in ProcessColumnBatch.
+	InterpretedFilter bool
 }
 
 // Stats summarize an engine's execution.
@@ -333,6 +342,17 @@ type Engine struct {
 	// buffer (safe to reuse across handler calls: rows are only valid
 	// during the call).
 	winRowScratch []hfta.WindowRow
+
+	// Vectorized WHERE state: the compiled filter (nil when the WHERE is
+	// empty or Options.InterpretedFilter is set — an empty WHERE pays no
+	// filter work at all), the interpreted-baseline flag, and the
+	// columnar admission scratch (segment selection bitmap, compact
+	// shard-route indices, row gather buffer).
+	filter   *query.CompiledFilter
+	interp   bool
+	segSel   selvec.Bitmap
+	shardIdx []int32
+	rowBuf   []uint32
 }
 
 // stageRun is the staged-run capacity, matching the SPSC pipeline's
@@ -423,6 +443,16 @@ func NewFromSpecs(specs []*query.Spec, groups feedgraph.GroupCounts, opts Option
 		emitRetry: backoff.Policy{Seed: opts.Seed},
 	}
 	e.emitResults = e.Results
+	// Compile the WHERE once: the scalar and columnar admission paths
+	// share the same compiled predicate kernels. An empty WHERE leaves
+	// both filter fields zero, so unfiltered workloads pay nothing.
+	if !specs[0].Where.Empty() {
+		if opts.InterpretedFilter {
+			e.interp = true
+		} else {
+			e.filter = specs[0].Where.Compile()
+		}
+	}
 	if opts.Shards > 1 {
 		e.nShards = opts.Shards
 		e.shardAvail = make([]float64, e.nShards)
@@ -642,9 +672,16 @@ func (e *Engine) Groups() feedgraph.GroupCounts { return e.groups }
 // Configure a stream.OrderedSource upstream to reorder such streams
 // within a slack window. Regressions within the open epoch are harmless.
 func (e *Engine) Process(rec stream.Record) error {
-	if !e.specs[0].MatchWhere(rec.Attrs) {
-		e.consumed++
-		return nil // filtered out before any hash-table work (the F of FTA)
+	if e.filter != nil {
+		if !e.filter.Match(rec.Attrs) {
+			e.consumed++
+			return nil // filtered out before any hash-table work (the F of FTA)
+		}
+	} else if e.interp {
+		if !e.specs[0].MatchWhere(rec.Attrs) {
+			e.consumed++
+			return nil
+		}
 	}
 	epoch, rolled, late := e.clock.Observe(rec.Time)
 	if late {
@@ -1177,8 +1214,198 @@ func (e *Engine) Finish() error {
 	return e.firstResultErr
 }
 
-// Run processes an entire source and finishes.
+// ProcessColumnBatch feeds a column-major batch of records — the
+// vectorized admission path. The compiled WHERE runs over whole columns
+// into the batch's selection bitmap (b.Sel); dead lanes are never
+// compacted away, the selection threads through shard routing and the
+// probe setup instead. Epoch rollovers are found by scanning the
+// timestamp column at the selected lanes (filtered records never touch
+// the clock, exactly as in the scalar path), and the batch is split at
+// each boundary so ledger, checkpoint, pane, and persistence semantics
+// are unchanged: a mid-batch checkpoint records the stream position
+// strictly before the rolling record, as Process would.
+//
+// Outcomes — results, ledgers, stream position, checkpoint contents —
+// are identical to feeding the batch through Process record by record;
+// the engine equivalence suite pins this. Overload control (Budget > 0)
+// and the interpreted-filter baseline need per-record admission and
+// take exactly that scalar path.
+func (e *Engine) ProcessColumnBatch(b *stream.ColumnBatch) error {
+	n := b.Len()
+	if n == 0 {
+		return nil
+	}
+	if len(b.Time) != n {
+		return fmt.Errorf("core: column batch of %d records has %d timestamps", n, len(b.Time))
+	}
+	if e.opts.Budget > 0 || e.interp {
+		// Shedding charges each record's measured cost before admitting
+		// the next, and the interpreted baseline exists to measure the
+		// per-record DNF walk: both run the scalar path row by row.
+		for i := 0; i < n; i++ {
+			e.rowBuf = b.Row(i, e.rowBuf)
+			if err := e.Process(stream.Record{Attrs: e.rowBuf, Time: b.Time[i]}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Vectorized WHERE into the batch's selection vector; an empty WHERE
+	// selects every lane.
+	sel := selvec.Grow(selvec.Bitmap(b.Sel), n)
+	if e.filter != nil {
+		e.filter.EvalColumns(b.Cols, n, sel)
+	} else {
+		sel.SetAll(n)
+	}
+	b.Sel = sel
+
+	width := b.Width()
+	base := e.consumed
+	m := sel.Count(n)
+
+	// Shard routing for every selected lane up front (late lanes route
+	// too: their ledgers are per-shard), compact in ascending lane order.
+	var six []int32
+	if e.srt != nil && m > 0 {
+		if cap(e.shardIdx) < m {
+			e.shardIdx = make([]int32, m)
+		}
+		six = e.shardIdx[:m]
+		e.srt.ShardColumns(b.Cols, n, sel, six)
+	}
+	if width != e.stageWidth && m > 0 {
+		e.drainStage()
+		e.setStageWidth(width)
+	}
+
+	// Sketch and pane accumulation need record-major rows; gather only
+	// when those subsystems are active.
+	needRows := len(e.sketches) != 0 || e.paneSk != nil
+
+	// Unsharded epoch segment: the on-time selected lanes since the last
+	// roll, flushed through the selection-aware probe with no compaction.
+	seg := selvec.Grow(e.segSel, n)
+	seg.Clear(n)
+	e.segSel = seg
+	segCount := 0
+	var segEpoch uint32
+
+	k := 0 // compact index into six, advancing with each selected lane
+	nw := selvec.Words(n)
+	for wi := 0; wi < nw; wi++ {
+		for w := sel[wi]; w != 0; w &= w - 1 {
+			i := wi<<6 + bits.TrailingZeros64(w)
+			epoch, rolled, late := e.clock.Observe(b.Time[i])
+			if late {
+				if !e.degInit {
+					e.degInit = true
+					e.deg.Epoch = epoch
+				}
+				e.deg.Offered++
+				e.deg.Late++
+				if e.srt != nil {
+					s := six[k]
+					e.shardRouted[s]++
+					e.shardDeg[s].Offered++
+					e.shardDeg[s].Late++
+				}
+				k++
+				continue
+			}
+			if rolled {
+				if e.rt != nil && segCount > 0 {
+					// Flush the closing epoch's segment before the epoch
+					// close; staged scalar records drain first so probe
+					// order matches the record-by-record path.
+					e.drainStage()
+					e.rt.ProcessColumnsSel(b.Cols, n, seg, segEpoch)
+					seg.Clear(n)
+					segCount = 0
+				}
+				// The checkpoint must record the position strictly before
+				// the rolling record, filtered lanes included.
+				e.consumed = base + uint64(i)
+				if err := e.endEpoch(); err != nil {
+					return err
+				}
+			}
+			if !e.degInit {
+				e.degInit = true
+				e.deg.Epoch = epoch
+			}
+			e.deg.Offered++
+			e.deg.Processed++
+			if e.srt != nil {
+				s := int(six[k])
+				e.shardRouted[s]++
+				sd := &e.shardDeg[s]
+				sd.Offered++
+				sd.Processed++
+				// Lane-major scatter into the shard's staging run — the
+				// same arena the scalar path fills, so mixed admission
+				// keeps one probe order.
+				e.stageEpoch = epoch
+				cols := e.shardCols[s]
+				sn := e.shardLens[s]
+				for a := 0; a < width; a++ {
+					cols[a][sn] = b.Cols[a][i]
+				}
+				sn++
+				e.shardLens[s] = sn
+				if sn == stageRun {
+					e.srt.Shard(s).ProcessColumns(e.stageView(cols, sn), epoch)
+					e.shardLens[s] = 0
+				}
+			} else {
+				seg.Set(i)
+				segCount++
+				segEpoch = epoch
+			}
+			if needRows {
+				e.rowBuf = b.Row(i, e.rowBuf)
+				if len(e.sketches) != 0 {
+					for rel, h := range e.sketches {
+						e.sketchBuf = rel.Project(e.rowBuf, e.sketchBuf)
+						h.AddKey(e.sketchBuf)
+					}
+				}
+				if e.paneSk != nil {
+					e.observePaneSketches(e.rowBuf)
+				}
+			}
+			k++
+		}
+	}
+	if e.rt != nil && segCount > 0 {
+		e.drainStage()
+		e.rt.ProcessColumnsSel(b.Cols, n, seg, segEpoch)
+	}
+	e.consumed = base + uint64(n)
+	return nil
+}
+
+// Run processes an entire source and finishes. Sources that can decode
+// into columns (stream.ColumnSource) run through the vectorized batch
+// path when no per-record admission is required; the rest take the
+// scalar loop.
 func (e *Engine) Run(src stream.Source) error {
+	if cs, ok := src.(stream.ColumnSource); ok && e.opts.Budget == 0 && !e.interp {
+		var cb stream.ColumnBatch
+		for {
+			if stream.ReadColumns(cs, &cb, stream.ColumnBatchLen) == 0 {
+				break
+			}
+			if err := e.ProcessColumnBatch(&cb); err != nil {
+				return err
+			}
+		}
+		if err := src.Err(); err != nil {
+			return err
+		}
+		return e.Finish()
+	}
 	for {
 		rec, ok := src.Next()
 		if !ok {

@@ -1,0 +1,412 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/hashtab"
+	"repro/internal/hfta"
+	"repro/internal/lfta"
+	"repro/internal/query"
+	"repro/internal/stream"
+)
+
+// Equivalence suite for the vectorized WHERE path: ProcessColumnBatch
+// with a compiled filter must be indistinguishable — results, ledgers,
+// stream position, checkpoint contents — from feeding the same records
+// through the scalar Process loop, for every tag-scan kernel the build
+// supports, across batch-boundary epoch splits, shard counts, and the
+// interpreted-filter baseline.
+
+// filterSQL shares one two-conjunction DNF WHERE across both queries
+// (the engine requires a common filter): with the testWorkload value
+// pool of [0, 40) the first conjunction passes roughly a quarter of the
+// stream and the disjunct widens it, so neither everything nor nothing
+// survives.
+var filterSQL = []string{
+	"select A, count(*) as cnt from R where B >= 20 and C < 30 or A = 7 group by A, time/10",
+	"select C, count(*) as cnt from R where B >= 20 and C < 30 or A = 7 group by C, time/10",
+}
+
+var filterQueries = []attr.Set{attr.MustParseSet("A"), attr.MustParseSet("C")}
+
+// filterKernels enumerates the tag-scan kernel selections to run a test
+// under; the caller must defer a SetSIMD restore.
+func filterKernels() []bool {
+	ks := []bool{false}
+	if hashtab.SIMDAvailable() {
+		ks = append(ks, true)
+	}
+	return ks
+}
+
+// applyWhere partitions a trace with the interpreted matcher — the
+// oracle-side filter.
+func applyWhere(t *testing.T, sql string, recs []stream.Record) []stream.Record {
+	t.Helper()
+	spec, err := query.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []stream.Record
+	for _, r := range recs {
+		if spec.MatchWhere(r.Attrs) {
+			out = append(out, r)
+		}
+	}
+	if len(out) == 0 || len(out) == len(recs) {
+		t.Fatalf("WHERE passes %d of %d records; the filter test is vacuous", len(out), len(recs))
+	}
+	return out
+}
+
+// lateWorkload clones a trace and pushes some timestamps back across
+// epoch boundaries, so the equivalence runs exercise the late-record
+// ledger path alongside filtering and rollovers.
+func lateWorkload(t *testing.T, n int) ([]stream.Record, []stream.Record) {
+	t.Helper()
+	recs, _ := testWorkload(t, n)
+	chaotic := make([]stream.Record, len(recs))
+	copy(chaotic, recs)
+	for i := 0; i < len(chaotic); i++ {
+		if i%101 == 42 && chaotic[i].Time >= 25 {
+			chaotic[i].Time -= 25 // epochLen is 10: a guaranteed regression
+		}
+	}
+	return recs, chaotic
+}
+
+// feedColumnBatches drives an engine through ProcessColumnBatch with
+// randomly sized batches (1 .. 2*ColumnBatchLen), so epoch rollovers and
+// late records land at arbitrary positions inside batches. It stops at
+// stopAt records when stopAt > 0 (a mid-stream crash) and returns how
+// many records were fed.
+func feedColumnBatches(t *testing.T, e *Engine, recs []stream.Record, rng *rand.Rand, stopAt int) int {
+	t.Helper()
+	var cb stream.ColumnBatch
+	pos := 0
+	for pos < len(recs) {
+		if stopAt > 0 && pos >= stopAt {
+			break
+		}
+		n := 1 + rng.Intn(2*stream.ColumnBatchLen)
+		if rest := len(recs) - pos; n > rest {
+			n = rest
+		}
+		cb.Reset(len(recs[pos].Attrs))
+		for i := 0; i < n; i++ {
+			cb.Append(recs[pos+i].Attrs, recs[pos+i].Time)
+		}
+		if err := e.ProcessColumnBatch(&cb); err != nil {
+			t.Fatal(err)
+		}
+		pos += n
+	}
+	return pos
+}
+
+// assertEnginesAgree compares every externally observable outcome of two
+// finished runs over the same stream.
+func assertEnginesAgree(t *testing.T, label string, got, want *Engine) {
+	t.Helper()
+	if !hfta.Equal(got.AllResults(), want.AllResults()) {
+		t.Errorf("%s: results diverge", label)
+	}
+	if g, w := got.Stats().Degradation, want.Stats().Degradation; g != w {
+		t.Errorf("%s: cumulative ledger %+v; want %+v", label, g, w)
+	}
+	if g, w := got.Consumed(), want.Consumed(); g != w {
+		t.Errorf("%s: consumed %d records; want %d", label, g, w)
+	}
+	if g, w := got.Ops(), want.Ops(); g != w {
+		t.Errorf("%s: ops %+v; want %+v", label, g, w)
+	}
+	ge, we := got.EpochDegradations(), want.EpochDegradations()
+	if len(ge) != len(we) {
+		t.Errorf("%s: %d closed epochs; want %d", label, len(ge), len(we))
+	} else {
+		for i := range ge {
+			if ge[i] != we[i] {
+				t.Errorf("%s: epoch %d ledger %+v; want %+v", label, ge[i].Epoch, ge[i], we[i])
+			}
+		}
+	}
+}
+
+// TestColumnBatchMatchesScalarWithWhere: the vectorized admission path —
+// compiled WHERE into a selection bitmap, selection-aware routing and
+// probing, mid-batch epoch splits — produces record-for-record identical
+// outcomes to the scalar Process loop, on a stream that also carries
+// late records, for 1 and 4 shards and under every kernel selection.
+func TestColumnBatchMatchesScalarWithWhere(t *testing.T) {
+	defer hashtab.SetSIMD(hashtab.SIMDEnabled())
+	_, chaotic := lateWorkload(t, 30000)
+	groups, err := EstimateGroups(chaotic, filterQueries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, simd := range filterKernels() {
+		hashtab.SetSIMD(simd)
+		for _, shards := range []int{0, 4} {
+			name := fmt.Sprintf("kernel=%s/shards=%d", hashtab.KernelName(), shards)
+			t.Run(name, func(t *testing.T) {
+				opts := Options{M: 8000, Seed: 3, Shards: shards}
+				scalar, err := New(filterSQL, groups, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, r := range chaotic {
+					if err := scalar.Process(r); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := scalar.Finish(); err != nil {
+					t.Fatal(err)
+				}
+
+				columnar, err := New(filterSQL, groups, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rng := rand.New(rand.NewSource(int64(9000 + shards)))
+				feedColumnBatches(t, columnar, chaotic, rng, 0)
+				if err := columnar.Finish(); err != nil {
+					t.Fatal(err)
+				}
+
+				assertEnginesAgree(t, name, columnar, scalar)
+				if shards > 1 {
+					gs, ws := columnar.ShardDegradations(), scalar.ShardDegradations()
+					for i := range ws {
+						if gs[i] != ws[i] {
+							t.Errorf("shard %d ledger %+v; want %+v", i, gs[i], ws[i])
+						}
+					}
+					gp, wp := columnar.ShardPositions(), scalar.ShardPositions()
+					for i := range wp {
+						if gp[i] != wp[i] {
+							t.Errorf("shard %d routed %d records; want %d", i, gp[i], wp[i])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestColumnarRunShardedWhereMatchesOracle: Run over a columnar source
+// takes the vectorized path end to end; with a non-empty WHERE every
+// shard count must agree with the per-record single engine and with the
+// reference oracle over the interpreted-filtered records.
+func TestColumnarRunShardedWhereMatchesOracle(t *testing.T) {
+	defer hashtab.SetSIMD(hashtab.SIMDEnabled())
+	recs, _ := testWorkload(t, 30000)
+	filtered := applyWhere(t, filterSQL[0], recs)
+	oracle := hfta.Reference(filtered, filterQueries, lfta.CountStar, 10)
+	groups, err := EstimateGroups(recs, filterQueries)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	scalar, err := New(filterSQL, groups, Options{M: 8000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := scalar.Process(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := scalar.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if !hfta.Equal(scalar.AllResults(), oracle) {
+		t.Fatal("scalar filtered engine differs from the oracle; equivalence baseline is broken")
+	}
+
+	for _, simd := range filterKernels() {
+		hashtab.SetSIMD(simd)
+		for _, shards := range []int{1, 2, 4, 8} {
+			t.Run(fmt.Sprintf("kernel=%s/shards=%d", hashtab.KernelName(), shards), func(t *testing.T) {
+				e, err := New(filterSQL, groups, Options{M: 8000, Seed: 3, Shards: shards})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := e.Run(stream.NewSliceSource(recs)); err != nil {
+					t.Fatal(err)
+				}
+				if !hfta.Equal(e.AllResults(), oracle) {
+					t.Error("columnar run differs from the oracle")
+				}
+				if got := e.Consumed(); got != uint64(len(recs)) {
+					t.Errorf("consumed %d records; want %d (filtered lanes count toward position)", got, len(recs))
+				}
+				d := e.Stats().Degradation
+				if d.Processed != uint64(len(filtered)) || d.Offered != uint64(len(filtered)) {
+					t.Errorf("ledger %+v; want Offered = Processed = %d survivors", d, len(filtered))
+				}
+				if e.Ops().Records != uint64(len(filtered)) {
+					t.Errorf("runtime saw %d records; want %d after filter", e.Ops().Records, len(filtered))
+				}
+			})
+		}
+	}
+}
+
+// TestInterpretedFilterMatchesCompiled: Options.InterpretedFilter forces
+// the per-record DNF walk (the measurement baseline); its results and
+// ledgers must match the compiled columnar path exactly.
+func TestInterpretedFilterMatchesCompiled(t *testing.T) {
+	defer hashtab.SetSIMD(hashtab.SIMDEnabled())
+	_, chaotic := lateWorkload(t, 20000)
+	groups, err := EstimateGroups(chaotic, filterQueries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	interp, err := New(filterSQL, groups, Options{M: 8000, Seed: 3, InterpretedFilter: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if interp.filter != nil || !interp.interp {
+		t.Fatal("InterpretedFilter engine compiled its WHERE anyway")
+	}
+	if err := interp.Run(stream.NewSliceSource(chaotic)); err != nil {
+		t.Fatal(err)
+	}
+	for _, simd := range filterKernels() {
+		hashtab.SetSIMD(simd)
+		t.Run("kernel="+hashtab.KernelName(), func(t *testing.T) {
+			compiled, err := New(filterSQL, groups, Options{M: 8000, Seed: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if compiled.filter == nil || compiled.interp {
+				t.Fatal("default engine did not compile its WHERE")
+			}
+			if err := compiled.Run(stream.NewSliceSource(chaotic)); err != nil {
+				t.Fatal(err)
+			}
+			assertEnginesAgree(t, "compiled vs interpreted", compiled, interp)
+		})
+	}
+}
+
+// TestColumnarWhereCheckpointResume: a checkpoint written at a mid-batch
+// epoch rollover records the stream position strictly before the rolling
+// record with filtered lanes included — so a crash during columnar
+// ingest resumes to exactly the uninterrupted run's emissions.
+func TestColumnarWhereCheckpointResume(t *testing.T) {
+	recs, _ := testWorkload(t, 30000)
+	groups, err := EstimateGroups(recs, filterQueries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{0, 2} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			mkOpts := func() Options { return Options{M: 8000, Seed: 3, Shards: shards} }
+
+			wantEmit := emissionMap{}
+			ropts := mkOpts()
+			ropts.OnResults = collectEmissions(t, wantEmit)
+			ref, err := New(filterSQL, groups, ropts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ref.Run(stream.NewSliceSource(recs)); err != nil {
+				t.Fatal(err)
+			}
+
+			ckpt := filepath.Join(t.TempDir(), "columnar.ckpt")
+			copts := mkOpts()
+			copts.CheckpointPath = ckpt
+			crashEmit := emissionMap{}
+			copts.OnResults = collectEmissions(t, crashEmit)
+			e1, err := New(filterSQL, groups, copts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(77))
+			fed := feedColumnBatches(t, e1, recs, rng, 17000)
+			// No Finish: the process is gone mid-stream.
+
+			resumeEmit := emissionMap{}
+			popts := mkOpts()
+			popts.OnResults = collectEmissions(t, resumeEmit)
+			e2, err := New(filterSQL, groups, popts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			consumed, err := e2.RestoreCheckpointFile(ckpt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if consumed == 0 || consumed > uint64(fed) {
+				t.Fatalf("restored position %d out of range (0, %d]", consumed, fed)
+			}
+			if err := e2.Run(stream.NewSkipSource(stream.NewSliceSource(recs), consumed)); err != nil {
+				t.Fatal(err)
+			}
+
+			got := emissionMap{}
+			for k, v := range crashEmit {
+				got[k] = v
+			}
+			for k, v := range resumeEmit {
+				if prev, dup := got[k]; dup && prev != v {
+					t.Errorf("epoch %d of %v emitted differently by crashed and resumed runs", k.epoch, k.rel)
+				}
+				got[k] = v
+			}
+			if len(got) != len(wantEmit) {
+				t.Fatalf("crash+resume emitted %d (query, epoch) results; uninterrupted run emitted %d",
+					len(got), len(wantEmit))
+			}
+			for k, want := range wantEmit {
+				if got[k] != want {
+					t.Errorf("epoch %d of %v differs from the uninterrupted run", k.epoch, k.rel)
+				}
+			}
+			if g, w := e2.Stats().Degradation, ref.Stats().Degradation; g != w {
+				t.Errorf("resumed cumulative ledger %+v; uninterrupted %+v", g, w)
+			}
+		})
+	}
+}
+
+// TestNoWhereZeroFilterOverhead is the regression gate for satellite 4:
+// an engine without a WHERE clause must carry no filter state at all —
+// no compiled program, no interpreted fallback — so the admission paths
+// pay nothing, and the batch path must select every lane.
+func TestNoWhereZeroFilterOverhead(t *testing.T) {
+	recs, groups := testWorkload(t, 2000)
+	e, err := New(pairSQL, groups, Options{M: 8000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.filter != nil || e.interp {
+		t.Fatalf("no-WHERE engine carries filter state: filter=%v interp=%v", e.filter != nil, e.interp)
+	}
+	var cb stream.ColumnBatch
+	cb.Reset(len(recs[0].Attrs))
+	for i := 0; i < 100; i++ {
+		cb.Append(recs[i].Attrs, recs[i].Time)
+	}
+	if err := e.ProcessColumnBatch(&cb); err != nil {
+		t.Fatal(err)
+	}
+	live := 0
+	for i := 0; i < 100; i++ {
+		if cb.Sel[i>>6]&(1<<(uint(i)&63)) != 0 {
+			live++
+		}
+	}
+	if live != 100 {
+		t.Fatalf("no-WHERE batch selected %d of 100 lanes; want all", live)
+	}
+	if d := e.Stats().Degradation; d.Offered != 100 || d.Processed != 100 {
+		t.Fatalf("no-WHERE batch ledger %+v; want 100 offered and processed", d)
+	}
+}

@@ -186,6 +186,9 @@ type Table struct {
 	batchIdx []int
 	batchTag []uint8
 	batchVic []uint8
+	// batchLane maps compact entry → source lane for the selection-aware
+	// probe (ProbeColumnsSelInto), whose commit pass gathers keys by lane.
+	batchLane []int32
 
 	live  int
 	stats Stats

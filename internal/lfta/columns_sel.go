@@ -1,0 +1,118 @@
+package lfta
+
+import (
+	"math/bits"
+
+	"repro/internal/hashtab"
+)
+
+// Selection-aware columnar ingestion. A vectorized WHERE hands the
+// runtime a column batch plus a 64-bit-per-lane selection bitmap (the
+// selvec convention: bit j of word w covers lane w*64+j, dead bits past
+// the last lane zero) instead of a compacted copy. Dead lanes cost
+// nothing here: the delta gather, the key hashing, and the probe setup
+// all iterate set bits only, and results are bit-identical to
+// compacting the survivors and feeding them through the dense twins.
+
+// selPopcount returns the number of selected lanes among n.
+func selPopcount(sel []uint64, n int) int {
+	total := 0
+	for _, w := range sel[:(n+63)>>6] {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// ProcessColumnsSel feeds only the selected lanes of a column-major run
+// (cols is one slice per record attribute, each with at least n lanes),
+// all sharing one epoch. Outcomes and counters are identical to
+// compacting the selected lanes and calling ProcessColumns — which in
+// turn matches the scalar Process path record for record.
+func (r *Runtime) ProcessColumnsSel(cols [][]uint32, n int, sel []uint64, epoch uint32) {
+	width := len(cols)
+	if width == 0 || n == 0 {
+		return
+	}
+	m := selPopcount(sel, n)
+	if m == 0 {
+		return
+	}
+	r.beginEpoch(epoch)
+	r.ops.Records += uint64(m)
+	na := len(r.aggs)
+
+	// Build the compact delta run (m×na, selection order). The
+	// constant-delta block of prefilled ones works compactly as-is.
+	need := m * na
+	if cap(r.deltaRun) < need {
+		r.deltaRun = make([]int64, need)
+		if r.constDelta {
+			for i := range r.deltaRun {
+				r.deltaRun[i] = 1
+			}
+		}
+	}
+	dr := r.deltaRun[:need]
+	if !r.constDelta {
+		nw := (n + 63) >> 6
+		k := 0
+		for wi := 0; wi < nw; wi++ {
+			lbase := wi << 6
+			for w := sel[wi]; w != 0; w &= w - 1 {
+				i := lbase + bits.TrailingZeros64(w)
+				for j, a := range r.aggs {
+					if a.Input < 0 {
+						dr[k*na+j] = 1
+					} else {
+						dr[k*na+j] = int64(cols[a.Input][i])
+					}
+				}
+				k++
+			}
+		}
+	}
+
+	if cap(r.colSel) < width {
+		r.colSel = make([][]uint32, 0, width)
+	}
+	for _, ni := range r.rawIdx {
+		nd := &r.nodes[ni]
+		kc := r.colSel[:0]
+		for _, id := range nd.ids {
+			kc = append(kc, cols[id])
+		}
+		r.colSel = kc
+		f := r.runFrame(0)
+		r.ops.Probes += uint64(m)
+		nd.tab.ProbeColumnsSelInto(kc, dr, n, sel, &f.victims)
+		r.cascadeRun(ni, &f.victims, 1)
+	}
+	// Drop the borrowed column references so the caller's batch can be
+	// recycled without this scratch pinning it.
+	for i := range r.colSel {
+		r.colSel[i] = nil
+	}
+	r.colSel = r.colSel[:0]
+}
+
+// ShardColumns hashes the selected lanes of a column batch (the full
+// attribute vector, one slice per attribute) to shard indices, written
+// compactly in ascending-lane order into six; it returns the number of
+// entries written. Routing is bit-identical to calling ShardOf on each
+// selected record, so checkpoint-resumed deployments route the same
+// regardless of which admission path ran.
+func (s *Sharded) ShardColumns(cols [][]uint32, n int, sel []uint64, six []int32) int {
+	m := selPopcount(sel, n)
+	if m == 0 {
+		return 0
+	}
+	if cap(s.routeHash) < m {
+		s.routeHash = make([]uint64, m)
+	}
+	hb := s.routeHash[:m]
+	hashtab.HashColumnsSel(shardRouteSeed, cols, n, sel, hb)
+	for k, h := range hb {
+		six[k] = int32(hashtab.Reduce(h, len(s.shards)))
+	}
+	return m
+}

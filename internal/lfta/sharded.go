@@ -32,6 +32,10 @@ type Sharded struct {
 	// recycled staging runs), built on first use and reused across runs
 	// so steady-state ingest allocates nothing.
 	pipe *pipeline
+
+	// routeHash is ShardColumns's compact routing-hash scratch, grown on
+	// demand and reused across batches.
+	routeHash []uint64
 }
 
 // shardSeed derives the hash seed of one shard from the base seed via a

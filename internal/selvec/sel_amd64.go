@@ -1,0 +1,13 @@
+package selvec
+
+// The AVX2 kernels evaluate one predicate over 64 lanes (256 bytes of
+// column data) per call: eight 8-lane compares, each folded to 8 mask
+// bits with VMOVMSKPS and shifted into place. Unsigned less-than uses
+// the classic sign-bias trick (x ^ 0x80000000 on both sides, then a
+// signed VPCMPGTD), since AVX2 has no unsigned integer compare.
+
+//go:noescape
+func selEqSIMD(col *uint32, c uint32) uint64
+
+//go:noescape
+func selLtSIMD(col *uint32, c uint32) uint64

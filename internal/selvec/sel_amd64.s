@@ -1,0 +1,144 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// Sign-bias constant for the unsigned less-than kernel: XORing both
+// operands with 0x80000000 maps unsigned order onto signed order, which
+// is the only integer compare AVX2 offers.
+DATA selBias<>+0(SB)/4, $0x80000000
+GLOBL selBias<>(SB), RODATA|NOPTR, $4
+
+// func selEqSIMD(col *uint32, c uint32) uint64
+//
+// Returns bit j set iff col[j] == c, for j in [0,64). col must have 64
+// lanes. Eight unrolled blocks: load 8 lanes, VPCMPEQD against the
+// broadcast constant, VMOVMSKPS the lane sign bits down to 8 mask bits,
+// shift into the result word.
+TEXT ·selEqSIMD(SB), NOSPLIT, $0-24
+	MOVQ col+0(FP), SI
+	MOVL c+8(FP), CX
+	MOVL CX, X0
+	VPBROADCASTD X0, Y0
+
+	VMOVDQU (SI), Y1
+	VPCMPEQD Y0, Y1, Y1
+	VMOVMSKPS Y1, AX
+
+	VMOVDQU 32(SI), Y1
+	VPCMPEQD Y0, Y1, Y1
+	VMOVMSKPS Y1, DX
+	SHLQ $8, DX
+	ORQ DX, AX
+
+	VMOVDQU 64(SI), Y1
+	VPCMPEQD Y0, Y1, Y1
+	VMOVMSKPS Y1, DX
+	SHLQ $16, DX
+	ORQ DX, AX
+
+	VMOVDQU 96(SI), Y1
+	VPCMPEQD Y0, Y1, Y1
+	VMOVMSKPS Y1, DX
+	SHLQ $24, DX
+	ORQ DX, AX
+
+	VMOVDQU 128(SI), Y1
+	VPCMPEQD Y0, Y1, Y1
+	VMOVMSKPS Y1, DX
+	SHLQ $32, DX
+	ORQ DX, AX
+
+	VMOVDQU 160(SI), Y1
+	VPCMPEQD Y0, Y1, Y1
+	VMOVMSKPS Y1, DX
+	SHLQ $40, DX
+	ORQ DX, AX
+
+	VMOVDQU 192(SI), Y1
+	VPCMPEQD Y0, Y1, Y1
+	VMOVMSKPS Y1, DX
+	SHLQ $48, DX
+	ORQ DX, AX
+
+	VMOVDQU 224(SI), Y1
+	VPCMPEQD Y0, Y1, Y1
+	VMOVMSKPS Y1, DX
+	SHLQ $56, DX
+	ORQ DX, AX
+
+	// The kernel uses full-width YMM state, so unlike the VEX.128
+	// tag-match kernel it must VZEROUPPER before returning to Go code.
+	VZEROUPPER
+	MOVQ AX, ret+16(FP)
+	RET
+
+// func selLtSIMD(col *uint32, c uint32) uint64
+//
+// Returns bit j set iff col[j] < c (unsigned), for j in [0,64). Both
+// sides are sign-biased so signed VPCMPGTD computes the unsigned
+// relation: lane passes iff biased(c) > biased(col[j]).
+TEXT ·selLtSIMD(SB), NOSPLIT, $0-24
+	MOVQ col+0(FP), SI
+	MOVL c+8(FP), CX
+	XORL $0x80000000, CX
+	MOVL CX, X0
+	VPBROADCASTD X0, Y0            // biased constant
+	VPBROADCASTD selBias<>(SB), Y3 // lane bias
+
+	VMOVDQU (SI), Y1
+	VPXOR Y3, Y1, Y1
+	VPCMPGTD Y1, Y0, Y2
+	VMOVMSKPS Y2, AX
+
+	VMOVDQU 32(SI), Y1
+	VPXOR Y3, Y1, Y1
+	VPCMPGTD Y1, Y0, Y2
+	VMOVMSKPS Y2, DX
+	SHLQ $8, DX
+	ORQ DX, AX
+
+	VMOVDQU 64(SI), Y1
+	VPXOR Y3, Y1, Y1
+	VPCMPGTD Y1, Y0, Y2
+	VMOVMSKPS Y2, DX
+	SHLQ $16, DX
+	ORQ DX, AX
+
+	VMOVDQU 96(SI), Y1
+	VPXOR Y3, Y1, Y1
+	VPCMPGTD Y1, Y0, Y2
+	VMOVMSKPS Y2, DX
+	SHLQ $24, DX
+	ORQ DX, AX
+
+	VMOVDQU 128(SI), Y1
+	VPXOR Y3, Y1, Y1
+	VPCMPGTD Y1, Y0, Y2
+	VMOVMSKPS Y2, DX
+	SHLQ $32, DX
+	ORQ DX, AX
+
+	VMOVDQU 160(SI), Y1
+	VPXOR Y3, Y1, Y1
+	VPCMPGTD Y1, Y0, Y2
+	VMOVMSKPS Y2, DX
+	SHLQ $40, DX
+	ORQ DX, AX
+
+	VMOVDQU 192(SI), Y1
+	VPXOR Y3, Y1, Y1
+	VPCMPGTD Y1, Y0, Y2
+	VMOVMSKPS Y2, DX
+	SHLQ $48, DX
+	ORQ DX, AX
+
+	VMOVDQU 224(SI), Y1
+	VPXOR Y3, Y1, Y1
+	VPCMPGTD Y1, Y0, Y2
+	VMOVMSKPS Y2, DX
+	SHLQ $56, DX
+	ORQ DX, AX
+
+	VZEROUPPER
+	MOVQ AX, ret+16(FP)
+	RET

@@ -1,0 +1,14 @@
+package selvec
+
+// The NEON kernels evaluate one predicate over 64 lanes per call, eight
+// lanes (two quadword vectors) per loop iteration. Go's arm64 assembler
+// has no unsigned vector compare, so less-than is derived from VUMIN:
+// v < c (with c >= 1) iff umin(v, c-1) == v. Mask extraction follows
+// the hashtab tag-match kernel: AND the all-ones compare lanes with a
+// per-lane bit constant, then fold the bytes to a single mask byte.
+
+//go:noescape
+func selEqSIMD(col *uint32, c uint32) uint64
+
+//go:noescape
+func selLtSIMD(col *uint32, c uint32) uint64

@@ -1,0 +1,88 @@
+//go:build arm64
+
+#include "textflag.h"
+
+// Per-lane bit constants: each 32-bit lane of the two compare vectors
+// contributes exactly one nonzero byte (1,2,4,8 for the first vector,
+// 16,32,64,128 for the second), so ANDing with the all-ones compare
+// result and summing every byte yields the 8-bit lane mask with no
+// carries.
+DATA selLaneBits<>+0(SB)/8, $0x0000000200000001
+DATA selLaneBits<>+8(SB)/8, $0x0000000800000004
+DATA selLaneBits<>+16(SB)/8, $0x0000002000000010
+DATA selLaneBits<>+24(SB)/8, $0x0000008000000040
+GLOBL selLaneBits<>(SB), RODATA|NOPTR, $32
+
+// func selEqSIMD(col *uint32, c uint32) uint64
+//
+// Returns bit j set iff col[j] == c, for j in [0,64). Eight iterations
+// of: load 8 lanes, VCMEQ against the broadcast constant, mask to lane
+// bits, byte-sum to one mask byte, shift into the result word.
+TEXT ·selEqSIMD(SB), NOSPLIT, $0-24
+	MOVD col+0(FP), R0
+	MOVWU c+8(FP), R1
+	VDUP R1, V0.S4
+	MOVD $selLaneBits<>(SB), R2
+	VLD1 (R2), [V4.B16, V5.B16]
+	MOVD ZR, R3 // result accumulator
+	MOVD ZR, R4 // lane shift
+	MOVD $8, R5 // iterations
+
+eqloop:
+	VLD1.P 32(R0), [V1.S4, V2.S4]
+	VCMEQ V0.S4, V1.S4, V1.S4
+	VCMEQ V0.S4, V2.S4, V2.S4
+	VAND V4.B16, V1.B16, V1.B16
+	VAND V5.B16, V2.B16, V2.B16
+	VORR V2.B16, V1.B16, V1.B16
+	VADDV V1.B16, V6
+	VMOV V6.B[0], R6
+	LSL R4, R6, R6
+	ORR R6, R3, R3
+	ADD $8, R4
+	SUB $1, R5
+	CBNZ R5, eqloop
+
+	MOVD R3, ret+16(FP)
+	RET
+
+// func selLtSIMD(col *uint32, c uint32) uint64
+//
+// Returns bit j set iff col[j] < c (unsigned), for j in [0,64). With
+// K = c-1 broadcast, a lane passes iff umin(v, K) == v; c == 0 (nothing
+// is below zero) is answered up front so the K computation cannot wrap.
+TEXT ·selLtSIMD(SB), NOSPLIT, $0-24
+	MOVD col+0(FP), R0
+	MOVWU c+8(FP), R1
+	CBZ R1, ltzero
+	SUBW $1, R1, R1
+	VDUP R1, V0.S4
+	MOVD $selLaneBits<>(SB), R2
+	VLD1 (R2), [V4.B16, V5.B16]
+	MOVD ZR, R3 // result accumulator
+	MOVD ZR, R4 // lane shift
+	MOVD $8, R5 // iterations
+
+ltloop:
+	VLD1.P 32(R0), [V1.S4, V2.S4]
+	VUMIN V0.S4, V1.S4, V6.S4
+	VUMIN V0.S4, V2.S4, V7.S4
+	VCMEQ V6.S4, V1.S4, V1.S4
+	VCMEQ V7.S4, V2.S4, V2.S4
+	VAND V4.B16, V1.B16, V1.B16
+	VAND V5.B16, V2.B16, V2.B16
+	VORR V2.B16, V1.B16, V1.B16
+	VADDV V1.B16, V6
+	VMOV V6.B[0], R6
+	LSL R4, R6, R6
+	ORR R6, R3, R3
+	ADD $8, R4
+	SUB $1, R5
+	CBNZ R5, ltloop
+
+	MOVD R3, ret+16(FP)
+	RET
+
+ltzero:
+	MOVD ZR, ret+16(FP)
+	RET

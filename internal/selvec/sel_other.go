@@ -1,0 +1,17 @@
+//go:build !amd64 && !arm64
+
+package selvec
+
+import "unsafe"
+
+// On architectures without a vector kernel, hashtab.SIMDEnabled() is
+// always false, so these are never reached at run time; they exist only
+// to satisfy the dispatch sites.
+
+func selEqSIMD(col *uint32, c uint32) uint64 {
+	return eqWordGeneric(unsafe.Slice(col, WordLanes), c)
+}
+
+func selLtSIMD(col *uint32, c uint32) uint64 {
+	return ltWordGeneric(unsafe.Slice(col, WordLanes), c)
+}

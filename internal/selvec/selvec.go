@@ -1,0 +1,145 @@
+// Package selvec implements selection vectors — one bit per record,
+// packed 64 lanes to a word — and the branch-free columnar compare
+// kernels that produce them.
+//
+// The representation follows the standard columnar-engine design: a
+// predicate over a column of uint32 attribute words is evaluated 64
+// lanes at a time into a single uint64 whose bit j answers "does lane j
+// pass?". Words compose with plain AND (conjunction), OR (disjunction)
+// and ANDNOT (lanes still undecided), and ledger counts fall out of
+// popcounts instead of per-record increments. Downstream consumers
+// (router scatter, probe setup) iterate set bits rather than compacting
+// the batch, so a selective WHERE never copies surviving lanes.
+//
+// Only two compare kernels exist: equality and unsigned less-than. The
+// six source-level comparison ops all normalize onto {eq, lt} plus a
+// complement at compile time (see internal/query's filter compiler),
+// which keeps the asm surface as small as the hashtab tag-match kernel
+// it is modeled on. Each kernel has a branch-free generic form and an
+// AVX2/NEON variant selected by the same process-wide MAGG_SIMD switch
+// as hashtab (hashtab.SIMDEnabled / hashtab.SetSIMD), so one knob
+// governs every vector kernel in the process.
+package selvec
+
+import (
+	"math/bits"
+
+	"repro/internal/hashtab"
+)
+
+// WordLanes is the number of record lanes packed into one selection word.
+const WordLanes = 64
+
+// Bitmap is a selection vector: bit j of word w covers record lane
+// w*64 + j. The tail word of an n-lane bitmap keeps its dead high bits
+// zero, so popcounts over whole words are exact.
+type Bitmap []uint64
+
+// Words returns the number of selection words covering n lanes.
+func Words(n int) int { return (n + WordLanes - 1) / WordLanes }
+
+// TailMask returns the valid-lane mask of the last word of an n-lane
+// bitmap: all ones when n is a multiple of 64, otherwise the low n%64
+// bits. n must be positive.
+func TailMask(n int) uint64 {
+	if r := n & (WordLanes - 1); r != 0 {
+		return (uint64(1) << r) - 1
+	}
+	return ^uint64(0)
+}
+
+// Grow returns b resized to exactly Words(n) words, reusing the backing
+// array when it is large enough. Contents are unspecified; callers
+// overwrite every word.
+func Grow(b Bitmap, n int) Bitmap {
+	w := Words(n)
+	if cap(b) < w {
+		return make(Bitmap, w)
+	}
+	return b[:w]
+}
+
+// SetAll sets the first n lanes and clears the dead tail bits. The
+// bitmap must already have Words(n) words.
+func (b Bitmap) SetAll(n int) {
+	w := Words(n)
+	for i := 0; i < w; i++ {
+		b[i] = ^uint64(0)
+	}
+	if w > 0 {
+		b[w-1] = TailMask(n)
+	}
+}
+
+// Clear zeroes the first Words(n) words.
+func (b Bitmap) Clear(n int) {
+	for i := 0; i < Words(n); i++ {
+		b[i] = 0
+	}
+}
+
+// Count returns the number of selected lanes among the first n. Dead
+// tail bits are zero by construction, so this is a straight popcount.
+func (b Bitmap) Count(n int) int {
+	total := 0
+	for i := 0; i < Words(n); i++ {
+		total += bits.OnesCount64(b[i])
+	}
+	return total
+}
+
+// Test reports whether lane i is selected.
+func (b Bitmap) Test(i int) bool {
+	return b[i>>6]&(uint64(1)<<(uint(i)&63)) != 0
+}
+
+// Set selects lane i.
+func (b Bitmap) Set(i int) {
+	b[i>>6] |= uint64(1) << (uint(i) & 63)
+}
+
+// EqWord evaluates col[j] == c over up to 64 lanes, returning the
+// selection word; bits past len(col) are zero.
+func EqWord(col []uint32, c uint32) uint64 {
+	if len(col) == WordLanes && hashtab.SIMDEnabled() {
+		return selEqSIMD(&col[0], c)
+	}
+	return eqWordGeneric(col, c)
+}
+
+// LtWord evaluates col[j] < c (unsigned) over up to 64 lanes, returning
+// the selection word; bits past len(col) are zero.
+func LtWord(col []uint32, c uint32) uint64 {
+	if len(col) == WordLanes && hashtab.SIMDEnabled() {
+		return selLtSIMD(&col[0], c)
+	}
+	return ltWordGeneric(col, c)
+}
+
+// eqWordGeneric builds the equality word without branches: for 32-bit
+// operands widened to uint64, (x^c)-1 underflows to set bit 63 exactly
+// when x == c.
+func eqWordGeneric(col []uint32, c uint32) uint64 {
+	var w uint64
+	c64 := uint64(c)
+	for j := 0; j < len(col); j++ {
+		w |= (((uint64(col[j]) ^ c64) - 1) >> 63) << uint(j)
+	}
+	return w
+}
+
+// ltWordGeneric builds the unsigned less-than word without branches:
+// for 32-bit operands widened to uint64, x-c sets bit 63 exactly when
+// x < c.
+func ltWordGeneric(col []uint32, c uint32) uint64 {
+	var w uint64
+	c64 := uint64(c)
+	for j := 0; j < len(col); j++ {
+		w |= ((uint64(col[j]) - c64) >> 63) << uint(j)
+	}
+	return w
+}
+
+// KernelName reports which compare-kernel implementation EqWord/LtWord
+// dispatch to for full 64-lane words, mirroring hashtab.KernelName.
+func KernelName() string { return hashtab.KernelName() }

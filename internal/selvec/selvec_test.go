@@ -1,0 +1,156 @@
+package selvec
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/hashtab"
+)
+
+// forEachKernel runs fn once with the vector kernel disabled and, when
+// the host supports it, once enabled — the same pattern the hashtab
+// match tests use so CI exercises every dispatch path.
+func forEachKernel(t *testing.T, fn func(t *testing.T)) {
+	t.Helper()
+	prev := hashtab.SIMDEnabled()
+	defer hashtab.SetSIMD(prev)
+
+	hashtab.SetSIMD(false)
+	t.Run("generic", fn)
+	if hashtab.SIMDAvailable() {
+		hashtab.SetSIMD(true)
+		t.Run(hashtab.KernelName(), fn)
+	}
+}
+
+func oracleEq(col []uint32, c uint32) uint64 {
+	var w uint64
+	for j, v := range col {
+		if v == c {
+			w |= 1 << uint(j)
+		}
+	}
+	return w
+}
+
+func oracleLt(col []uint32, c uint32) uint64 {
+	var w uint64
+	for j, v := range col {
+		if v < c {
+			w |= 1 << uint(j)
+		}
+	}
+	return w
+}
+
+// boundaryValues are the column/constant values most likely to expose
+// widening, bias, or wraparound mistakes in the kernels.
+var boundaryValues = []uint32{0, 1, 2, 0x7fffffff, 0x80000000, 0x80000001, 0xfffffffe, 0xffffffff}
+
+func TestSelVecKernelsBoundary(t *testing.T) {
+	forEachKernel(t, func(t *testing.T) {
+		col := make([]uint32, WordLanes)
+		for _, c := range boundaryValues {
+			for i := range col {
+				col[i] = boundaryValues[i%len(boundaryValues)]
+			}
+			if got, want := EqWord(col, c), oracleEq(col, c); got != want {
+				t.Fatalf("EqWord(boundary, %#x) = %#x, want %#x", c, got, want)
+			}
+			if got, want := LtWord(col, c), oracleLt(col, c); got != want {
+				t.Fatalf("LtWord(boundary, %#x) = %#x, want %#x", c, got, want)
+			}
+		}
+	})
+}
+
+func TestSelVecKernelsRandom(t *testing.T) {
+	forEachKernel(t, func(t *testing.T) {
+		rng := rand.New(rand.NewSource(10))
+		lengths := []int{0, 1, 3, 7, 15, 31, 63, 64}
+		for iter := 0; iter < 2000; iter++ {
+			n := lengths[rng.Intn(len(lengths))]
+			col := make([]uint32, n)
+			for i := range col {
+				// Small domain so equality actually hits; occasional
+				// full-range values exercise the bias path.
+				if rng.Intn(8) == 0 {
+					col[i] = rng.Uint32()
+				} else {
+					col[i] = uint32(rng.Intn(16))
+				}
+			}
+			c := uint32(rng.Intn(16))
+			if rng.Intn(8) == 0 {
+				c = boundaryValues[rng.Intn(len(boundaryValues))]
+			}
+			if got, want := EqWord(col, c), oracleEq(col, c); got != want {
+				t.Fatalf("n=%d EqWord(col, %#x) = %#x, want %#x", n, c, got, want)
+			}
+			if got, want := LtWord(col, c), oracleLt(col, c); got != want {
+				t.Fatalf("n=%d LtWord(col, %#x) = %#x, want %#x", n, c, got, want)
+			}
+		}
+	})
+}
+
+// TestSelVecSIMDMatchesGeneric pins the asm kernels lane-for-lane
+// against the generic implementation on full words, independent of the
+// oracle (catches dispatch-length mistakes).
+func TestSelVecSIMDMatchesGeneric(t *testing.T) {
+	if !hashtab.SIMDAvailable() {
+		t.Skip("no vector kernel on this host")
+	}
+	rng := rand.New(rand.NewSource(11))
+	col := make([]uint32, WordLanes)
+	for iter := 0; iter < 5000; iter++ {
+		for i := range col {
+			col[i] = rng.Uint32() >> uint(rng.Intn(33))
+		}
+		c := col[rng.Intn(len(col))] // guaranteed at least one equal lane
+		if rng.Intn(4) == 0 {
+			c = rng.Uint32()
+		}
+		if got, want := selEqSIMD(&col[0], c), eqWordGeneric(col, c); got != want {
+			t.Fatalf("selEqSIMD(col, %#x) = %#x, generic %#x", c, got, want)
+		}
+		if got, want := selLtSIMD(&col[0], c), ltWordGeneric(col, c); got != want {
+			t.Fatalf("selLtSIMD(col, %#x) = %#x, generic %#x", c, got, want)
+		}
+	}
+}
+
+func TestSelVecBitmapHelpers(t *testing.T) {
+	for _, n := range []int{1, 5, 63, 64, 65, 128, 129, 1024} {
+		b := Grow(nil, n)
+		if len(b) != Words(n) {
+			t.Fatalf("Grow(%d): len %d, want %d", n, len(b), Words(n))
+		}
+		b.SetAll(n)
+		if got := b.Count(n); got != n {
+			t.Fatalf("SetAll(%d).Count = %d", n, got)
+		}
+		if tail := b[len(b)-1] &^ TailMask(n); tail != 0 {
+			t.Fatalf("SetAll(%d): dead tail bits %#x", n, tail)
+		}
+		for i := 0; i < n; i++ {
+			if !b.Test(i) {
+				t.Fatalf("SetAll(%d): lane %d not set", n, i)
+			}
+		}
+		b.Clear(n)
+		if got := b.Count(n); got != 0 {
+			t.Fatalf("Clear(%d).Count = %d", n, got)
+		}
+		b.Set(n - 1)
+		if !b.Test(n-1) || b.Count(n) != 1 {
+			t.Fatalf("Set(%d) not reflected", n-1)
+		}
+	}
+	// Grow must reuse capacity.
+	b := Grow(nil, 1024)
+	b2 := Grow(b, 64)
+	if &b2[0] != &b[0] {
+		t.Fatal("Grow reallocated despite sufficient capacity")
+	}
+}

@@ -24,6 +24,13 @@ const ColumnBatchLen = 1024
 type ColumnBatch struct {
 	Cols [][]uint32
 	Time []uint32
+
+	// Sel is the batch's selection vector when a vectorized WHERE has
+	// run over it (selvec.Bitmap layout: bit j of word w covers record
+	// w*64+j, dead tail bits zero). Empty means no selection has been
+	// computed — every record is live. Producers that fill it pass the
+	// batch down by selection instead of compacting survivors.
+	Sel []uint64
 }
 
 // Len returns the number of records in the batch.
@@ -50,6 +57,7 @@ func (b *ColumnBatch) Reset(width int) {
 		b.Cols[a] = b.Cols[a][:0]
 	}
 	b.Time = b.Time[:0]
+	b.Sel = b.Sel[:0]
 }
 
 // Append adds one record to the batch. attrs must have exactly Width()

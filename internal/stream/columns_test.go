@@ -137,4 +137,10 @@ func TestColumnBatchRowRoundTrip(t *testing.T) {
 	if cb.Width() != 3 || cb.Len() != 0 {
 		t.Fatalf("after re-widen: width %d len %d", cb.Width(), cb.Len())
 	}
+	// A recycled batch must not leak a stale selection vector.
+	cb.Sel = append(cb.Sel[:0], ^uint64(0))
+	cb.Reset(3)
+	if len(cb.Sel) != 0 {
+		t.Fatalf("Reset kept stale selection vector of %d words", len(cb.Sel))
+	}
 }
